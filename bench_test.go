@@ -1,0 +1,261 @@
+// Package wormnet's root benchmark harness: one benchmark per figure of the
+// paper's evaluation section, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark executes the corresponding experiment
+// at the reduced Quick scale (a 4-ary 2-cube with short windows, so the
+// whole suite completes in minutes on one core) and reports the headline
+// quantities of the figure through b.ReportMetric:
+//
+//	accepted_peak     — plateau accepted traffic (flits/node/cycle)
+//	accepted_final    — accepted traffic at the highest offered load
+//	latency_low       — latency of the lowest-load point (cycles)
+//	deadlock_peak_pct — worst detected-deadlock percentage
+//	fairness_*_pct    — per-node injection deviation spreads (fig4)
+//	rule_*_pct        — ALO condition frequencies (fig2)
+//
+// The full-scale (8-ary 3-cube) reproduction is driven by cmd/figures; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package wormnet
+
+import (
+	"testing"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/experiments"
+	"wormnet/internal/sim"
+)
+
+// benchScale is the Quick scale with a fixed seed so benchmark metrics are
+// stable across runs.
+func benchScale() experiments.Scale { return experiments.Quick() }
+
+// reportSeries publishes a series' headline metrics.
+func reportSeries(b *testing.B, ser experiments.Series, prefix string) {
+	b.Helper()
+	b.ReportMetric(experiments.PlateauThroughput(ser), prefix+"accepted_peak")
+	b.ReportMetric(experiments.FinalAccepted(ser), prefix+"accepted_final")
+	b.ReportMetric(experiments.PeakDeadlockPct(ser), prefix+"deadlock_peak_pct")
+	if len(ser.Points) > 0 {
+		b.ReportMetric(ser.Points[0].Result.AvgLatency, prefix+"latency_low")
+	}
+}
+
+// runFigure executes an experiment once per benchmark iteration and reports
+// the last iteration's metrics for the named series.
+func runFigure(b *testing.B, ex experiments.Experiment, series ...string) experiments.Report {
+	b.Helper()
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = ex.Run(benchScale(), nil)
+	}
+	want := map[string]bool{}
+	for _, s := range series {
+		want[s] = true
+	}
+	for _, ser := range rep.Series {
+		if len(want) == 0 || want[ser.Name] {
+			prefix := ""
+			if len(rep.Series) > 1 {
+				prefix = ser.Name + "_"
+			}
+			reportSeries(b, ser, prefix)
+		}
+	}
+	return rep
+}
+
+// BenchmarkFig1_Degradation regenerates Figure 1: the performance
+// degradation of the unprotected network (latency, accepted traffic and
+// detected deadlocks versus offered traffic).
+func BenchmarkFig1_Degradation(b *testing.B) {
+	runFigure(b, experiments.Fig1())
+}
+
+// BenchmarkFig2_Conditions regenerates Figure 2: how often ALO's rules (a),
+// (b) and (a)∨(b) hold at injection time as traffic grows.
+func BenchmarkFig2_Conditions(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig2().Run(benchScale(), nil)
+	}
+	pts := rep.Series[0].Points
+	lo, hi := pts[0], pts[len(pts)-1]
+	b.ReportMetric(lo.Probe.PercentEither(), "rule_aorb_low_pct")
+	b.ReportMetric(hi.Probe.PercentEither(), "rule_aorb_high_pct")
+	b.ReportMetric(hi.Probe.PercentA(), "rule_a_high_pct")
+	b.ReportMetric(hi.Probe.PercentB(), "rule_b_high_pct")
+}
+
+// BenchmarkFig4_Fairness regenerates Figure 4: the per-node injection
+// deviation spread of LF, DRIL and ALO beyond saturation.
+func BenchmarkFig4_Fairness(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig4().Run(benchScale(), nil)
+	}
+	for _, ser := range rep.Series {
+		p := ser.Points[0]
+		b.ReportMetric(p.Result.WorstNodeDev, ser.Name+"_fairness_worst_pct")
+		b.ReportMetric(p.Result.BestNodeDev, ser.Name+"_fairness_best_pct")
+	}
+}
+
+// BenchmarkFig5_Uniform16 regenerates Figure 5 (uniform, 16-flit; latency
+// and its standard deviation versus traffic, all four mechanisms).
+func BenchmarkFig5_Uniform16(b *testing.B) {
+	rep := runFigure(b, experiments.Fig5(), "none", "alo")
+	// Figure 5's distinguishing series is the latency std-dev: report the
+	// highest-load std-dev for ALO.
+	for _, ser := range rep.Series {
+		if ser.Name == "alo" && len(ser.Points) > 0 {
+			b.ReportMetric(ser.Points[len(ser.Points)-1].Result.StdLatency, "alo_stddev_high")
+		}
+	}
+}
+
+// BenchmarkFig6_Uniform64 regenerates Figure 6 (uniform, 64-flit).
+func BenchmarkFig6_Uniform64(b *testing.B) {
+	runFigure(b, experiments.Fig6(), "none", "alo")
+}
+
+// BenchmarkFig7_Butterfly regenerates Figure 7 (butterfly, 16-flit).
+func BenchmarkFig7_Butterfly(b *testing.B) {
+	runFigure(b, experiments.Fig7(), "none", "alo")
+}
+
+// BenchmarkFig8_Complement regenerates Figure 8 (complement, 16-flit).
+func BenchmarkFig8_Complement(b *testing.B) {
+	runFigure(b, experiments.Fig8(), "none", "alo")
+}
+
+// BenchmarkFig9_BitReversal regenerates Figure 9 (bit-reversal, 16-flit).
+func BenchmarkFig9_BitReversal(b *testing.B) {
+	runFigure(b, experiments.Fig9(), "none", "alo")
+}
+
+// BenchmarkFig10_PerfectShuffle regenerates Figure 10 (perfect-shuffle,
+// 16-flit).
+func BenchmarkFig10_PerfectShuffle(b *testing.B) {
+	runFigure(b, experiments.Fig10(), "none", "alo")
+}
+
+// ablationConfig is the shared beyond-saturation operating point of the
+// ablation benches.
+func ablationConfig(pattern string) sim.Config {
+	s := benchScale()
+	cfg := sim.DefaultConfig()
+	cfg.K, cfg.N = s.K, s.N
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = s.Warmup, s.Measure, s.Drain
+	cfg.Pattern, cfg.MsgLen = pattern, 16
+	cfg.Rate = 2.0
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+func runOnce(b *testing.B, cfg sim.Config) (accepted, latency, deadlockPct float64) {
+	b.Helper()
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := e.Run()
+	return r.Accepted, r.AvgLatency, r.DeadlockPct
+}
+
+// BenchmarkAblationRules compares ALO against its single-rule ablations —
+// the paper's Figure-2 argument that the OR of both rules is the right
+// congestion indicator.
+func BenchmarkAblationRules(b *testing.B) {
+	variants := []struct {
+		name string
+		f    core.Factory
+	}{
+		{"alo", core.NewALO()},
+		{"rule_a_only", core.NewRuleAOnly()},
+		{"rule_b_only", core.NewRuleBOnly()},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, v := range variants {
+			acc, _, _ := runOnce(b, ablationConfig("uniform").WithLimiter(v.name, v.f))
+			if i == b.N-1 {
+				b.ReportMetric(acc, v.name+"_accepted")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAllChannels compares useful-channels-only ALO against
+// the all-channels variant under a pattern that only uses a subset of the
+// dimensions — ALO's adaptivity claim.
+func BenchmarkAblationAllChannels(b *testing.B) {
+	variants := []struct {
+		name string
+		f    core.Factory
+	}{
+		{"useful_only", core.NewALO()},
+		{"all_channels", core.NewAllChannels()},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, v := range variants {
+			acc, lat, _ := runOnce(b, ablationConfig("butterfly").WithLimiter(v.name, v.f))
+			if i == b.N-1 {
+				b.ReportMetric(acc, v.name+"_accepted")
+				b.ReportMetric(lat, v.name+"_latency")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationVCCount sweeps the number of virtual channels per
+// physical channel — the hardware alternative to injection limitation the
+// paper's introduction discusses.
+func BenchmarkAblationVCCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, vcs := range []int{1, 2, 3} {
+			cfg := ablationConfig("uniform").WithLimiter("none", baseline.NewNone())
+			cfg.VCs = vcs
+			acc, _, dl := runOnce(b, cfg)
+			if i == b.N-1 {
+				b.ReportMetric(acc, "vcs"+string(rune('0'+vcs))+"_accepted")
+				b.ReportMetric(dl, "vcs"+string(rune('0'+vcs))+"_deadlock_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDetectionThreshold sweeps the FC3D detection threshold:
+// too low and congested messages are killed spuriously; too high and real
+// deadlocks stall the network for longer.
+func BenchmarkAblationDetectionThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, th := range []int32{8, 32, 128} {
+			cfg := ablationConfig("complement").WithLimiter("none", baseline.NewNone())
+			cfg.DetectionThreshold = th
+			acc, _, dl := runOnce(b, cfg)
+			if i == b.N-1 {
+				name := map[int32]string{8: "th8", 32: "th32", 128: "th128"}[th]
+				b.ReportMetric(acc, name+"_accepted")
+				b.ReportMetric(dl, name+"_deadlock_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineCycles measures raw simulator speed: cycles per second on
+// a saturated full-size (8-ary 3-cube) network, the figure-of-merit for
+// reproduction wall-clock cost.
+func BenchmarkEngineCycles(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Rate = 0.7
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 500, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+	}
+	b.ReportMetric(float64(cfg.TotalCycles()*int64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+}

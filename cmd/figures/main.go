@@ -1,0 +1,74 @@
+// Command figures regenerates the paper's evaluation figures. Each figure
+// is a set of simulation sweeps whose text table carries the same series
+// the paper plots (latency/accepted-traffic/deadlock curves, ALO condition
+// percentages, per-node fairness distributions).
+//
+//	figures                 # every figure at full scale (8-ary 3-cube)
+//	figures -fig 5          # only Figure 5
+//	figures -quick          # reduced 4-ary 2-cube scale
+//	figures -csv out.csv    # additionally dump CSV rows for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"wormnet/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, or all")
+	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
+	csvPath := flag.String("csv", "", "also append CSV rows to this file")
+	flag.Parse()
+
+	scale := experiments.Full()
+	if *quick {
+		scale = experiments.Quick()
+	}
+
+	var exps []experiments.Experiment
+	if *fig == "all" {
+		exps = experiments.All()
+	} else {
+		id := *fig
+		if _, err := strconv.Atoi(id); err == nil {
+			id = "fig" + id
+		}
+		ex, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []experiments.Experiment{ex}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	fmt.Printf("scale: %s (%d-ary %d-cube), windows %d/%d/%d\n\n",
+		scale.Name, scale.K, scale.N, scale.Warmup, scale.Measure, scale.Drain)
+	for _, ex := range exps {
+		start := time.Now()
+		rep := ex.Run(scale, nil)
+		fmt.Print(rep.Render())
+		fmt.Printf("(%s completed in %v)\n\n", ex.ID, time.Since(start).Round(time.Second))
+		if csv != nil {
+			if _, err := csv.WriteString(rep.CSV()); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

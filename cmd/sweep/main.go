@@ -1,0 +1,108 @@
+// Command sweep runs parameter sweeps beyond the paper's figures — offered
+// load, virtual-channel count, buffer depth or detection threshold — and
+// prints one CSV row per run. It is the ablation companion to cmd/figures.
+//
+// Examples:
+//
+//	sweep -vary rate -values 0.1,0.2,0.3,0.4,0.5,0.6,0.7 -limiter alo
+//	sweep -vary vcs -values 1,2,3 -rate 0.5
+//	sweep -vary threshold -values 8,16,32,64 -rate 0.7 -limiter none
+//	sweep -vary buf -values 2,4,8 -rate 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	vary := flag.String("vary", "rate", "parameter to sweep: rate, vcs, buf, threshold, msglen")
+	values := flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
+	limiter := flag.String("limiter", "alo", "injection limiter: none, lf, dril, alo, alo-rule-a, alo-rule-b, alo-all-channels")
+	flag.IntVar(&cfg.K, "k", cfg.K, "torus radix")
+	flag.IntVar(&cfg.N, "n", cfg.N, "torus dimensions")
+	flag.StringVar(&cfg.Pattern, "pattern", cfg.Pattern, "traffic pattern")
+	flag.IntVar(&cfg.MsgLen, "len", cfg.MsgLen, "message length (flits)")
+	flag.Float64Var(&cfg.Rate, "rate", cfg.Rate, "offered load (flits/node/cycle)")
+	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
+	flag.Int64Var(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warm-up cycles")
+	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement cycles")
+	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Parse()
+
+	f, err := limiterByName(*limiter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Limiter, cfg.LimiterName = f, *limiter
+
+	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev\n", *vary)
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		run := cfg
+		switch *vary {
+		case "rate":
+			v, err := strconv.ParseFloat(raw, 64)
+			must(err)
+			run.Rate = v
+		case "vcs":
+			v, err := strconv.Atoi(raw)
+			must(err)
+			run.VCs = v
+		case "buf":
+			v, err := strconv.Atoi(raw)
+			must(err)
+			run.BufDepth = v
+		case "threshold":
+			v, err := strconv.Atoi(raw)
+			must(err)
+			run.DetectionThreshold = int32(v)
+		case "msglen":
+			v, err := strconv.Atoi(raw)
+			must(err)
+			run.MsgLen = v
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -vary %q\n", *vary)
+			os.Exit(2)
+		}
+		e, err := sim.New(run)
+		must(err)
+		r := e.Run()
+		fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f\n",
+			raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
+			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func limiterByName(name string) (core.Factory, error) {
+	switch name {
+	case "alo-rule-a":
+		return core.NewRuleAOnly(), nil
+	case "alo-rule-b":
+		return core.NewRuleBOnly(), nil
+	case "alo-all-channels":
+		return core.NewAllChannels(), nil
+	default:
+		if f, ok := baseline.Factories()[name]; ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unknown limiter %q", name)
+	}
+}

@@ -1,0 +1,115 @@
+// Command wormsim runs a single wormhole-network simulation and prints the
+// paper's performance measures: average and standard deviation of message
+// latency (cycles), accepted traffic (flits/node/cycle) and the percentage
+// of detected deadlocks.
+//
+// Example (the paper's base configuration):
+//
+//	wormsim -k 8 -n 3 -vcs 3 -pattern uniform -len 16 -rate 0.4 -limiter alo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	var limiterName string
+	flag.IntVar(&cfg.K, "k", cfg.K, "torus radix (nodes per ring)")
+	flag.IntVar(&cfg.N, "n", cfg.N, "torus dimensions")
+	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
+	flag.IntVar(&cfg.BufDepth, "buf", cfg.BufDepth, "flits per virtual-channel buffer")
+	flag.StringVar(&cfg.Routing, "routing", cfg.Routing, "routing engine: tfar, duato or dor")
+	flag.StringVar(&cfg.Pattern, "pattern", cfg.Pattern,
+		"traffic pattern: uniform, butterfly, complement, bit-reversal, perfect-shuffle, transpose, tornado")
+	flag.IntVar(&cfg.MsgLen, "len", cfg.MsgLen, "message length in flits")
+	flag.Float64Var(&cfg.Rate, "rate", cfg.Rate, "offered load in flits/node/cycle")
+	flag.StringVar(&limiterName, "limiter", "alo", "injection limiter: none, lf, dril, alo, alo-rule-a, alo-rule-b, alo-all-channels")
+	var threshold int
+	flag.IntVar(&threshold, "threshold", int(cfg.DetectionThreshold), "deadlock detection threshold (cycles)")
+	flag.Int64Var(&cfg.RecoveryDelay, "recovery-delay", cfg.RecoveryDelay, "software recovery cost (cycles)")
+	flag.BoolVar(&cfg.LenientDetection, "lenient-detection", false,
+		"timeout-style detection: presume deadlock on blockage alone, without the flit-activity veto")
+	flag.Int64Var(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warm-up cycles before measurement")
+	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement window (cycles)")
+	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles after measurement")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	verbose := flag.Bool("v", false, "print per-node fairness summary")
+	flag.Parse()
+	cfg.DetectionThreshold = int32(threshold)
+
+	f, err := limiterByName(limiterName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Limiter, cfg.LimiterName = f, limiterName
+
+	e, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	r := e.Run()
+	elapsed := time.Since(start)
+
+	fmt.Printf("network        : %s, %d VCs x %d-flit buffers, routing=%s\n",
+		e.Topology(), cfg.VCs, cfg.BufDepth, cfg.Routing)
+	fmt.Printf("workload       : %s, %d-flit messages, offered %.4f flits/node/cycle\n",
+		cfg.Pattern, cfg.MsgLen, cfg.Rate)
+	fmt.Printf("limiter        : %s\n", cfg.LimiterName)
+	fmt.Printf("avg latency    : %.1f cycles (std %.1f, p99 <= %.0f)\n",
+		r.AvgLatency, r.StdLatency, r.P99Latency)
+	fmt.Printf("net latency    : %.1f cycles (excl. source queue)\n", r.AvgNetLatency)
+	fmt.Printf("accepted       : %.4f flits/node/cycle\n", r.Accepted)
+	fmt.Printf("deadlocks      : %.3f%% of injected messages\n", r.DeadlockPct)
+	fmt.Printf("messages       : generated %d, injected %d, delivered %d (window)\n",
+		r.Generated, r.Injected, r.Delivered)
+	fmt.Printf("fairness       : per-node injection deviation %.1f%% .. %+.1f%%\n",
+		r.WorstNodeDev, r.BestNodeDev)
+	sq, rq := e.QueueLengths()
+	fmt.Printf("backlog        : %d queued, %d awaiting recovery, %d in flight\n",
+		sq, rq, e.InFlight())
+	fmt.Printf("simulated      : %d cycles in %v (%.0f cycles/s)\n",
+		cfg.TotalCycles(), elapsed.Round(time.Millisecond),
+		float64(cfg.TotalCycles())/elapsed.Seconds())
+
+	if *verbose {
+		devs := e.Collector().Fairness().SortedDeviations()
+		fmt.Println("\nper-node injection deviations (sorted):")
+		for i, d := range devs {
+			fmt.Printf("%8.2f%%", d)
+			if (i+1)%8 == 0 {
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// limiterByName resolves the CLI limiter flag, including the ALO ablation
+// variants.
+func limiterByName(name string) (core.Factory, error) {
+	switch name {
+	case "alo-rule-a":
+		return core.NewRuleAOnly(), nil
+	case "alo-rule-b":
+		return core.NewRuleBOnly(), nil
+	case "alo-all-channels":
+		return core.NewAllChannels(), nil
+	default:
+		if f, ok := baseline.Factories()[name]; ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unknown limiter %q", name)
+	}
+}

@@ -1,0 +1,62 @@
+// Avoidance: the paper's opening claim is that *both* deadlock-handling
+// strategies — avoidance (restricted routing with escape channels) and
+// recovery (unrestricted routing with detection + recovery) — degrade when
+// the network saturates, and that injection limitation fixes both. This
+// example runs the two regimes with and without ALO beyond the saturation
+// point.
+//
+//   - recovery  = TFAR routing + FC3D detection + software recovery
+//
+//   - avoidance = Duato's protocol (adaptive VCs + dateline escape VCs)
+//
+//     go run ./examples/avoidance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+)
+
+func main() {
+	base := sim.DefaultConfig()
+	base.K, base.N = 4, 3 // 64 nodes
+	base.Pattern, base.MsgLen = "complement", 16
+	base.Rate = 1.2 // beyond saturation (complement saturates ~0.75)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 6000, 500
+
+	fmt.Printf("complement traffic, offered %.1f flits/node/cycle (beyond saturation)\n\n", base.Rate)
+	fmt.Printf("%-28s %10s %10s %10s\n", "configuration", "accepted", "latency", "deadlk%")
+	for _, row := range []struct {
+		label   string
+		routing string
+		limName string
+		lim     core.Factory
+	}{
+		{"recovery (tfar), none", "tfar", "none", baseline.NewNone()},
+		{"recovery (tfar), alo", "tfar", "alo", core.NewALO()},
+		{"avoidance (duato), none", "duato", "none", baseline.NewNone()},
+		{"avoidance (duato), alo", "duato", "alo", core.NewALO()},
+	} {
+		cfg := base.WithLimiter(row.limName, row.lim)
+		cfg.Routing = row.routing
+		e, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := e.Run()
+		fmt.Printf("%-28s %10.4f %10.1f %10.3f\n",
+			row.label, r.Accepted, r.AvgLatency, r.DeadlockPct)
+	}
+	fmt.Println("\nWith avoidance nothing ever deadlocks (deadlk% is 0 by")
+	fmt.Println("construction), but beyond saturation messages crawl through the")
+	fmt.Println("escape network and sustained throughput sits below the adaptive")
+	fmt.Println("regime's. On a 64-node network the saturation collapse is mild —")
+	fmt.Println("blocking cycles are short and recovery churns through them; at")
+	fmt.Println("the paper's 512-node scale the unthrottled recovery regime loses")
+	fmt.Println("~20% of its peak throughput while ALO holds the plateau (see")
+	fmt.Println("EXPERIMENTS.md, Figure 1/5).")
+}

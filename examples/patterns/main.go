@@ -1,0 +1,46 @@
+// Patterns: ALO's defining property is that it adapts to the destination
+// distribution without any tuning, because it inspects only the channels
+// the routing function returns for each concrete message. This example runs
+// the five traffic patterns from the paper (plus two extras) through the
+// same untouched ALO configuration and shows it protects the network under
+// every one of them.
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+	"wormnet/internal/traffic"
+)
+
+func main() {
+	base := sim.DefaultConfig()
+	base.K, base.N = 4, 3 // 64 nodes = 2^6: bit-permutation patterns apply
+	base.MsgLen = 16
+	base.Rate = 1.8 // well beyond saturation for every pattern
+	base.Limiter, base.LimiterName = core.NewALO(), "alo"
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 6000, 500
+
+	patterns := append(traffic.PaperPatterns(), "transpose", "tornado")
+
+	fmt.Println("ALO under every traffic pattern (no per-pattern tuning):")
+	fmt.Printf("%-16s %10s %10s %10s\n", "pattern", "accepted", "latency", "deadlk%")
+	for _, p := range patterns {
+		cfg := base
+		cfg.Pattern = p
+		e, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := e.Run()
+		fmt.Printf("%-16s %10.4f %10.1f %10.3f\n", p, r.Accepted, r.AvgLatency, r.DeadlockPct)
+	}
+	fmt.Println("\nEach pattern saturates at a different accepted level (complement")
+	fmt.Println("crosses the bisection twice, so it sustains far less than uniform),")
+	fmt.Println("but ALO holds every one at its plateau with a negligible deadlock")
+	fmt.Println("rate — the threshold-free adaptivity the paper claims.")
+}

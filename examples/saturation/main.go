@@ -1,0 +1,56 @@
+// Saturation: reproduce the paper's motivating observation (Figure 1) on a
+// small network — when offered traffic crosses the saturation point, an
+// unprotected wormhole network degrades: latency explodes, accepted traffic
+// collapses below the peak, and the deadlock detector starts firing. With
+// the ALO injection limiter the accepted-traffic curve holds its plateau
+// and deadlocks stay negligible.
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+)
+
+func main() {
+	base := sim.DefaultConfig()
+	base.K, base.N = 4, 3 // 64 nodes: small enough to sweep quickly
+	base.Pattern, base.MsgLen = "uniform", 16
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 6000, 500
+
+	rates := []float64{0.2, 0.6, 1.0, 1.3, 1.6, 2.0}
+
+	fmt.Println("offered | without limitation          | with ALO")
+	fmt.Println("        | accepted  latency  deadlk%  | accepted  latency  deadlk%")
+	for _, rate := range rates {
+		none := run(base.WithLimiter("none", baseline.NewNone()).WithRate(rate))
+		alo := run(base.WithLimiter("alo", core.NewALO()).WithRate(rate))
+		fmt.Printf("%7.2f | %8.4f %8.1f %8.3f | %8.4f %8.1f %8.3f\n",
+			rate,
+			none.Accepted, none.AvgLatency, none.DeadlockPct,
+			alo.Accepted, alo.AvgLatency, alo.DeadlockPct)
+	}
+	fmt.Println("\nReading the table: past the saturation knee the unprotected")
+	fmt.Println("network's accepted traffic falls below its peak while detected")
+	fmt.Println("deadlocks climb; ALO pins accepted traffic at the plateau and")
+	fmt.Println("keeps the deadlock rate near zero. Latency beyond saturation is")
+	fmt.Println("unbounded for both (queues grow), which is why the paper plots")
+	fmt.Println("latency against accepted rather than offered traffic.")
+}
+
+func run(cfg sim.Config) (r struct {
+	Accepted, AvgLatency, DeadlockPct float64
+}) {
+	e, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := e.Run()
+	r.Accepted, r.AvgLatency, r.DeadlockPct = res.Accepted, res.AvgLatency, res.DeadlockPct
+	return r
+}

@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"testing"
+
+	"wormnet/internal/core"
+	"wormnet/internal/topology"
+)
+
+// fakeView mirrors the test double used in internal/core.
+type fakeView struct {
+	useful   []topology.Port
+	free     map[topology.Port]int
+	vcs      int
+	ports    int
+	queued   int
+	headWait int64
+}
+
+func (f *fakeView) HeadWait() int64 { return f.headWait }
+
+func (f *fakeView) UsefulPorts(topology.NodeID) []topology.Port { return f.useful }
+func (f *fakeView) FreeVCs(p topology.Port) int                 { return f.free[p] }
+func (f *fakeView) VCs() int                                    { return f.vcs }
+func (f *fakeView) NumPorts() int                               { return f.ports }
+func (f *fakeView) QueuedMessages() int                         { return f.queued }
+
+func allFree(ports, vcs int) map[topology.Port]int {
+	m := map[topology.Port]int{}
+	for p := 0; p < ports; p++ {
+		m[topology.Port(p)] = vcs
+	}
+	return m
+}
+
+func TestNone(t *testing.T) {
+	lim := NewNone()(0, topology.New(8, 3), 3)
+	if lim.Name() != "none" {
+		t.Fatal("name")
+	}
+	v := &fakeView{vcs: 3, ports: 6, free: map[topology.Port]int{}} // everything busy
+	if !lim.Allow(v, 1) {
+		t.Error("None must always allow")
+	}
+}
+
+func TestLFAllowsWhenIdle(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewLF()(0, tp, 3)
+	if lim.Name() != "lf" {
+		t.Fatal("name")
+	}
+	v := &fakeView{
+		useful: []topology.Port{0, 2, 4},
+		free:   allFree(6, 3),
+		vcs:    3, ports: 6,
+	}
+	if !lim.Allow(v, 1) {
+		t.Error("LF must allow on an idle node")
+	}
+}
+
+func TestLFThrottlesWhenBusy(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewLF()(0, tp, 3)
+	// 3 useful ports -> estimate ~3 useful channels -> threshold
+	// ~1.25*3*3 = 11.25 busy channels. With all 18 channels busy the node
+	// must throttle.
+	v := &fakeView{
+		useful: []topology.Port{0, 2, 4},
+		free:   map[topology.Port]int{}, // all busy
+		vcs:    3, ports: 6,
+	}
+	if lim.Allow(v, 1) {
+		t.Error("LF must throttle a fully busy node")
+	}
+}
+
+func TestLFAdaptsToPattern(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewLF()(0, tp, 3).(*LF)
+	// Butterfly-like traffic: only 2 useful ports. After enough samples the
+	// threshold drops to ~1.25*2*3 = 7.5.
+	busy10 := map[topology.Port]int{ // 10 busy of 18: free 8
+		0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 5: 1,
+	}
+	v := &fakeView{useful: []topology.Port{0, 3}, free: busy10, vcs: 3, ports: 6}
+	var last bool
+	for i := 0; i < 200; i++ {
+		last = lim.Allow(v, 1)
+	}
+	if last {
+		t.Error("LF should throttle 10 busy channels under a 2-port pattern")
+	}
+	// Uniform-like traffic with 6 useful ports: threshold ~22.5 (clamped to
+	// 18), so the same busy level passes.
+	lim2 := NewLF()(0, tp, 3).(*LF)
+	v2 := &fakeView{useful: []topology.Port{0, 1, 2, 3, 4, 5}, free: busy10, vcs: 3, ports: 6}
+	var ok bool
+	for i := 0; i < 200; i++ {
+		ok = lim2.Allow(v2, 1)
+	}
+	if !ok {
+		t.Error("LF should pass 10 busy channels under a 6-port pattern")
+	}
+}
+
+func TestDRILStartsUnrestricted(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewDRIL()(0, tp, 3).(*DRIL)
+	if lim.Name() != "dril" {
+		t.Fatal("name")
+	}
+	v := &fakeView{vcs: 3, ports: 6, free: map[topology.Port]int{}}
+	if !lim.Allow(v, 1) {
+		t.Error("untriggered DRIL must allow everything")
+	}
+	if _, trig := lim.Threshold(); trig {
+		t.Error("must start untriggered")
+	}
+}
+
+func TestDRILTriggersOnPersistentQueue(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewDRIL()(0, tp, 3).(*DRIL)
+	// 12 of 18 channels busy at trigger time.
+	v := &fakeView{
+		vcs: 3, ports: 6, queued: drilQueueTrigger,
+		free: map[topology.Port]int{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1},
+	}
+	for c := int64(0); c < drilPersistCycles; c++ {
+		lim.Tick(v, c)
+	}
+	th, trig := lim.Threshold()
+	if !trig {
+		t.Fatal("DRIL did not trigger after persistent queue growth")
+	}
+	want := int(drilThresholdScale * 12)
+	if th != want {
+		t.Errorf("threshold %d want %d", th, want)
+	}
+	// Now more channels busy than the threshold -> throttle.
+	if lim.Allow(v, 1) {
+		t.Error("triggered DRIL must throttle above threshold")
+	}
+	// Relief: only 2 busy -> allow.
+	v2 := &fakeView{vcs: 3, ports: 6, free: map[topology.Port]int{0: 2, 1: 3, 2: 3, 3: 3, 4: 3, 5: 3}}
+	if !lim.Allow(v2, 1) {
+		t.Error("DRIL must allow below threshold")
+	}
+}
+
+func TestDRILQueueResetPreventsTrigger(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewDRIL()(0, tp, 3).(*DRIL)
+	busy := &fakeView{vcs: 3, ports: 6, queued: drilQueueTrigger, free: allFree(6, 3)}
+	idle := &fakeView{vcs: 3, ports: 6, queued: 0, free: allFree(6, 3)}
+	// Queue repeatedly dips below the trigger before persisting long enough.
+	for i := 0; i < 10*drilPersistCycles; i++ {
+		if i%(drilPersistCycles-1) == 0 {
+			lim.Tick(idle, int64(i))
+		} else {
+			lim.Tick(busy, int64(i))
+		}
+	}
+	if _, trig := lim.Threshold(); trig {
+		t.Error("intermittent queue growth must not trigger DRIL")
+	}
+}
+
+func TestDRILTightensOnRetrigger(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewDRIL()(0, tp, 3).(*DRIL)
+	v := &fakeView{
+		vcs: 3, ports: 6, queued: drilQueueTrigger,
+		free: map[topology.Port]int{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1},
+	}
+	// First trigger.
+	for c := int64(0); c < drilPersistCycles; c++ {
+		lim.Tick(v, c)
+	}
+	first, _ := lim.Threshold()
+	// Keep the queue high past the cooldown: threshold tightens by one.
+	for c := int64(0); c < drilCooldown+drilPersistCycles+1; c++ {
+		lim.Tick(v, c)
+	}
+	second, _ := lim.Threshold()
+	if second != first-1 {
+		t.Errorf("threshold after retrigger %d want %d", second, first-1)
+	}
+}
+
+func TestDRILThresholdFloor(t *testing.T) {
+	tp := topology.New(8, 3)
+	lim := NewDRIL()(0, tp, 3).(*DRIL)
+	// Trigger with everything free: busy=0 -> floor of 1.
+	v := &fakeView{vcs: 3, ports: 6, queued: drilQueueTrigger, free: allFree(6, 3)}
+	for c := int64(0); c < drilPersistCycles; c++ {
+		lim.Tick(v, c)
+	}
+	if th, _ := lim.Threshold(); th != 1 {
+		t.Errorf("threshold %d want floor 1", th)
+	}
+}
+
+func TestFactories(t *testing.T) {
+	fs := Factories()
+	for _, name := range []string{"none", "lf", "dril", "alo"} {
+		f, ok := fs[name]
+		if !ok {
+			t.Fatalf("missing factory %q", name)
+		}
+		lim := f(0, topology.New(4, 2), 3)
+		if lim.Name() != name {
+			t.Errorf("factory %q built limiter %q", name, lim.Name())
+		}
+	}
+}
+
+// All limiters must satisfy core.Limiter; DRIL must also observe cycles.
+var (
+	_ core.Limiter       = None{}
+	_ core.Limiter       = (*LF)(nil)
+	_ core.Limiter       = (*DRIL)(nil)
+	_ core.CycleObserver = (*DRIL)(nil)
+)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"wormnet/internal/topology"
+)
+
+// This file models the hardware implementation of ALO shown in the paper's
+// Figure 3 as an explicit combinational gate network. The inputs are the
+// virtual-channel status register (one free/busy bit per output virtual
+// channel) and the routing function's useful-channel vector (one bit per
+// physical channel). The output is the INJECTION PERMITTED signal.
+//
+// Gate inventory, following the figure's lettering:
+//
+//	C (per physical channel): OR of the channel's VC free bits — "at least
+//	    one virtual channel free".
+//	D (per physical channel): AND of the channel's VC free bits — "all
+//	    virtual channels free" (completely free).
+//	B (per physical channel): masks C with the routing output: a channel
+//	    that is not useful must not veto rule (a), so B = C OR NOT useful.
+//	E (per physical channel): masks D with the routing output:
+//	    E = D AND useful.
+//	A: AND of all B outputs — rule (a) holds for every useful channel.
+//	F: OR of all E outputs — rule (b) holds for some useful channel.
+//	G: A OR F — injection permitted.
+//
+// The network is pure combinational logic: no registers, comparators or
+// thresholds, which is the paper's implementation-cost argument. The
+// property test in gates_test.go proves the circuit equivalent to
+// ALO.Allow for every reachable input.
+
+// Signal is a boolean wire value in the gate model.
+type Signal = bool
+
+// andGate returns the conjunction of its inputs (true for no inputs,
+// matching a physical AND gate's identity element).
+func andGate(in ...Signal) Signal {
+	for _, s := range in {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// orGate returns the disjunction of its inputs (false for no inputs).
+func orGate(in ...Signal) Signal {
+	for _, s := range in {
+		if s {
+			return true
+		}
+	}
+	return false
+}
+
+// notGate inverts its input.
+func notGate(s Signal) Signal { return !s }
+
+// Circuit is an instance of the Figure-3 gate network for a router with a
+// fixed number of physical channels and virtual channels per channel.
+type Circuit struct {
+	ports int
+	vcs   int
+	// scratch wires, reused across evaluations
+	c, d, b, e []Signal
+}
+
+// NewCircuit builds the gate network for ports physical channels with vcs
+// virtual channels each.
+func NewCircuit(ports, vcs int) *Circuit {
+	if ports < 1 || vcs < 1 {
+		panic(fmt.Sprintf("core: circuit needs ports>=1, vcs>=1 (got %d, %d)", ports, vcs))
+	}
+	return &Circuit{
+		ports: ports,
+		vcs:   vcs,
+		c:     make([]Signal, ports),
+		d:     make([]Signal, ports),
+		b:     make([]Signal, ports),
+		e:     make([]Signal, ports),
+	}
+}
+
+// Ports returns the number of physical channels the circuit was built for.
+func (ck *Circuit) Ports() int { return ck.ports }
+
+// VCs returns the number of virtual channels per physical channel.
+func (ck *Circuit) VCs() int { return ck.vcs }
+
+// Eval computes the INJECTION PERMITTED output.
+//
+// vcFree is the virtual-channel status register: vcFree[p*vcs+v] is true
+// when virtual channel v of physical channel p is free. useful is the
+// routing function's output: useful[p] is true when physical channel p can
+// forward the message towards its destination. Eval panics if the input
+// widths do not match the circuit.
+func (ck *Circuit) Eval(vcFree []Signal, useful []Signal) Signal {
+	if len(vcFree) != ck.ports*ck.vcs {
+		panic(fmt.Sprintf("core: status register width %d, want %d", len(vcFree), ck.ports*ck.vcs))
+	}
+	if len(useful) != ck.ports {
+		panic(fmt.Sprintf("core: routing vector width %d, want %d", len(useful), ck.ports))
+	}
+	for p := 0; p < ck.ports; p++ {
+		bits := vcFree[p*ck.vcs : (p+1)*ck.vcs]
+		ck.c[p] = orGate(bits...)                     // C: >=1 free VC
+		ck.d[p] = andGate(bits...)                    // D: all VCs free
+		ck.b[p] = orGate(ck.c[p], notGate(useful[p])) // B: useful -> C
+		ck.e[p] = andGate(ck.d[p], useful[p])         // E: D masked by useful
+	}
+	a := andGate(ck.b...) // A: rule (a) over all useful channels
+	f := orGate(ck.e...)  // F: rule (b) over all useful channels
+	return orGate(a, f)   // G: injection permitted
+}
+
+// EvalView runs the circuit against a live ChannelView, deriving the status
+// register and routing vector exactly as the hardware would: the register
+// reports each virtual channel's free/busy state and the routing function
+// asserts the useful-channel lines. It panics if the view's geometry does
+// not match the circuit.
+//
+// Note the derived status register only distinguishes the *count* of free
+// VCs per channel; that is sufficient because the ALO gates are symmetric
+// in the VC bits of a channel (any VC of a physical channel is usable by
+// any message under TFAR, as the paper's implementation note states).
+func (ck *Circuit) EvalView(v ChannelView, dst topology.NodeID) Signal {
+	if v.NumPorts() != ck.ports || v.VCs() != ck.vcs {
+		panic("core: view geometry does not match circuit")
+	}
+	vcFree := make([]Signal, ck.ports*ck.vcs)
+	for p := 0; p < ck.ports; p++ {
+		free := v.FreeVCs(topology.Port(p))
+		for i := 0; i < free; i++ {
+			vcFree[p*ck.vcs+i] = true
+		}
+	}
+	useful := make([]Signal, ck.ports)
+	for _, p := range v.UsefulPorts(dst) {
+		useful[p] = true
+	}
+	return ck.Eval(vcFree, useful)
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's primary contribution: the ALO
+// ("At Least One") message-injection limitation mechanism that prevents
+// wormhole networks from entering saturation.
+//
+// Before a newly generated message is injected, the routing function is
+// executed for it; injection is permitted iff
+//
+//   - rule (a): every useful physical output channel (every physical channel
+//     returned by the routing function) has at least one free virtual
+//     channel, OR
+//   - rule (b): at least one useful physical channel is completely free
+//     (none of its virtual channels is allocated).
+//
+// Otherwise the message waits in the source queue. The mechanism has no
+// threshold to tune, adapts to arbitrary destination distributions because
+// it only inspects channels the message could actually use, and reduces to a
+// handful of logic gates in hardware (see gates.go, which models the
+// paper's Figure 3 circuit and is property-tested against the predicate).
+//
+// The package also provides the Limiter interface that the simulation engine
+// consults, ablation variants of ALO (rule a only, rule b only, counting all
+// physical channels instead of the useful ones), and an instrumented wrapper
+// used to reproduce the paper's Figure 2.
+package core
+
+import (
+	"wormnet/internal/topology"
+)
+
+// ChannelView is the router-local state an injection limiter may inspect:
+// exactly the information available to the injection control unit of a node
+// (the routing function plus the virtual-channel status register).
+type ChannelView interface {
+	// UsefulPorts returns the physical output ports the routing function
+	// yields for a locally generated message addressed to dst. The slice is
+	// only valid until the next call.
+	UsefulPorts(dst topology.NodeID) []topology.Port
+	// FreeVCs returns the number of unallocated virtual channels of
+	// physical output port p.
+	FreeVCs(p topology.Port) int
+	// VCs returns the number of virtual channels per physical channel.
+	VCs() int
+	// NumPorts returns the number of physical network output ports (2n).
+	NumPorts() int
+	// QueuedMessages returns the current source-queue length of the node,
+	// used by threshold-adapting baseline mechanisms (not by ALO).
+	QueuedMessages() int
+	// HeadWait returns how many cycles the source queue's head message has
+	// been waiting since generation (0 with an empty queue). Threshold
+	// mechanisms use it for starvation avoidance; ALO does not need it.
+	HeadWait() int64
+}
+
+// Limiter decides whether a newly generated message may be injected now.
+// A Limiter instance belongs to a single node; stateful implementations
+// (e.g. baseline.DRIL) keep per-node state across calls.
+type Limiter interface {
+	// Allow reports whether the message addressed to dst may enter the
+	// network in the current cycle.
+	Allow(v ChannelView, dst topology.NodeID) bool
+	// Name returns the mechanism's short name as used in reports.
+	Name() string
+}
+
+// CycleObserver is implemented by limiters that need a per-cycle hook (e.g.
+// to adapt thresholds). The engine calls Tick once per node per cycle.
+type CycleObserver interface {
+	Tick(v ChannelView, now int64)
+}
+
+// Factory builds one Limiter instance per node. node identifies the node;
+// vcs is the number of virtual channels per physical channel.
+type Factory func(node topology.NodeID, t *topology.Torus, vcs int) Limiter
+
+// ALO is the paper's At-Least-One injection limitation mechanism.
+// The zero value is ready to use; ALO is stateless.
+type ALO struct{}
+
+// NewALO returns the ALO limiter factory.
+func NewALO() Factory {
+	return func(topology.NodeID, *topology.Torus, int) Limiter { return ALO{} }
+}
+
+// Allow implements Limiter: rule (a) OR rule (b) over the useful channels.
+func (ALO) Allow(v ChannelView, dst topology.NodeID) bool {
+	vcs := v.VCs()
+	allPartiallyFree := true
+	for _, p := range v.UsefulPorts(dst) {
+		free := v.FreeVCs(p)
+		if free == vcs {
+			return true // rule (b): a completely free useful channel
+		}
+		if free == 0 {
+			allPartiallyFree = false
+		}
+	}
+	return allPartiallyFree // rule (a): every useful channel has a free VC
+}
+
+// Name implements Limiter.
+func (ALO) Name() string { return "alo" }
+
+// RuleAOnly is the ablation variant that applies only ALO's first rule:
+// inject iff every useful physical channel has at least one free virtual
+// channel. The paper's Figure 2 shows this alone is a good but occasionally
+// over-restrictive congestion indicator.
+type RuleAOnly struct{}
+
+// NewRuleAOnly returns the factory for the rule-(a)-only ablation.
+func NewRuleAOnly() Factory {
+	return func(topology.NodeID, *topology.Torus, int) Limiter { return RuleAOnly{} }
+}
+
+// Allow implements Limiter.
+func (RuleAOnly) Allow(v ChannelView, dst topology.NodeID) bool {
+	for _, p := range v.UsefulPorts(dst) {
+		if v.FreeVCs(p) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Limiter.
+func (RuleAOnly) Name() string { return "alo-rule-a" }
+
+// RuleBOnly is the ablation variant that applies only ALO's second rule:
+// inject iff at least one useful physical channel is completely free. The
+// paper's Figure 2 shows this alone is a poor congestion indicator.
+type RuleBOnly struct{}
+
+// NewRuleBOnly returns the factory for the rule-(b)-only ablation.
+func NewRuleBOnly() Factory {
+	return func(topology.NodeID, *topology.Torus, int) Limiter { return RuleBOnly{} }
+}
+
+// Allow implements Limiter.
+func (RuleBOnly) Allow(v ChannelView, dst topology.NodeID) bool {
+	vcs := v.VCs()
+	for _, p := range v.UsefulPorts(dst) {
+		if v.FreeVCs(p) == vcs {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Limiter.
+func (RuleBOnly) Name() string { return "alo-rule-b" }
+
+// AllChannels is the ablation variant that evaluates the ALO predicate over
+// every physical channel of the node instead of only the useful ones. It
+// demonstrates why restricting attention to the routing function's output
+// matters: under non-uniform patterns it reacts to congestion in regions the
+// message would never traverse.
+type AllChannels struct{}
+
+// NewAllChannels returns the factory for the all-channels ablation.
+func NewAllChannels() Factory {
+	return func(topology.NodeID, *topology.Torus, int) Limiter { return AllChannels{} }
+}
+
+// Allow implements Limiter.
+func (AllChannels) Allow(v ChannelView, _ topology.NodeID) bool {
+	vcs := v.VCs()
+	allPartiallyFree := true
+	for p := 0; p < v.NumPorts(); p++ {
+		free := v.FreeVCs(topology.Port(p))
+		if free == vcs {
+			return true
+		}
+		if free == 0 {
+			allPartiallyFree = false
+		}
+	}
+	return allPartiallyFree
+}
+
+// Name implements Limiter.
+func (AllChannels) Name() string { return "alo-all-channels" }

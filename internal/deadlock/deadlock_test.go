@@ -1,0 +1,68 @@
+package deadlock
+
+import "testing"
+
+func TestDetectorCriterion(t *testing.T) {
+	d := NewDetector(32)
+	if !d.Enabled() {
+		t.Fatal("enabled")
+	}
+	cases := []struct {
+		blocked int32
+		free    bool
+		want    bool
+	}{
+		{0, false, false},
+		{31, false, false},
+		{32, false, true},
+		{100, false, true},
+		{32, true, false}, // a free useful VC always vetoes detection
+		{1000, true, false},
+	}
+	for _, c := range cases {
+		if got := d.Deadlocked(c.blocked, c.free); got != c.want {
+			t.Errorf("Deadlocked(%d,%v)=%v want %v", c.blocked, c.free, got, c.want)
+		}
+	}
+}
+
+func TestDetectorDisabled(t *testing.T) {
+	d := NewDetector(0)
+	if d.Enabled() {
+		t.Fatal("threshold 0 must disable detection")
+	}
+	if d.Deadlocked(1<<30, false) {
+		t.Error("disabled detector flagged a deadlock")
+	}
+}
+
+func TestBlockTracker(t *testing.T) {
+	bt := NewBlockTracker(3)
+	if bt.Count(1) != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	for i := int32(1); i <= 5; i++ {
+		if got := bt.Blocked(1); got != i {
+			t.Fatalf("Blocked returned %d want %d", got, i)
+		}
+	}
+	if bt.Count(0) != 0 || bt.Count(2) != 0 {
+		t.Error("independent counters affected")
+	}
+	bt.Progress(1)
+	if bt.Count(1) != 0 {
+		t.Error("Progress did not reset")
+	}
+	if bt.Blocked(1) != 1 {
+		t.Error("counter does not restart after Progress")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if DefaultThreshold != 32 {
+		t.Error("the paper specifies a 32-cycle threshold")
+	}
+	if DefaultProcessingDelay <= 0 {
+		t.Error("recovery must have a positive software cost")
+	}
+}

@@ -1,0 +1,394 @@
+// Package experiments defines one reproducible experiment per figure of the
+// paper's evaluation section and a runner that executes them. Each
+// experiment maps onto the sim.Config space; the runner executes the runs
+// of an experiment (in parallel when more than one CPU is available) and
+// renders the same rows/series the paper plots.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	fig1  — performance degradation without throttling (latency, accepted
+//	        traffic and detected deadlocks vs offered traffic)
+//	fig2  — percentage of routing occurrences satisfying ALO's rules
+//	fig4  — per-node injection fairness at 0.65 flits/node/cycle, 64-flit
+//	fig5  — latency and its standard deviation vs traffic, uniform 16-flit
+//	fig6  — latency vs traffic, uniform 64-flit
+//	fig7  — latency vs traffic, butterfly 16-flit
+//	fig8  — latency vs traffic, complement 16-flit
+//	fig9  — latency vs traffic, bit-reversal 16-flit
+//	fig10 — latency vs traffic, perfect-shuffle 16-flit
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/sim"
+	"wormnet/internal/stats"
+)
+
+// Scale selects the execution scale of an experiment: the paper's full
+// 8-ary 3-cube or a reduced configuration whose curves have the same shape.
+type Scale struct {
+	Name    string
+	K, N    int
+	Warmup  int64
+	Measure int64
+	Drain   int64
+	// Rates is the offered-load grid for uniform traffic; permutation
+	// patterns use PermRates (they saturate earlier).
+	Rates     []float64
+	PermRates []float64
+	// FairRate is the beyond-saturation operating point of the fairness
+	// experiment (the paper uses 0.65 flits/node/cycle).
+	FairRate float64
+	Seed     uint64
+}
+
+// Full is the paper's configuration: an 8-ary 3-cube (512 nodes).
+func Full() Scale {
+	return Scale{
+		Name: "full", K: 8, N: 3,
+		Warmup: 4000, Measure: 12000, Drain: 1000,
+		Rates:     []float64{0.1, 0.3, 0.5, 0.6, 0.65, 0.7, 0.8, 0.9},
+		PermRates: []float64{0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0},
+		FairRate:  0.65,
+		Seed:      1,
+	}
+}
+
+// Quick is a reduced 4-ary 2-cube (16 nodes) configuration used by tests
+// and benchmarks.
+func Quick() Scale {
+	// A 4-ary torus has roughly 8/k = 2 flits/node/cycle of uniform
+	// capacity, so the quick grids reach further than the full-scale ones.
+	return Scale{
+		Name: "quick", K: 4, N: 2,
+		Warmup: 1000, Measure: 4000, Drain: 500,
+		Rates:     []float64{0.2, 0.6, 1.0, 1.4, 1.7, 2.0},
+		PermRates: []float64{0.1, 0.3, 0.6, 0.9, 1.2},
+		FairRate:  1.8,
+		Seed:      1,
+	}
+}
+
+// baseConfig builds the shared simulator configuration of a scale.
+func (s Scale) baseConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.K, cfg.N = s.K, s.N
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = s.Warmup, s.Measure, s.Drain
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// Point is one measured operating point of a series.
+type Point struct {
+	Offered float64
+	Result  stats.Result
+	// Probe carries the ALO-condition percentages for fig2 points.
+	Probe *core.ProbeStats
+	// Deviations carries per-node injection deviations for fig4 points.
+	Deviations []float64
+}
+
+// Series is a named curve: one injection mechanism swept over offered load.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Report is the outcome of one experiment: the regenerated figure.
+type Report struct {
+	ID     string
+	Title  string
+	Series []Series
+}
+
+// Experiment is a runnable reproduction of one paper figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// run executes the experiment at the given scale.
+	run func(s Scale, exec Executor) Report
+}
+
+// Executor runs simulation configs; it exists so the runner can schedule
+// runs across goroutines. Execute must return the engine after Run.
+type Executor func(cfg sim.Config) *sim.Engine
+
+// SerialExecutor runs each config inline.
+func SerialExecutor(cfg sim.Config) *sim.Engine {
+	e, err := sim.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bad config: %v", err))
+	}
+	e.Run()
+	return e
+}
+
+// mechanisms returns the paper's §4.2 comparison set in presentation order.
+func mechanisms() []struct {
+	name string
+	f    core.Factory
+} {
+	return []struct {
+		name string
+		f    core.Factory
+	}{
+		{"none", baseline.NewNone()},
+		{"lf", baseline.NewLF()},
+		{"dril", baseline.NewDRIL()},
+		{"alo", core.NewALO()},
+	}
+}
+
+// runAll executes every config through exec, at most runtime.GOMAXPROCS(0)
+// at a time, preserving order.
+func runAll(cfgs []sim.Config, exec Executor) []*sim.Engine {
+	engines := make([]*sim.Engine, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg sim.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			engines[i] = exec(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	return engines
+}
+
+// sweep runs one mechanism over a rate grid and returns its series.
+func sweep(base sim.Config, name string, f core.Factory, rates []float64, exec Executor) Series {
+	cfgs := make([]sim.Config, len(rates))
+	for i, r := range rates {
+		cfgs[i] = base.WithLimiter(name, f).WithRate(r)
+	}
+	engines := runAll(cfgs, exec)
+	ser := Series{Name: name}
+	for i, e := range engines {
+		ser.Points = append(ser.Points, Point{Offered: rates[i], Result: e.Collector().Result()})
+	}
+	return ser
+}
+
+// All returns every experiment in paper order. The "deadlocks" experiment
+// (the §4.2 text numbers) is not part of All because it needs the lenient
+// timeout-style detector and deep-saturation runs; request it explicitly.
+func All() []Experiment {
+	return []Experiment{
+		Fig1(), Fig2(), Fig4(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(),
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, ex := range append(All(), DeadlockRates()) {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// DeadlockRates reproduces the detected-deadlock percentages quoted in the
+// paper's §4.2 text: without injection limitation and with a timeout-style
+// (lenient) detector, the permutation patterns reach very high detection
+// rates at saturation — the paper quotes >70% for complement, >35% for
+// perfect-shuffle and >20% for bit-reversal — while any limiter collapses
+// them. One beyond-saturation point per pattern, none vs alo.
+func DeadlockRates() Experiment {
+	return Experiment{
+		ID:    "deadlocks",
+		Title: "Peak detected-deadlock rates at saturation (lenient detection)",
+		run: func(s Scale, exec Executor) Report {
+			rep := Report{ID: "deadlocks", Title: "Detected deadlocks at saturation"}
+			rate := s.PermRates[len(s.PermRates)-1]
+			for _, pattern := range []string{"complement", "perfect-shuffle", "bit-reversal"} {
+				for _, m := range mechanisms() {
+					if m.name != "none" && m.name != "alo" {
+						continue
+					}
+					cfg := s.baseConfig()
+					cfg.Pattern, cfg.MsgLen = pattern, 16
+					cfg.LenientDetection = true
+					cfg = cfg.WithLimiter(m.name, m.f).WithRate(rate)
+					e := exec(cfg)
+					rep.Series = append(rep.Series, Series{
+						Name:   pattern + "/" + m.name,
+						Points: []Point{{Offered: rate, Result: e.Collector().Result()}},
+					})
+				}
+			}
+			return rep
+		},
+	}
+}
+
+// Run executes the experiment.
+func (ex Experiment) Run(s Scale, exec Executor) Report {
+	if exec == nil {
+		exec = SerialExecutor
+	}
+	return ex.run(s, exec)
+}
+
+// Fig1 reproduces Figure 1: latency, accepted traffic and detected
+// deadlocks versus offered traffic with no injection limitation — the
+// performance-degradation motivation plot.
+func Fig1() Experiment {
+	return Experiment{
+		ID:    "fig1",
+		Title: "Performance degradation without injection limitation (uniform, 16-flit)",
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = "uniform", 16
+			ser := sweep(base, "none", baseline.NewNone(), s.Rates, exec)
+			return Report{ID: "fig1", Title: "Figure 1", Series: []Series{ser}}
+		},
+	}
+}
+
+// Fig2 reproduces Figure 2: the percentage of injection-time routing
+// occurrences satisfying ALO rule (a), rule (b) and (a)∨(b), measured on an
+// unthrottled network across traffic levels.
+func Fig2() Experiment {
+	return Experiment{
+		ID:    "fig2",
+		Title: "Routing occurrences satisfying the ALO conditions (uniform, 16-flit)",
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = "uniform", 16
+			ser := Series{Name: "none+probe"}
+			for _, r := range s.Rates {
+				f, probe := core.WrapProbe(baseline.NewNone())
+				cfg := base.WithLimiter("none", f).WithRate(r)
+				e := exec(cfg)
+				ser.Points = append(ser.Points, Point{
+					Offered: r,
+					Result:  e.Collector().Result(),
+					Probe:   probe,
+				})
+			}
+			return Report{ID: "fig2", Title: "Figure 2", Series: []Series{ser}}
+		},
+	}
+}
+
+// Fig4 reproduces Figure 4: the distribution of per-node sent-message
+// deviations for LF, DRIL and ALO at the paper's beyond-saturation
+// operating point (uniform, 64-flit messages).
+func Fig4() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Per-node injection fairness (uniform, 64-flit, beyond saturation)",
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = "uniform", 64
+			// Per-node fairness needs more messages per node than the
+			// latency figures: triple the measurement window.
+			base.MeasureCycles *= 3
+			rep := Report{ID: "fig4", Title: "Figure 4"}
+			for _, m := range mechanisms() {
+				if m.name == "none" {
+					continue // the paper compares the three limiters
+				}
+				cfg := base.WithLimiter(m.name, m.f).WithRate(s.FairRate)
+				e := exec(cfg)
+				rep.Series = append(rep.Series, Series{
+					Name: m.name,
+					Points: []Point{{
+						Offered:    s.FairRate,
+						Result:     e.Collector().Result(),
+						Deviations: e.Collector().Fairness().SortedDeviations(),
+					}},
+				})
+			}
+			return rep
+		},
+	}
+}
+
+// latencyFigure builds the common latency-vs-traffic experiment of Figures
+// 5 through 10.
+func latencyFigure(id, pattern string, msgLen int, perm bool) Experiment {
+	title := fmt.Sprintf("Latency vs traffic (%s, %d-flit)", pattern, msgLen)
+	return Experiment{
+		ID:    id,
+		Title: title,
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = pattern, msgLen
+			rates := s.Rates
+			if perm {
+				rates = s.PermRates
+			}
+			rep := Report{ID: id, Title: title}
+			for _, m := range mechanisms() {
+				rep.Series = append(rep.Series, sweep(base, m.name, m.f, rates, exec))
+			}
+			return rep
+		},
+	}
+}
+
+// Fig5 reproduces Figure 5 (uniform, 16-flit; includes latency std-dev).
+func Fig5() Experiment { return latencyFigure("fig5", "uniform", 16, false) }
+
+// Fig6 reproduces Figure 6 (uniform, 64-flit).
+func Fig6() Experiment { return latencyFigure("fig6", "uniform", 64, false) }
+
+// Fig7 reproduces Figure 7 (butterfly, 16-flit).
+func Fig7() Experiment { return latencyFigure("fig7", "butterfly", 16, true) }
+
+// Fig8 reproduces Figure 8 (complement, 16-flit).
+func Fig8() Experiment { return latencyFigure("fig8", "complement", 16, true) }
+
+// Fig9 reproduces Figure 9 (bit-reversal, 16-flit).
+func Fig9() Experiment { return latencyFigure("fig9", "bit-reversal", 16, true) }
+
+// Fig10 reproduces Figure 10 (perfect-shuffle, 16-flit).
+func Fig10() Experiment { return latencyFigure("fig10", "perfect-shuffle", 16, true) }
+
+// PlateauThroughput returns a series' sustained accepted traffic: the
+// maximum accepted value over its points (the plateau of the throughput
+// curve; for degraded curves the pre-collapse peak).
+func PlateauThroughput(ser Series) float64 {
+	max := 0.0
+	for _, p := range ser.Points {
+		if p.Result.Accepted > max {
+			max = p.Result.Accepted
+		}
+	}
+	return max
+}
+
+// FinalAccepted returns the accepted traffic at the highest offered load —
+// the post-saturation behaviour (collapses for "none", holds for limiters).
+func FinalAccepted(ser Series) float64 {
+	if len(ser.Points) == 0 {
+		return 0
+	}
+	pts := make([]Point, len(ser.Points))
+	copy(pts, ser.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Offered < pts[j].Offered })
+	return pts[len(pts)-1].Result.Accepted
+}
+
+// PeakDeadlockPct returns the worst detected-deadlock percentage across a
+// series' points.
+func PeakDeadlockPct(ser Series) float64 {
+	max := 0.0
+	for _, p := range ser.Points {
+		if p.Result.DeadlockPct > max {
+			max = p.Result.DeadlockPct
+		}
+	}
+	return max
+}

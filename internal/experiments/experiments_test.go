@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wormnet/internal/sim"
+	"wormnet/internal/stats"
+)
+
+// tinyScale keeps experiment tests fast: an 8-node ring-pair with short
+// windows and few points.
+func tinyScale() Scale {
+	return Scale{
+		Name: "tiny", K: 4, N: 2,
+		Warmup: 300, Measure: 1200, Drain: 300,
+		Rates:     []float64{0.1, 0.8},
+		PermRates: []float64{0.1, 0.6},
+		FairRate:  0.8,
+		Seed:      7,
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	want := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	if len(all) != len(want) {
+		t.Fatalf("got %d experiments want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d is %q want %q", i, all[i].ID, id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("fig3"); err == nil {
+		t.Error("fig3 is a hardware schematic, not a runnable experiment")
+	}
+	if _, err := ByID("deadlocks"); err != nil {
+		t.Errorf("deadlocks experiment missing: %v", err)
+	}
+}
+
+func TestDeadlockRatesExperiment(t *testing.T) {
+	rep := DeadlockRates().Run(tinyScale(), nil)
+	if len(rep.Series) != 6 { // 3 patterns x {none, alo}
+		t.Fatalf("series: %d", len(rep.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range rep.Series {
+		names[s.Name] = true
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+	}
+	for _, want := range []string{"complement/none", "complement/alo", "perfect-shuffle/none", "bit-reversal/alo"} {
+		if !names[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+	if !strings.Contains(rep.Render(), "deadlocks") {
+		t.Error("render")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep := Fig1().Run(tinyScale(), nil)
+	if len(rep.Series) != 1 || rep.Series[0].Name != "none" {
+		t.Fatalf("fig1 series: %+v", rep.Series)
+	}
+	pts := rep.Series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// Low load: accepted tracks offered; high load: latency must be larger.
+	if pts[0].Result.Accepted < 0.05 {
+		t.Errorf("low-load accepted %.4f", pts[0].Result.Accepted)
+	}
+	if pts[1].Result.AvgLatency <= pts[0].Result.AvgLatency {
+		t.Errorf("latency must grow with load: %.1f vs %.1f",
+			pts[1].Result.AvgLatency, pts[0].Result.AvgLatency)
+	}
+	out := rep.Render()
+	for _, want := range []string{"fig1", "none", "plateau="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Probe(t *testing.T) {
+	rep := Fig2().Run(tinyScale(), nil)
+	pts := rep.Series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Probe == nil || p.Probe.Total() == 0 {
+			t.Fatal("probe did not record decisions")
+		}
+		if p.Probe.PercentEither() < p.Probe.PercentA()-1e-9 {
+			t.Error("a-or-b below a")
+		}
+	}
+	// The conditions must hold less often under higher load.
+	if pts[1].Probe.PercentEither() > pts[0].Probe.PercentEither() {
+		t.Errorf("ALO conditions should degrade with load: %.1f%% -> %.1f%%",
+			pts[0].Probe.PercentEither(), pts[1].Probe.PercentEither())
+	}
+	if !strings.Contains(rep.Render(), "%rule-a") {
+		t.Error("fig2 renderer")
+	}
+}
+
+func TestFig4Fairness(t *testing.T) {
+	rep := Fig4().Run(tinyScale(), nil)
+	names := map[string]bool{}
+	for _, s := range rep.Series {
+		names[s.Name] = true
+		if len(s.Points) != 1 || len(s.Points[0].Deviations) == 0 {
+			t.Fatalf("series %s has no deviations", s.Name)
+		}
+		devs := s.Points[0].Deviations
+		for i := 1; i < len(devs); i++ {
+			if devs[i] < devs[i-1] {
+				t.Fatal("deviations not sorted")
+			}
+		}
+	}
+	for _, want := range []string{"lf", "dril", "alo"} {
+		if !names[want] {
+			t.Errorf("fig4 missing mechanism %s", want)
+		}
+	}
+	if names["none"] {
+		t.Error("fig4 must not include the unthrottled run")
+	}
+	if !strings.Contains(rep.Render(), "median%") {
+		t.Error("fig4 renderer")
+	}
+}
+
+func TestLatencyFigureAllMechanisms(t *testing.T) {
+	rep := Fig5().Run(tinyScale(), nil)
+	if len(rep.Series) != 4 {
+		t.Fatalf("fig5 series: %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s points: %d", s.Name, len(s.Points))
+		}
+	}
+	csv := rep.CSV()
+	if !strings.HasPrefix(csv, "figure,series,") {
+		t.Error("CSV header")
+	}
+	if got := strings.Count(csv, "\n"); got != 1+4*2 {
+		t.Errorf("CSV rows: %d", got)
+	}
+}
+
+func TestPermutationFigureUsesPermRates(t *testing.T) {
+	s := tinyScale()
+	rep := Fig8().Run(s, nil)
+	for _, ser := range rep.Series {
+		for i, p := range ser.Points {
+			if p.Offered != s.PermRates[i] {
+				t.Fatalf("fig8 rate grid: got %v want %v", p.Offered, s.PermRates[i])
+			}
+		}
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	ser := Series{Name: "x", Points: []Point{
+		{Offered: 0.1, Result: resultWith(0.1, 0.5)},
+		{Offered: 0.5, Result: resultWith(0.45, 2.0)},
+		{Offered: 0.9, Result: resultWith(0.30, 9.0)},
+	}}
+	if got := PlateauThroughput(ser); got != 0.45 {
+		t.Errorf("plateau %v", got)
+	}
+	if got := FinalAccepted(ser); got != 0.30 {
+		t.Errorf("final %v", got)
+	}
+	if got := PeakDeadlockPct(ser); got != 9.0 {
+		t.Errorf("peak deadlock %v", got)
+	}
+	if FinalAccepted(Series{}) != 0 {
+		t.Error("empty series")
+	}
+}
+
+func resultWith(accepted, deadlockPct float64) stats.Result {
+	return stats.Result{Accepted: accepted, DeadlockPct: deadlockPct}
+}
+
+func TestScalesValidate(t *testing.T) {
+	for _, s := range []Scale{Full(), Quick()} {
+		cfg := s.baseConfig()
+		if _, err := sim.New(cfg); err != nil {
+			t.Errorf("scale %s yields invalid config: %v", s.Name, err)
+		}
+		if len(s.Rates) == 0 || len(s.PermRates) == 0 || s.FairRate <= 0 {
+			t.Errorf("scale %s incomplete", s.Name)
+		}
+		// Bit-permutation patterns require power-of-two node counts.
+		nodes := 1
+		for i := 0; i < s.N; i++ {
+			nodes *= s.K
+		}
+		if nodes&(nodes-1) != 0 {
+			t.Errorf("scale %s: %d nodes is not a power of two", s.Name, nodes)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a report as the text table(s) corresponding to the paper
+// figure: one row per operating point with the measures the figure plots.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	switch r.ID {
+	case "fig2":
+		r.renderFig2(&b)
+	case "fig4":
+		r.renderFig4(&b)
+	default:
+		r.renderLatency(&b)
+	}
+	return b.String()
+}
+
+// renderLatency prints the latency/throughput/deadlock table common to
+// Figures 1 and 5-10.
+func (r Report) renderLatency(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %8s %10s %10s %10s %10s %9s\n",
+		"mechanism", "offered", "accepted", "latency", "stddev", "net-lat", "deadlk%")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			res := p.Result
+			fmt.Fprintf(b, "%-10s %8.3f %10.4f %10.1f %10.1f %10.1f %9.3f\n",
+				s.Name, p.Offered, res.Accepted, res.AvgLatency, res.StdLatency,
+				res.AvgNetLatency, res.DeadlockPct)
+		}
+		fmt.Fprintf(b, "%-10s plateau=%.4f final=%.4f peak-deadlock=%.3f%%\n\n",
+			s.Name, PlateauThroughput(s), FinalAccepted(s), PeakDeadlockPct(s))
+	}
+}
+
+// renderFig2 prints the ALO-condition percentages per traffic level.
+func (r Report) renderFig2(b *strings.Builder) {
+	fmt.Fprintf(b, "%8s %10s %10s %10s %12s\n",
+		"offered", "accepted", "%rule-a", "%rule-b", "%a-or-b")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(b, "%8.3f %10.4f %10.2f %10.2f %12.2f\n",
+				p.Offered, p.Result.Accepted,
+				p.Probe.PercentA(), p.Probe.PercentB(), p.Probe.PercentEither())
+		}
+	}
+}
+
+// renderFig4 prints the fairness summary and deviation percentiles per
+// mechanism.
+func (r Report) renderFig4(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %10s %10s %10s %10s %10s %10s\n",
+		"mechanism", "accepted", "worst%", "p10%", "median%", "p90%", "best%")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			d := p.Deviations
+			if len(d) == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "%-10s %10.4f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+				s.Name, p.Result.Accepted,
+				d[0], percentile(d, 0.10), percentile(d, 0.50), percentile(d, 0.90), d[len(d)-1])
+		}
+	}
+}
+
+// percentile reads the q-quantile of an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// CSV renders the report's points as comma-separated rows for external
+// plotting: figure, series, offered, accepted, latency, stddev, deadlock%.
+func (r Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,offered,accepted,latency,stddev,netlatency,deadlockpct\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			res := p.Result
+			fmt.Fprintf(&b, "%s,%s,%.4f,%.5f,%.2f,%.2f,%.2f,%.4f\n",
+				r.ID, s.Name, p.Offered, res.Accepted, res.AvgLatency,
+				res.StdLatency, res.AvgNetLatency, res.DeadlockPct)
+		}
+	}
+	return b.String()
+}

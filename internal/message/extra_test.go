@@ -1,0 +1,29 @@
+package message
+
+import "testing"
+
+func TestNetworkLatencyPanicsWithoutInjection(t *testing.T) {
+	m := New(1, 0, 1, 4, 10)
+	m.DeliverTime = 50 // delivered but InjectTime unset: inconsistent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = m.NetworkLatency()
+}
+
+func TestMultipleRecoveries(t *testing.T) {
+	m := New(1, 0, 9, 8, 5)
+	for i := 1; i <= 3; i++ {
+		m.State = StateInNetwork
+		m.FlitsSent = i
+		m.ResetForReinjection(2)
+		if m.Recoveries != i {
+			t.Fatalf("Recoveries=%d want %d", m.Recoveries, i)
+		}
+	}
+	if m.Injector != 2 || m.FlitsSent != 0 {
+		t.Error("reset state wrong after repeated recoveries")
+	}
+}

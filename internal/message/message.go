@@ -1,0 +1,168 @@
+// Package message defines the unit of communication of the wormhole
+// simulator: multi-flit messages and the per-flit buffer entries the router
+// model stores.
+//
+// A wormhole message is a header flit followed by data flits and a tail flit
+// (a 1-flit message is both head and tail). The simulator does not carry
+// payload bytes; a Flit records only which message it belongs to and its
+// sequence number, which is all flit-level switching needs.
+package message
+
+import (
+	"fmt"
+
+	"wormnet/internal/topology"
+)
+
+// ID uniquely identifies a message within a simulation run.
+type ID int64
+
+// State describes where a message currently is in its lifecycle.
+type State int8
+
+// Message lifecycle states, in normal progression order. A recovered
+// (deadlocked) message moves back from StateInNetwork to StateQueued on the
+// recovery queue of the node that held its header.
+const (
+	StateQueued    State = iota // waiting in a source or recovery queue
+	StateInjecting              // holds an injection channel, flits streaming in
+	StateInNetwork              // fully injected, some flits still in transit
+	StateDelivered              // tail flit ejected at the destination
+)
+
+// String returns a short name for the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateInjecting:
+		return "injecting"
+	case StateInNetwork:
+		return "in-network"
+	case StateDelivered:
+		return "delivered"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Message is a multi-flit wormhole message.
+//
+// All time fields are in simulation cycles. A Message is owned by a single
+// simulation engine and is not safe for concurrent mutation.
+type Message struct {
+	ID     ID
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	Length int // flits, including head and tail
+
+	GenTime     int64 // cycle the source generated the message
+	InjectTime  int64 // cycle the head flit entered the network (-1 until then)
+	DeliverTime int64 // cycle the tail flit was ejected (-1 until then)
+
+	State State
+
+	// Injector is the node currently responsible for injecting the message:
+	// the original source, or — after a deadlock recovery — the node that
+	// held the header when the deadlock was detected.
+	Injector topology.NodeID
+
+	// FlitsSent counts flits that have left the injection channel.
+	FlitsSent int
+	// FlitsEjected counts flits consumed by the destination.
+	FlitsEjected int
+
+	// Recoveries counts how many times the message was presumed deadlocked
+	// and re-injected by the software recovery mechanism.
+	Recoveries int
+
+	// Measured marks messages generated inside the measurement window;
+	// only these contribute to latency statistics.
+	Measured bool
+}
+
+// New returns a freshly generated message in StateQueued.
+func New(id ID, src, dst topology.NodeID, length int, now int64) *Message {
+	if length < 1 {
+		panic(fmt.Sprintf("message: length %d < 1", length))
+	}
+	return &Message{
+		ID:          id,
+		Src:         src,
+		Dst:         dst,
+		Length:      length,
+		GenTime:     now,
+		InjectTime:  -1,
+		DeliverTime: -1,
+		Injector:    src,
+		State:       StateQueued,
+	}
+}
+
+// Latency returns the delivery latency in cycles (including source-queue
+// time). It panics if the message has not been delivered.
+func (m *Message) Latency() int64 {
+	if m.DeliverTime < 0 {
+		panic(fmt.Sprintf("message %d not delivered", m.ID))
+	}
+	return m.DeliverTime - m.GenTime
+}
+
+// NetworkLatency returns cycles spent between first-flit injection and
+// delivery, excluding source-queue time.
+func (m *Message) NetworkLatency() int64 {
+	if m.DeliverTime < 0 || m.InjectTime < 0 {
+		panic(fmt.Sprintf("message %d not delivered", m.ID))
+	}
+	return m.DeliverTime - m.InjectTime
+}
+
+// ResetForReinjection prepares a recovered message for re-injection at node
+// injector: all flit progress is discarded and the message returns to the
+// queued state. Generation time is preserved so the extra latency of the
+// recovery is charged to the message.
+func (m *Message) ResetForReinjection(injector topology.NodeID) {
+	m.Injector = injector
+	m.FlitsSent = 0
+	m.FlitsEjected = 0
+	m.State = StateQueued
+	m.Recoveries++
+}
+
+// String summarises the message for debugging.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg %d %d->%d len=%d %s", m.ID, m.Src, m.Dst, m.Length, m.State)
+}
+
+// Flit is one buffer-entry's worth of a message. Flits are small values
+// copied between buffers; they carry no payload.
+type Flit struct {
+	Msg  *Message
+	Seq  int // 0-based flit index within the message
+	Head bool
+	Tail bool
+}
+
+// MakeFlit builds flit number seq of message m.
+func MakeFlit(m *Message, seq int) Flit {
+	return Flit{
+		Msg:  m,
+		Seq:  seq,
+		Head: seq == 0,
+		Tail: seq == m.Length-1,
+	}
+}
+
+// String summarises the flit for debugging.
+func (f Flit) String() string {
+	kind := "body"
+	switch {
+	case f.Head && f.Tail:
+		kind = "head+tail"
+	case f.Head:
+		kind = "head"
+	case f.Tail:
+		kind = "tail"
+	}
+	return fmt.Sprintf("flit %d/%d of msg %d (%s)", f.Seq, f.Msg.Length, f.Msg.ID, kind)
+}

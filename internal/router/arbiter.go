@@ -1,0 +1,62 @@
+package router
+
+// RoundRobin is a rotating-priority arbiter over n requesters. Each Grant
+// call scans requesters starting one past the previous winner, so every
+// requester is eventually served regardless of contention (strong fairness
+// under persistent requests).
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns an arbiter over n requesters. n must be positive.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic("router: round-robin arbiter needs at least one requester")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Grant returns the index of the first requester i (in rotating order) for
+// which want(i) is true, advancing the priority pointer past the winner.
+// It returns -1 if no requester wants a grant.
+func (a *RoundRobin) Grant(want func(int) bool) int {
+	for off := 0; off < a.n; off++ {
+		i := (a.next + off) % a.n
+		if want(i) {
+			a.next = (i + 1) % a.n
+			return i
+		}
+	}
+	return -1
+}
+
+// N returns the number of requesters.
+func (a *RoundRobin) N() int { return a.n }
+
+// GrantFrom picks, among the candidate requester indices, the admissible one
+// closest after the rotating priority pointer, advances the pointer past the
+// winner, and returns it. It returns -1 if no candidate is admissible.
+// Candidates must be valid requester indices; ok filters them (e.g. the
+// switch allocator's input-port-already-granted check).
+func (a *RoundRobin) GrantFrom(cands []int32, ok func(int32) bool) int32 {
+	best := int32(-1)
+	bestDist := a.n
+	for _, c := range cands {
+		if !ok(c) {
+			continue
+		}
+		d := int(c) - a.next
+		if d < 0 {
+			d += a.n
+		}
+		if d < bestDist {
+			bestDist = d
+			best = c
+		}
+	}
+	if best >= 0 {
+		a.next = (int(best) + 1) % a.n
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+// Package router provides the building blocks of the wormhole router
+// microarchitecture: fixed-capacity flit FIFOs (virtual-channel buffers),
+// sender-side virtual-channel allocation state, and round-robin arbiters.
+//
+// The cycle-level composition of these pieces — virtual-channel allocation,
+// separable switch allocation and two-phase flit movement — lives in
+// internal/sim; this package holds the stateful primitives and their
+// invariants.
+package router
+
+import (
+	"fmt"
+
+	"wormnet/internal/message"
+)
+
+// Buffer is a fixed-capacity FIFO of flits: one virtual-channel buffer.
+// The zero value is not usable; construct with NewBuffer.
+type Buffer struct {
+	flits []message.Flit
+	head  int // index of front element
+	size  int
+}
+
+// NewBuffer returns an empty buffer holding at most capacity flits.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		panic(fmt.Sprintf("router: buffer capacity %d < 1", capacity))
+	}
+	return &Buffer{flits: make([]message.Flit, capacity)}
+}
+
+// Cap returns the buffer capacity in flits.
+func (b *Buffer) Cap() int { return len(b.flits) }
+
+// Len returns the number of buffered flits.
+func (b *Buffer) Len() int { return b.size }
+
+// Empty reports whether the buffer holds no flits.
+func (b *Buffer) Empty() bool { return b.size == 0 }
+
+// Full reports whether the buffer is at capacity.
+func (b *Buffer) Full() bool { return b.size == len(b.flits) }
+
+// Push appends a flit at the back. It panics if the buffer is full; the
+// simulator's credit check must prevent that.
+func (b *Buffer) Push(f message.Flit) {
+	if b.Full() {
+		panic("router: push into full buffer")
+	}
+	b.flits[(b.head+b.size)%len(b.flits)] = f
+	b.size++
+}
+
+// Front returns the flit at the front. It panics if the buffer is empty.
+func (b *Buffer) Front() message.Flit {
+	if b.Empty() {
+		panic("router: front of empty buffer")
+	}
+	return b.flits[b.head]
+}
+
+// Pop removes and returns the front flit. It panics if the buffer is empty.
+func (b *Buffer) Pop() message.Flit {
+	f := b.Front()
+	b.flits[b.head] = message.Flit{} // release the *Message reference
+	b.head = (b.head + 1) % len(b.flits)
+	b.size--
+	return f
+}
+
+// RemoveMessage removes every flit belonging to message id and returns how
+// many were removed. It is used by deadlock recovery, which tears a
+// presumed-deadlocked message out of the network. Because a virtual-channel
+// buffer only ever holds flits of a single message at a time (allocation
+// requires an empty buffer), this either empties the buffer or removes
+// nothing; the implementation nevertheless handles interleavings defensively.
+func (b *Buffer) RemoveMessage(id message.ID) int {
+	removed := 0
+	n := b.size
+	for i := 0; i < n; i++ {
+		f := b.Pop()
+		if f.Msg.ID == id {
+			removed++
+			continue
+		}
+		b.Push(f)
+	}
+	return removed
+}
+
+// FrontMessage returns the message owning the front flit, or nil if empty.
+func (b *Buffer) FrontMessage() *message.Message {
+	if b.Empty() {
+		return nil
+	}
+	return b.flits[b.head].Msg
+}

@@ -1,0 +1,302 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormnet/internal/message"
+)
+
+func msg(id message.ID, length int) *message.Message {
+	return message.New(id, 0, 1, length, 0)
+}
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(4)
+	m := msg(1, 4)
+	for i := 0; i < 4; i++ {
+		b.Push(message.MakeFlit(m, i))
+	}
+	if !b.Full() || b.Len() != 4 {
+		t.Fatalf("Len=%d Full=%v", b.Len(), b.Full())
+	}
+	for i := 0; i < 4; i++ {
+		f := b.Pop()
+		if f.Seq != i {
+			t.Fatalf("pop %d got seq %d", i, f.Seq)
+		}
+	}
+	if !b.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestBufferWrapAround(t *testing.T) {
+	b := NewBuffer(3)
+	m := msg(1, 100)
+	seq := 0
+	// Interleave pushes and pops to force wrap.
+	for round := 0; round < 10; round++ {
+		for b.Len() < b.Cap() {
+			b.Push(message.MakeFlit(m, seq))
+			seq++
+		}
+		b.Pop()
+		b.Pop()
+	}
+	// Remaining flits must still come out in order.
+	prev := -1
+	for !b.Empty() {
+		f := b.Pop()
+		if f.Seq <= prev {
+			t.Fatalf("order violated: %d after %d", f.Seq, prev)
+		}
+		prev = f.Seq
+	}
+}
+
+func TestBufferPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+	check("cap", func() { NewBuffer(0) })
+	check("push full", func() {
+		b := NewBuffer(1)
+		b.Push(message.MakeFlit(msg(1, 2), 0))
+		b.Push(message.MakeFlit(msg(1, 2), 1))
+	})
+	check("pop empty", func() { NewBuffer(1).Pop() })
+	check("front empty", func() { NewBuffer(1).Front() })
+}
+
+func TestBufferFrontMessage(t *testing.T) {
+	b := NewBuffer(2)
+	if b.FrontMessage() != nil {
+		t.Fatal("empty buffer has a front message")
+	}
+	m := msg(7, 2)
+	b.Push(message.MakeFlit(m, 0))
+	if b.FrontMessage() != m {
+		t.Fatal("front message mismatch")
+	}
+	if b.Front().Msg.ID != 7 {
+		t.Fatal("front flit mismatch")
+	}
+}
+
+func TestBufferRemoveMessage(t *testing.T) {
+	b := NewBuffer(4)
+	m1, m2 := msg(1, 2), msg(2, 2)
+	b.Push(message.MakeFlit(m1, 0))
+	b.Push(message.MakeFlit(m2, 0))
+	b.Push(message.MakeFlit(m1, 1))
+	b.Push(message.MakeFlit(m2, 1))
+	if got := b.RemoveMessage(1); got != 2 {
+		t.Fatalf("removed %d want 2", got)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len=%d want 2", b.Len())
+	}
+	// Remaining flits keep order and belong to m2.
+	if f := b.Pop(); f.Msg.ID != 2 || f.Seq != 0 {
+		t.Fatalf("wrong flit %v", f)
+	}
+	if f := b.Pop(); f.Msg.ID != 2 || f.Seq != 1 {
+		t.Fatalf("wrong flit %v", f)
+	}
+	if got := b.RemoveMessage(9); got != 0 {
+		t.Fatalf("removed %d from empty", got)
+	}
+}
+
+// Property: a Buffer behaves exactly like a slice-based FIFO queue under
+// arbitrary interleavings of push/pop.
+func TestBufferMatchesModel(t *testing.T) {
+	f := func(ops []bool) bool {
+		b := NewBuffer(4)
+		var model []message.Flit
+		m := msg(1, 1<<20)
+		seq := 0
+		for _, push := range ops {
+			if push {
+				if b.Full() {
+					continue
+				}
+				fl := message.MakeFlit(m, seq)
+				seq++
+				b.Push(fl)
+				model = append(model, fl)
+			} else {
+				if b.Empty() {
+					if len(model) != 0 {
+						return false
+					}
+					continue
+				}
+				got := b.Pop()
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			}
+			if b.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutVCLifecycle(t *testing.T) {
+	var v OutVC
+	if !v.Free() || v.Owner() != nil {
+		t.Fatal("zero OutVC must be free")
+	}
+	m := msg(1, 4)
+	v.Allocate(m)
+	if v.Free() || v.Owner() != m {
+		t.Fatal("allocation not recorded")
+	}
+	v.Release()
+	if !v.Free() {
+		t.Fatal("release failed")
+	}
+	v.Release() // releasing free VC is a no-op
+}
+
+func TestOutVCDoubleAllocatePanics(t *testing.T) {
+	var v OutVC
+	v.Allocate(msg(1, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.Allocate(msg(2, 4))
+}
+
+func TestOutVCReleaseIfOwner(t *testing.T) {
+	var v OutVC
+	m1, m2 := msg(1, 4), msg(2, 4)
+	v.Allocate(m1)
+	if v.ReleaseIfOwner(m2) {
+		t.Fatal("released for non-owner")
+	}
+	if !v.ReleaseIfOwner(m1) {
+		t.Fatal("did not release for owner")
+	}
+	if v.ReleaseIfOwner(m1) {
+		t.Fatal("released twice")
+	}
+}
+
+func TestOutPortCounts(t *testing.T) {
+	p := NewOutPort(3)
+	if p.FreeVCs() != 3 || !p.CompletelyFree() || !p.HasFreeVC() {
+		t.Fatal("fresh port state wrong")
+	}
+	p.VCs[0].Allocate(msg(1, 4))
+	if p.FreeVCs() != 2 || p.CompletelyFree() || !p.HasFreeVC() {
+		t.Fatal("one-busy state wrong")
+	}
+	p.VCs[1].Allocate(msg(2, 4))
+	p.VCs[2].Allocate(msg(3, 4))
+	if p.FreeVCs() != 0 || p.HasFreeVC() || p.CompletelyFree() {
+		t.Fatal("all-busy state wrong")
+	}
+}
+
+func TestOutPortRR(t *testing.T) {
+	p := NewOutPort(3)
+	seen := []int{p.NextRR(), p.NextRR(), p.NextRR(), p.NextRR()}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("rr sequence %v want %v", seen, want)
+		}
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	a := NewRoundRobin(4)
+	counts := make([]int, 4)
+	// All requesters always want; each must win exactly 1/4 of the grants.
+	for i := 0; i < 400; i++ {
+		g := a.Grant(func(int) bool { return true })
+		counts[g]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("requester %d won %d/400", i, c)
+		}
+	}
+}
+
+func TestRoundRobinSkipsNonRequesters(t *testing.T) {
+	a := NewRoundRobin(3)
+	g := a.Grant(func(i int) bool { return i == 2 })
+	if g != 2 {
+		t.Fatalf("granted %d want 2", g)
+	}
+	if g := a.Grant(func(int) bool { return false }); g != -1 {
+		t.Fatalf("granted %d for no requests", g)
+	}
+	if a.N() != 3 {
+		t.Error("N")
+	}
+}
+
+func TestRoundRobinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRoundRobin(0)
+}
+
+// Property: under persistent requests from a subset, grants rotate within
+// the subset (no starvation).
+func TestRoundRobinNoStarvation(t *testing.T) {
+	f := func(mask uint8) bool {
+		want := func(i int) bool { return mask&(1<<i) != 0 }
+		a := NewRoundRobin(8)
+		active := 0
+		for i := 0; i < 8; i++ {
+			if want(i) {
+				active++
+			}
+		}
+		if active == 0 {
+			return a.Grant(want) == -1
+		}
+		counts := make([]int, 8)
+		for i := 0; i < 8*active; i++ {
+			g := a.Grant(want)
+			if g < 0 || !want(g) {
+				return false
+			}
+			counts[g]++
+		}
+		for i := 0; i < 8; i++ {
+			if want(i) && counts[i] != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

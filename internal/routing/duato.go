@@ -1,0 +1,79 @@
+package routing
+
+import (
+	"wormnet/internal/topology"
+)
+
+// Duato implements Duato's deadlock-avoidance protocol (IEEE TPDS 1993):
+// most virtual channels route fully adaptively on any minimal physical
+// channel, while a reserved pair of *escape* virtual channels per physical
+// channel follows dateline dimension-order routing. The escape subnetwork
+// is acyclic and always reachable, so the network is deadlock-free without
+// detection or recovery — the "deadlock avoidance" regime whose saturation
+// behaviour the paper's introduction contrasts with deadlock recovery.
+//
+// Channel classes with V virtual channels per physical channel:
+//
+//	vc 0, 1   — escape (dateline DOR; vc0 before the wraparound, vc1 after)
+//	vc 2..V-1 — fully adaptive on every minimal physical channel
+//
+// V must be at least 3 so that at least one adaptive channel exists.
+type Duato struct {
+	t   *topology.Torus
+	vcs int
+	dor *DOR
+}
+
+// NewDuato returns the escape-channel adaptive engine. It panics if fewer
+// than 3 virtual channels are configured.
+func NewDuato(t *topology.Torus, vcs int) *Duato {
+	if vcs < 3 {
+		panic("routing: Duato's protocol needs >= 3 virtual channels (2 escape + adaptive)")
+	}
+	return &Duato{t: t, vcs: vcs, dor: NewDOR(t, vcs)}
+}
+
+// Candidates implements Algorithm: the adaptive virtual channels of every
+// minimal physical channel, plus the escape virtual channel that dateline
+// DOR prescribes. Candidates of the escape port stay contiguous with its
+// adaptive channels, as Ports requires.
+func (r *Duato) Candidates(cur, dst topology.NodeID, out []Candidate) []Candidate {
+	if cur == dst {
+		return out
+	}
+	escape := r.dor.Candidates(cur, dst, nil)
+	// DOR yields exactly one candidate for cur != dst.
+	esc := escape[0]
+	for dim := 0; dim < r.t.N(); dim++ {
+		a, b := r.t.Coord(cur, dim), r.t.Coord(dst, dim)
+		plus, minus := r.t.MinimalDirs(a, b)
+		if plus {
+			out = r.appendPortCands(out, topology.PortFor(dim, topology.Plus), esc)
+		}
+		if minus {
+			out = r.appendPortCands(out, topology.PortFor(dim, topology.Minus), esc)
+		}
+	}
+	return out
+}
+
+// appendPortCands appends port p's admissible virtual channels: the escape
+// channel first when p is the DOR port (so the allocator can always fall
+// back to it), then the adaptive channels.
+func (r *Duato) appendPortCands(out []Candidate, p topology.Port, esc Candidate) []Candidate {
+	if p == esc.Port {
+		out = append(out, esc)
+	}
+	for v := 2; v < r.vcs; v++ {
+		out = append(out, Candidate{Port: p, VC: int8(v)})
+	}
+	return out
+}
+
+// Name implements Algorithm.
+func (r *Duato) Name() string { return "duato" }
+
+// DeadlockFree implements Algorithm: the escape subnetwork is an acyclic
+// dateline-DOR network reachable from every state, so by Duato's theorem
+// the protocol is deadlock-free.
+func (r *Duato) DeadlockFree() bool { return true }

@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormnet/internal/topology"
+)
+
+func TestDuatoMetadata(t *testing.T) {
+	tp := topology.New(8, 3)
+	r := NewDuato(tp, 3)
+	if r.Name() != "duato" || !r.DeadlockFree() {
+		t.Fatal("metadata")
+	}
+	for _, vcs := range []int{1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDuato with %d VCs should panic", vcs)
+				}
+			}()
+			NewDuato(tp, vcs)
+		}()
+	}
+}
+
+func TestDuatoCandidateStructure(t *testing.T) {
+	tp := topology.New(8, 2)
+	r := NewDuato(tp, 3)
+	dor := NewDOR(tp, 3)
+
+	src := tp.FromCoords([]int{0, 0})
+	dst := tp.FromCoords([]int{2, 3})
+	cands := r.Candidates(src, dst, nil)
+	esc := dor.Candidates(src, dst, nil)[0]
+
+	// Two useful ports, each with 1 adaptive VC (vc2), plus one escape VC
+	// on the DOR port: 3 candidates total.
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates: %v", len(cands), cands)
+	}
+	var sawEscape bool
+	for _, c := range cands {
+		if c.VC >= 2 {
+			continue // adaptive
+		}
+		// An escape-class candidate must be exactly the DOR prescription.
+		if c != esc {
+			t.Fatalf("escape candidate %v differs from DOR %v", c, esc)
+		}
+		sawEscape = true
+	}
+	if !sawEscape {
+		t.Fatal("escape channel missing from candidate set")
+	}
+	// Port-contiguity contract for Ports().
+	ports := Ports(cands, nil)
+	if len(ports) != 2 {
+		t.Fatalf("ports: %v", ports)
+	}
+	// Self route: empty.
+	if got := r.Candidates(src, src, nil); len(got) != 0 {
+		t.Fatal("self route")
+	}
+}
+
+func TestDuatoMoreAdaptiveVCs(t *testing.T) {
+	tp := topology.New(8, 2)
+	r := NewDuato(tp, 5) // 2 escape + 3 adaptive
+	src := tp.FromCoords([]int{0, 0})
+	dst := tp.FromCoords([]int{1, 1})
+	cands := r.Candidates(src, dst, nil)
+	// 2 ports x 3 adaptive + 1 escape = 7.
+	if len(cands) != 7 {
+		t.Fatalf("got %d candidates: %v", len(cands), cands)
+	}
+	adaptive := 0
+	for _, c := range cands {
+		if c.VC >= 2 {
+			adaptive++
+			if int(c.VC) >= 5 {
+				t.Fatalf("vc out of range: %v", c)
+			}
+		}
+	}
+	if adaptive != 6 {
+		t.Errorf("adaptive candidates: %d want 6", adaptive)
+	}
+}
+
+// Property: every Duato candidate is minimal; the escape candidate always
+// exists and matches DOR; adaptive candidates never use the escape classes.
+func TestDuatoProperty(t *testing.T) {
+	tp := topology.New(4, 3)
+	r := NewDuato(tp, 3)
+	dor := NewDOR(tp, 3)
+	f := func(a, b uint16) bool {
+		cur := topology.NodeID(int(a) % tp.Nodes())
+		dst := topology.NodeID(int(b) % tp.Nodes())
+		cands := r.Candidates(cur, dst, nil)
+		if cur == dst {
+			return len(cands) == 0
+		}
+		esc := dor.Candidates(cur, dst, nil)[0]
+		d := tp.Distance(cur, dst)
+		sawEscape := false
+		for _, c := range cands {
+			if tp.Distance(tp.Neighbor(cur, c.Port), dst) != d-1 {
+				return false
+			}
+			if c.VC < 2 {
+				if c != esc {
+					return false
+				}
+				sawEscape = true
+			}
+		}
+		return sawEscape
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormnet/internal/topology"
+)
+
+func TestTFARCandidates(t *testing.T) {
+	tp := topology.New(8, 3)
+	r := NewTFAR(tp, 3)
+	if r.Name() != "tfar" || r.DeadlockFree() {
+		t.Fatal("metadata wrong")
+	}
+	// src (0,0,0) -> dst (1,1,1): three useful ports, all Plus, 3 VCs each.
+	src := tp.FromCoords([]int{0, 0, 0})
+	dst := tp.FromCoords([]int{1, 1, 1})
+	cands := r.Candidates(src, dst, nil)
+	if len(cands) != 9 {
+		t.Fatalf("got %d candidates want 9", len(cands))
+	}
+	ports := Ports(cands, nil)
+	if len(ports) != 3 {
+		t.Fatalf("got %d ports want 3: %v", len(ports), ports)
+	}
+	for _, p := range ports {
+		if topology.PortDir(p) != topology.Plus {
+			t.Errorf("port %d not Plus", p)
+		}
+	}
+	// Same node: no candidates.
+	if got := r.Candidates(src, src, nil); len(got) != 0 {
+		t.Errorf("self route produced %d candidates", len(got))
+	}
+}
+
+func TestTFARHalfwayTie(t *testing.T) {
+	tp := topology.New(8, 1)
+	r := NewTFAR(tp, 2)
+	cands := r.Candidates(0, 4, nil)
+	// Offset 4 on an 8-ring: both directions minimal -> 2 ports * 2 VCs.
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates want 4", len(cands))
+	}
+}
+
+// Property: every TFAR candidate decreases distance; candidates cover all
+// VCs of each useful port exactly once.
+func TestTFARProperty(t *testing.T) {
+	tp := topology.New(4, 3)
+	r := NewTFAR(tp, 3)
+	f := func(a, b uint16) bool {
+		cur := topology.NodeID(int(a) % tp.Nodes())
+		dst := topology.NodeID(int(b) % tp.Nodes())
+		cands := r.Candidates(cur, dst, nil)
+		if cur == dst {
+			return len(cands) == 0
+		}
+		d := tp.Distance(cur, dst)
+		seen := map[Candidate]bool{}
+		for _, c := range cands {
+			if c.VC < 0 || int(c.VC) >= 3 {
+				return false
+			}
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+			if tp.Distance(tp.Neighbor(cur, c.Port), dst) != d-1 {
+				return false
+			}
+		}
+		return len(cands) == len(Ports(cands, nil))*3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDORSingleCandidateLowestDim(t *testing.T) {
+	tp := topology.New(8, 3)
+	r := NewDOR(tp, 3)
+	if r.Name() != "dor" || !r.DeadlockFree() {
+		t.Fatal("metadata wrong")
+	}
+	src := tp.FromCoords([]int{0, 0, 0})
+	dst := tp.FromCoords([]int{2, 3, 0})
+	cands := r.Candidates(src, dst, nil)
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates want 1", len(cands))
+	}
+	if topology.PortDim(cands[0].Port) != 0 {
+		t.Errorf("DOR must resolve dim 0 first, got dim %d", topology.PortDim(cands[0].Port))
+	}
+	// After dim 0 is resolved, dim 1 is used.
+	mid := tp.FromCoords([]int{2, 0, 0})
+	cands = r.Candidates(mid, dst, nil)
+	if len(cands) != 1 || topology.PortDim(cands[0].Port) != 1 {
+		t.Errorf("expected dim-1 route, got %v", cands)
+	}
+}
+
+func TestDORDateline(t *testing.T) {
+	tp := topology.New(8, 1)
+	r := NewDOR(tp, 2)
+	// 6 -> 1 travelling Plus wraps: VC0 before the wrap.
+	c := r.Candidates(6, 1, nil)
+	if len(c) != 1 || topology.PortDir(c[0].Port) != topology.Plus || c[0].VC != 0 {
+		t.Fatalf("6->1: %v", c)
+	}
+	// 0 -> 1: no wrap ahead: VC1.
+	c = r.Candidates(0, 1, nil)
+	if len(c) != 1 || c[0].VC != 1 {
+		t.Fatalf("0->1: %v", c)
+	}
+	// 2 -> 7 minimal is Minus (dist 3) and wraps 0->7: VC0.
+	c = r.Candidates(2, 7, nil)
+	if len(c) != 1 || topology.PortDir(c[0].Port) != topology.Minus || c[0].VC != 0 {
+		t.Fatalf("2->7: %v", c)
+	}
+	// 7 -> 5 minimal is Minus, no wrap: VC1.
+	c = r.Candidates(7, 5, nil)
+	if len(c) != 1 || topology.PortDir(c[0].Port) != topology.Minus || c[0].VC != 1 {
+		t.Fatalf("7->5: %v", c)
+	}
+}
+
+// Property: a DOR walk reaches the destination in exactly Distance(src,dst)
+// hops when ties resolve minimally, and the VC class never goes from 1 back
+// to 0 within a dimension (dateline monotonicity).
+func TestDORWalk(t *testing.T) {
+	tp := topology.New(7, 2) // odd k: no ties, walk is truly minimal
+	r := NewDOR(tp, 2)
+	f := func(a, b uint16) bool {
+		cur := topology.NodeID(int(a) % tp.Nodes())
+		dst := topology.NodeID(int(b) % tp.Nodes())
+		want := tp.Distance(cur, dst)
+		steps := 0
+		lastDim, lastVC := -1, int8(0)
+		for cur != dst {
+			c := r.Candidates(cur, dst, nil)
+			if len(c) != 1 {
+				return false
+			}
+			dim := topology.PortDim(c[0].Port)
+			if dim == lastDim && lastVC == 1 && c[0].VC == 0 {
+				return false // dateline class went backwards
+			}
+			if dim < lastDim {
+				return false // dimension order violated
+			}
+			lastDim, lastVC = dim, c[0].VC
+			cur = tp.Neighbor(cur, c[0].Port)
+			steps++
+			if steps > 100 {
+				return false
+			}
+		}
+		return steps == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The dateline restriction must make the channel-dependency graph of a ring
+// acyclic. We verify by brute force on an 8-ring: build every (link, vc)
+// dependency DOR can create and check for cycles.
+func TestDORDependencyGraphAcyclic(t *testing.T) {
+	tp := topology.New(8, 1)
+	r := NewDOR(tp, 2)
+	type ch struct {
+		node topology.NodeID
+		port topology.Port
+		vc   int8
+	}
+	deps := map[ch]map[ch]bool{}
+	addDep := func(from, to ch) {
+		if deps[from] == nil {
+			deps[from] = map[ch]bool{}
+		}
+		deps[from][to] = true
+	}
+	// For every (src,dst) pair, walk the path and add successive channel deps.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			cur := topology.NodeID(s)
+			var prev *ch
+			for cur != topology.NodeID(d) {
+				c := r.Candidates(cur, topology.NodeID(d), nil)
+				here := ch{node: cur, port: c[0].Port, vc: c[0].VC}
+				if prev != nil {
+					addDep(*prev, here)
+				}
+				p := here
+				prev = &p
+				cur = tp.Neighbor(cur, c[0].Port)
+			}
+		}
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[ch]int{}
+	var visit func(c ch) bool
+	visit = func(c ch) bool {
+		color[c] = gray
+		for nxt := range deps[c] {
+			switch color[nxt] {
+			case gray:
+				return false
+			case white:
+				if !visit(nxt) {
+					return false
+				}
+			}
+		}
+		color[c] = black
+		return true
+	}
+	for c := range deps {
+		if color[c] == white {
+			if !visit(c) {
+				t.Fatal("DOR dateline dependency graph has a cycle")
+			}
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	tp := topology.New(8, 2)
+	for name, f := range map[string]func(){
+		"tfar vcs": func() { NewTFAR(tp, 0) },
+		"dor vcs0": func() { NewDOR(tp, 0) },
+		"dor vcs1": func() { NewDOR(tp, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+	// k=2: one VC suffices (no wraparound distinction needed? still require >=1).
+	if NewDOR(topology.New(2, 2), 1) == nil {
+		t.Fatal("DOR on k=2 with 1 VC should construct")
+	}
+}
+
+func TestPortsDedup(t *testing.T) {
+	cands := []Candidate{{Port: 0, VC: 0}, {Port: 0, VC: 1}, {Port: 3, VC: 0}}
+	ports := Ports(cands, nil)
+	if len(ports) != 2 || ports[0] != 0 || ports[1] != 3 {
+		t.Fatalf("Ports=%v", ports)
+	}
+	if got := Ports(nil, nil); len(got) != 0 {
+		t.Fatal("empty")
+	}
+}

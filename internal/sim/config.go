@@ -1,0 +1,190 @@
+// Package sim is the cycle-driven flit-level wormhole network simulator.
+//
+// It composes the substrate packages — topology, router, routing, traffic,
+// deadlock, stats — into the network model of the paper's §4.1: a
+// bidirectional k-ary n-cube whose routers have four injection and four
+// ejection channels, physical channels split into virtual channels with
+// four-flit buffers, one-cycle routing/crossbar/link stages, true fully
+// adaptive routing with FC3D-style deadlock detection and software-based
+// recovery, and a pluggable message-injection limitation mechanism
+// (internal/core, internal/baseline).
+//
+// Time advances in global synchronous cycles. Each cycle runs five phases:
+// message generation, injection-limitation decisions, virtual-channel
+// allocation (routing), separable switch allocation, and two-phase flit
+// movement (all moves are planned against start-of-cycle state, then
+// applied). A buffer slot freed in cycle t becomes usable in cycle t+1,
+// which models a one-cycle credit loop.
+package sim
+
+import (
+	"fmt"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/core"
+	"wormnet/internal/deadlock"
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// Config describes one simulation run. The zero value is not runnable; use
+// DefaultConfig or fill the fields and let New validate them.
+type Config struct {
+	// Topology.
+	K int // radix of the k-ary n-cube
+	N int // dimensions
+
+	// Router microarchitecture.
+	VCs         int // virtual channels per physical channel (paper: up to 3)
+	BufDepth    int // flits per virtual-channel buffer (paper: 4)
+	InjChannels int // injection channels per node (paper: 4)
+	EjChannels  int // ejection channels per node (paper: 4)
+
+	// Routing engine: "tfar" (default, needs deadlock recovery), "duato"
+	// (adaptive with escape channels, deadlock-free) or "dor"
+	// (deterministic dateline dimension-order, deadlock-free).
+	Routing string
+
+	// Workload.
+	Pattern string  // traffic pattern name, see traffic.ByName
+	MsgLen  int     // message length in flits (paper: 16 or 64)
+	Rate    float64 // offered load in flits/node/cycle
+
+	// Burst enables on/off modulated sources with the given mean ON/OFF
+	// period lengths; the zero value keeps the steady Poisson process. The
+	// long-run average load stays Rate, the ON-period peak is
+	// Rate*Burst.PeakFactor().
+	Burst traffic.BurstProfile
+
+	// Injection limitation mechanism. Nil means no limitation.
+	Limiter core.Factory
+	// LimiterName labels the mechanism in results (factories are funcs and
+	// carry no name of their own).
+	LimiterName string
+
+	// Deadlock handling.
+	DetectionThreshold int32 // consecutive blocked cycles (paper: 32); <1 disables
+	RecoveryDelay      int64 // software re-injection cost in cycles
+	// LenientDetection drops the flit-activity "vital sign" from the
+	// detection criterion: a header is presumed deadlocked after
+	// DetectionThreshold blocked cycles whenever none of its candidate
+	// virtual channels is free, even if flits are still moving through
+	// them. This matches cruder timeout-style detectors (and produces much
+	// higher detected-deadlock percentages at saturation, like the paper's
+	// 20-70% figures); the default strict criterion fires only on total
+	// stillness.
+	LenientDetection bool
+
+	// Measurement.
+	WarmupCycles  int64 // cycles before the measurement window opens
+	MeasureCycles int64 // length of the measurement window
+	DrainCycles   int64 // extra cycles after the window to let messages finish
+
+	// Seed drives all of the run's (deterministic) randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's standard configuration: an 8-ary 3-cube
+// with 3 virtual channels of 4-flit buffers, TFAR routing, FC3D detection at
+// 32 cycles, software recovery, uniform traffic with 16-flit messages, and
+// the ALO limiter.
+func DefaultConfig() Config {
+	return Config{
+		K: 8, N: 3,
+		VCs: 3, BufDepth: 4,
+		InjChannels: 4, EjChannels: 4,
+		Routing: "tfar",
+		Pattern: "uniform", MsgLen: 16, Rate: 0.3,
+		Limiter: core.NewALO(), LimiterName: "alo",
+		DetectionThreshold: deadlock.DefaultThreshold,
+		RecoveryDelay:      deadlock.DefaultProcessingDelay,
+		WarmupCycles:       8000, MeasureCycles: 24000, DrainCycles: 2000,
+		Seed: 1,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration (4-ary 2-cube, shorter
+// run) that preserves the model's behaviour at a fraction of the cost; it
+// is what the test suite and the benchmark harness use.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.K, c.N = 4, 2
+	c.WarmupCycles, c.MeasureCycles, c.DrainCycles = 2000, 6000, 1000
+	return c
+}
+
+// validate checks the configuration and applies the few defaults that have
+// unambiguous values.
+func (c *Config) validate() error {
+	switch {
+	case c.K < 2 || c.N < 1:
+		return fmt.Errorf("sim: bad topology %d-ary %d-cube", c.K, c.N)
+	case c.VCs < 1:
+		return fmt.Errorf("sim: need at least 1 virtual channel, got %d", c.VCs)
+	case c.BufDepth < 1:
+		return fmt.Errorf("sim: need buffer depth >= 1, got %d", c.BufDepth)
+	case c.InjChannels < 1 || c.EjChannels < 1:
+		return fmt.Errorf("sim: need at least 1 injection and ejection channel")
+	case c.MsgLen < 1:
+		return fmt.Errorf("sim: message length %d < 1", c.MsgLen)
+	case c.Rate < 0:
+		return fmt.Errorf("sim: negative offered rate %v", c.Rate)
+	case c.MeasureCycles < 1:
+		return fmt.Errorf("sim: measurement window must be positive")
+	case c.WarmupCycles < 0 || c.DrainCycles < 0:
+		return fmt.Errorf("sim: negative warmup or drain")
+	case c.RecoveryDelay < 0:
+		return fmt.Errorf("sim: negative recovery delay")
+	}
+	if c.Routing == "" {
+		c.Routing = "tfar"
+	}
+	switch c.Routing {
+	case "tfar", "dor", "duato":
+	default:
+		return fmt.Errorf("sim: unknown routing %q", c.Routing)
+	}
+	if c.Routing == "dor" && c.VCs < 2 && c.K > 2 {
+		return fmt.Errorf("sim: dor routing needs >= 2 virtual channels")
+	}
+	if c.Routing == "duato" && c.VCs < 3 {
+		return fmt.Errorf("sim: duato routing needs >= 3 virtual channels")
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if _, err := traffic.ByName(c.Pattern, topology.New(c.K, c.N)); err != nil {
+		return err
+	}
+	if err := c.Burst.Validate(); err != nil {
+		return err
+	}
+	if c.Limiter == nil {
+		c.Limiter = baseline.NewNone()
+		if c.LimiterName == "" {
+			c.LimiterName = "none"
+		}
+	}
+	if c.LimiterName == "" {
+		c.LimiterName = "custom"
+	}
+	return nil
+}
+
+// TotalCycles returns the full run length.
+func (c Config) TotalCycles() int64 {
+	return c.WarmupCycles + c.MeasureCycles + c.DrainCycles
+}
+
+// WithLimiter returns a copy of the config using the named limiter factory.
+func (c Config) WithLimiter(name string, f core.Factory) Config {
+	c.Limiter = f
+	c.LimiterName = name
+	return c
+}
+
+// WithRate returns a copy of the config at a different offered load.
+func (c Config) WithRate(rate float64) Config {
+	c.Rate = rate
+	return c
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"wormnet/internal/core"
+	"wormnet/internal/message"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+)
+
+// Step advances the simulation by one cycle, running the five phases in
+// order: generation, injection, virtual-channel allocation (with deadlock
+// detection), switch allocation, and flit movement.
+func (e *Engine) Step() {
+	e.phaseGenerate()
+	e.phaseInject()
+	e.phaseAllocate()
+	e.phaseSwitch()
+	e.phaseMove()
+	e.now++
+}
+
+// phaseGenerate polls every node's traffic source and appends fresh
+// messages to the source queues.
+func (e *Engine) phaseGenerate() {
+	if e.sourcesStopped {
+		return
+	}
+	for _, nd := range e.nodes {
+		e.genScratch = nd.src.Poll(e.now, e.genScratch[:0])
+		for _, g := range e.genScratch {
+			m := message.New(e.nextID, nd.id, g.Dst, g.Length, e.now)
+			e.nextID++
+			m.Measured = e.col.OnGenerated(e.now)
+			nd.queue = append(nd.queue, m)
+			e.generated++
+			e.emit(trace.KindGenerated, m, nd.id)
+		}
+	}
+}
+
+// phaseInject runs the per-node limiter tick, then assigns free injection
+// channels: recovered messages first (they bypass the limiter — draining
+// them relieves the congestion that deadlocked them), then source-queue
+// messages in FIFO order, each gated by the injection limiter. A denied
+// queue head blocks the messages behind it, preserving the paper's
+// "pending messages have higher priority than newer ones".
+func (e *Engine) phaseInject() {
+	for _, nd := range e.nodes {
+		view := channelView{e: e, nd: nd}
+		if obs, ok := nd.limiter.(core.CycleObserver); ok {
+			obs.Tick(view, e.now)
+		}
+		for i := range nd.inj {
+			ic := &nd.inj[i]
+			if ic.msg != nil {
+				continue
+			}
+			if len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now {
+				ic.msg = nd.recovery[0].msg
+				nd.recovery[0] = pendingRecovery{}
+				nd.recovery = nd.recovery[1:]
+				ic.msg.State = message.StateInjecting
+				ic.route = routeInfo{}
+				continue
+			}
+			if len(nd.queue) == 0 {
+				continue
+			}
+			m := nd.queue[0]
+			if !nd.limiter.Allow(view, m.Dst) {
+				e.emit(trace.KindThrottled, m, nd.id)
+				break // FIFO: do not bypass a throttled queue head
+			}
+			nd.queue[0] = nil
+			nd.queue = nd.queue[1:]
+			ic.msg = m
+			ic.route = routeInfo{}
+			m.State = message.StateInjecting
+		}
+	}
+}
+
+// phaseAllocate routes header flits: every input virtual channel whose
+// front flit is an unrouted header executes the routing function and tries
+// to claim an output virtual channel (or an ejection channel at the
+// destination); injection channels do the same for messages about to enter
+// the network. Headers that fail allocation feed the deadlock detector.
+func (e *Engine) phaseAllocate() {
+	for _, nd := range e.nodes {
+		nAgents := e.numPhys * e.cfg.VCs
+		start := nd.allocRR
+		nd.allocRR = (nd.allocRR + 1) % nAgents
+		for off := 0; off < nAgents; off++ {
+			idx := (start + off) % nAgents
+			p := topology.Port(idx / e.cfg.VCs)
+			v := int8(idx % e.cfg.VCs)
+			ivc := &nd.in[p][v]
+			if ivc.route.valid || ivc.buf.Empty() {
+				continue
+			}
+			front := ivc.buf.Front()
+			if !front.Head {
+				// A body flit at the front of an unrouted VC cannot happen:
+				// routes outlive the message's traversal of the buffer.
+				continue
+			}
+			m := front.Msg
+			route, ok, vital := e.allocate(nd, m)
+			if ok {
+				ivc.route = route
+				nd.blocked.Progress(idx)
+				continue
+			}
+			if m.Dst == nd.id {
+				// Waiting for an ejection channel: always drains
+				// eventually, never a deadlock.
+				nd.blocked.Progress(idx)
+				continue
+			}
+			// FC3D-style criterion: only sustained stillness counts. Any
+			// sign of life on the header's candidate channels — a free
+			// virtual channel or a recent flit transmission — resets the
+			// blockage counter.
+			if vital {
+				nd.blocked.Progress(idx)
+				continue
+			}
+			if e.det.Deadlocked(nd.blocked.Blocked(idx), false) {
+				nd.blocked.Progress(idx)
+				e.recover(m, nd)
+			}
+		}
+		// Injection channels route after the network traffic.
+		for i := range nd.inj {
+			ic := &nd.inj[i]
+			if ic.msg == nil || ic.route.valid || ic.msg.FlitsSent > 0 {
+				continue
+			}
+			if route, ok, _ := e.allocate(nd, ic.msg); ok {
+				ic.route = route
+			}
+		}
+	}
+}
+
+// allocate claims an output virtual channel (or ejection channel) for
+// message m whose header is at node nd. It reports whether allocation
+// succeeded and whether the candidate set shows any "vital sign" — an
+// unallocated virtual channel or one that transmitted a flit within the
+// last cycle — which vetoes the deadlock presumption.
+func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool) {
+	if m.Dst == nd.id {
+		for c := range nd.ej {
+			if nd.ej[c].msg == nil {
+				nd.ej[c].msg = m
+				return routeInfo{valid: true, eject: true, ejCh: int8(c), assignedAt: e.now}, true, false
+			}
+		}
+		return routeInfo{}, false, false
+	}
+	cands := e.alg.Candidates(nd.id, m.Dst, nd.scratchCands[:0])
+	nd.scratchCands = cands[:0]
+
+	anyFree := false
+	bestPort := topology.Port(-1)
+	bestVC := int8(-1)
+	bestScore := -1
+	bestPref := 1 << 30
+	rot := int(e.now) % e.numPhys // rotating tie-break among equal ports
+
+	anyActive := false
+	for i := 0; i < len(cands); {
+		p := cands[i].Port
+		allocVC := int8(-1)
+		for ; i < len(cands) && cands[i].Port == p; i++ {
+			v := cands[i].VC
+			if !nd.out[p].VCs[v].Free() {
+				if !e.cfg.LenientDetection && nd.lastTx[int(p)*e.cfg.VCs+int(v)] >= e.now-1 {
+					anyActive = true
+				}
+				continue
+			}
+			anyFree = true
+			if allocVC >= 0 {
+				continue
+			}
+			if nd.downBuf[p][v].Empty() {
+				allocVC = v
+			}
+		}
+		if allocVC < 0 {
+			continue
+		}
+		// Prefer the least-multiplexed useful channel (most free VCs); the
+		// paper's model assumes adaptive routing spreads virtual-channel
+		// load across physical channels this way. Ties rotate.
+		score := nd.out[p].FreeVCs()
+		pref := (int(p) - rot + e.numPhys) % e.numPhys
+		if score > bestScore || (score == bestScore && pref < bestPref) {
+			bestScore, bestPref = score, pref
+			bestPort, bestVC = p, allocVC
+		}
+	}
+	if bestPort < 0 {
+		return routeInfo{}, false, anyFree || anyActive
+	}
+	nd.out[bestPort].VCs[bestVC].Allocate(m)
+	e.paths[m] = append(e.paths[m], pathLoc{
+		node: nd.nbr[bestPort].id, port: topology.Opposite(bestPort), vc: bestVC,
+	})
+	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC, assignedAt: e.now}, true, true
+}
+
+// phaseSwitch performs separable switch allocation per node — at most one
+// flit per input port and per output port per cycle, round-robin at both
+// stages — and plans the cycle's flit moves against start-of-cycle buffer
+// state.
+func (e *Engine) phaseSwitch() {
+	e.moves = e.moves[:0]
+	numOut := e.numPhys + e.cfg.EjChannels
+	if e.reqs == nil {
+		e.reqs = make([][]int32, numOut)
+	}
+	for ni, nd := range e.nodes {
+		granted := e.inputGranted[ni]
+		for i := range granted {
+			granted[i] = false
+		}
+		for i := range e.reqs {
+			e.reqs[i] = e.reqs[i][:0]
+		}
+
+		// Collect requests from input virtual channels...
+		for p := 0; p < e.numPhys; p++ {
+			for v := 0; v < e.cfg.VCs; v++ {
+				ivc := &nd.in[p][v]
+				if ivc.buf.Empty() || !ivc.route.valid || ivc.route.assignedAt >= e.now {
+					continue
+				}
+				agent := int32(e.inVCIndex(topology.Port(p), int8(v)))
+				if ivc.route.eject {
+					out := e.numPhys + int(ivc.route.ejCh)
+					e.reqs[out] = append(e.reqs[out], agent)
+				} else if !nd.downBuf[ivc.route.outPort][ivc.route.outVC].Full() {
+					e.reqs[ivc.route.outPort] = append(e.reqs[ivc.route.outPort], agent)
+				}
+			}
+		}
+		// ... and from injection channels.
+		for i := range nd.inj {
+			ic := &nd.inj[i]
+			if ic.msg == nil || !ic.route.valid || ic.route.assignedAt >= e.now ||
+				ic.msg.FlitsSent >= ic.msg.Length {
+				continue
+			}
+			agent := int32(e.injIndex(i))
+			if ic.route.eject {
+				out := e.numPhys + int(ic.route.ejCh)
+				e.reqs[out] = append(e.reqs[out], agent)
+			} else if !nd.downBuf[ic.route.outPort][ic.route.outVC].Full() {
+				e.reqs[ic.route.outPort] = append(e.reqs[ic.route.outPort], agent)
+			}
+		}
+
+		// Grant one requester per output port, honouring the one-flit-per-
+		// input-port crossbar constraint. Ejection "ports" go first so that
+		// draining traffic is never starved by through traffic.
+		for o := numOut - 1; o >= 0; o-- {
+			lst := e.reqs[o]
+			if len(lst) == 0 {
+				continue
+			}
+			agent := nd.outArb[o].GrantFrom(lst, func(a int32) bool {
+				return !granted[e.inputPortOf(int(a))]
+			})
+			if agent < 0 {
+				continue
+			}
+			granted[e.inputPortOf(int(agent))] = true
+			mv := move{node: int32(ni), agent: agent}
+			if o >= e.numPhys {
+				mv.eject = true
+				mv.ejCh = int8(o - e.numPhys)
+			} else {
+				mv.outPort = topology.Port(o)
+				mv.outVC = e.routeOf(nd, int(agent)).outVC
+			}
+			e.moves = append(e.moves, mv)
+		}
+	}
+}
+
+// inputPortOf maps an agent index to its crossbar input port index
+// (physical ports first, then one port per injection channel).
+func (e *Engine) inputPortOf(agent int) int {
+	if agent < e.numPhys*e.cfg.VCs {
+		return agent / e.cfg.VCs
+	}
+	return e.numPhys + (agent - e.numPhys*e.cfg.VCs)
+}
+
+// routeOf returns the route of the given agent of node nd.
+func (e *Engine) routeOf(nd *node, agent int) routeInfo {
+	if agent < e.numPhys*e.cfg.VCs {
+		return nd.in[agent/e.cfg.VCs][agent%e.cfg.VCs].route
+	}
+	return nd.inj[agent-e.numPhys*e.cfg.VCs].route
+}
+
+// The credit condition for a forward move is that the receiving
+// virtual-channel buffer (node.downBuf[port][vc]) has a slot free at the
+// start of the cycle: a one-cycle credit loop. Each buffer has a single
+// upstream sender and one grant per output port, so the check is exact.
+
+// phaseMove applies the planned flit transfers: pops from input buffers or
+// injection channels, pushes into downstream buffers or ejection sinks, and
+// performs all the bookkeeping that head and tail flits trigger (channel
+// release, path tracking, delivery accounting).
+func (e *Engine) phaseMove() {
+	for _, mv := range e.moves {
+		nd := e.nodes[mv.node]
+		var flit message.Flit
+
+		if a := int(mv.agent); a < e.numPhys*e.cfg.VCs {
+			p, v := a/e.cfg.VCs, a%e.cfg.VCs
+			ivc := &nd.in[p][v]
+			flit = ivc.buf.Pop()
+			if flit.Tail {
+				ivc.route = routeInfo{}
+				nd.blocked.Progress(a)
+				e.removePathLoc(flit.Msg, pathLoc{node: nd.id, port: topology.Port(p), vc: int8(v)})
+			}
+		} else {
+			ic := &nd.inj[a-e.numPhys*e.cfg.VCs]
+			m := ic.msg
+			flit = message.MakeFlit(m, m.FlitsSent)
+			m.FlitsSent++
+			if flit.Head && m.InjectTime < 0 {
+				m.InjectTime = e.now
+				e.col.OnInjected(int(nd.id), e.now)
+				e.emit(trace.KindInjected, m, nd.id)
+			}
+			if flit.Tail {
+				ic.msg = nil
+				ic.route = routeInfo{}
+				m.State = message.StateInNetwork
+			}
+		}
+
+		m := flit.Msg
+		if mv.eject {
+			m.FlitsEjected++
+			if flit.Tail {
+				nd.ej[mv.ejCh].msg = nil
+				m.State = message.StateDelivered
+				m.DeliverTime = e.now
+				e.delivered++
+				delete(e.paths, m)
+				e.col.OnDelivered(e.now, m.GenTime, m.InjectTime, m.Length, m.Measured)
+				e.emit(trace.KindDelivered, m, nd.id)
+			}
+			continue
+		}
+
+		nd.lastTx[int(mv.outPort)*e.cfg.VCs+int(mv.outVC)] = e.now
+		if flit.Tail {
+			nd.out[mv.outPort].VCs[mv.outVC].ReleaseIfOwner(m)
+		}
+		nd.downBuf[mv.outPort][mv.outVC].Push(flit)
+	}
+}
+
+// removePathLoc drops one location from a message's tracked path. The tail
+// leaves buffers in path order, so the match is normally the front entry;
+// the scan is defensive.
+func (e *Engine) removePathLoc(m *message.Message, loc pathLoc) {
+	path := e.paths[m]
+	for i, l := range path {
+		if l == loc {
+			e.paths[m] = append(path[:i], path[i+1:]...)
+			return
+		}
+	}
+}

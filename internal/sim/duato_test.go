@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/baseline"
+)
+
+// Duato's protocol must be deadlock-free in the engine's semantics: after
+// sustained overload on an adversarial ring workload, stopping the sources
+// must drain the network completely with zero recoveries.
+func TestDuatoDeadlockFreedomUnderOverload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K, cfg.N = 8, 1 // single ring: the hardest case for escape channels
+	cfg.VCs = 3
+	cfg.Routing = "duato"
+	cfg.Pattern = "tornado" // everyone sends halfway around the ring
+	cfg.MsgLen, cfg.Rate = 24, 1.5
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 3000, 1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3000; i++ {
+		e.Step()
+		if i%37 == 0 {
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+		}
+	}
+	if e.Recovered() != 0 {
+		t.Fatalf("duato produced %d recoveries; detection must be off", e.Recovered())
+	}
+	e.StopSources()
+	deadline := e.Now() + 200_000
+	for e.InFlight() > 0 && e.Now() < deadline {
+		e.Step()
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("duato deadlocked: %d messages stuck after drain", e.InFlight())
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same drain property on a 2D torus under complement traffic.
+func TestDuatoDrains2D(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Routing = "duato"
+	cfg.Pattern = "complement"
+	cfg.Rate = 2.0
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 2500, 1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2500; i++ {
+		e.Step()
+	}
+	e.StopSources()
+	deadline := e.Now() + 200_000
+	for e.InFlight() > 0 && e.Now() < deadline {
+		e.Step()
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("duato deadlocked on 2D complement: %d stuck", e.InFlight())
+	}
+	if e.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestDuatoConfigValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Routing = "duato"
+	cfg.VCs = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("duato with 2 VCs accepted")
+	}
+}
+
+// TFAR and Duato throughput should be in the same ballpark below
+// saturation; this guards against the escape restriction crippling the
+// adaptive channels.
+func TestDuatoComparableToTFARBelowSaturation(t *testing.T) {
+	base := QuickConfig()
+	base.Rate = 0.8
+	base.Limiter, base.LimiterName = baseline.NewNone(), "none"
+	run := func(routing string) float64 {
+		cfg := base
+		cfg.Routing = routing
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run().Accepted
+	}
+	tfar, duato := run("tfar"), run("duato")
+	if duato < 0.8*tfar {
+		t.Errorf("duato accepted %.4f far below tfar %.4f", duato, tfar)
+	}
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"fmt"
+
+	"wormnet/internal/core"
+	"wormnet/internal/deadlock"
+	"wormnet/internal/message"
+	"wormnet/internal/router"
+	"wormnet/internal/routing"
+	"wormnet/internal/stats"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
+)
+
+// routeInfo is the forwarding decision attached to an input virtual channel
+// or injection channel while a message traverses it.
+type routeInfo struct {
+	valid      bool
+	eject      bool
+	outPort    topology.Port // valid when !eject
+	outVC      int8          // valid when !eject
+	ejCh       int8          // valid when eject
+	assignedAt int64         // cycle of allocation; movement starts the next cycle
+}
+
+// inVC is one input virtual channel: its flit buffer plus routing state.
+type inVC struct {
+	buf   *router.Buffer
+	route routeInfo
+}
+
+// injChannel is one of the node's injection channels: a message being
+// streamed into the network flit by flit.
+type injChannel struct {
+	msg   *message.Message
+	route routeInfo
+}
+
+// ejChannel is one of the node's ejection channels.
+type ejChannel struct {
+	msg *message.Message // nil when free
+}
+
+// pendingRecovery is a recovered message waiting out the software
+// re-injection cost at its recovery node.
+type pendingRecovery struct {
+	msg     *message.Message
+	readyAt int64
+}
+
+// node is one network endpoint: a router plus its local injection state.
+type node struct {
+	id topology.NodeID
+
+	in  [][]inVC          // [physical input port][vc]
+	out []*router.OutPort // [physical output port]
+	inj []injChannel
+	ej  []ejChannel
+
+	queue    []*message.Message // source queue (FIFO; paper: older first)
+	recovery []pendingRecovery  // software-recovery queue (priority)
+
+	src     traffic.Generator
+	limiter core.Limiter
+
+	// blocked tracks consecutive cycles each input VC's header failed to
+	// obtain an output virtual channel (deadlock detection input).
+	blocked *deadlock.BlockTracker
+	// lastTx records, per output virtual channel (flattened port*VCs+vc),
+	// the last cycle a flit was transmitted through it. The FC3D-style
+	// detector uses it to distinguish a dead knot (no movement anywhere the
+	// header could go) from plain congestion.
+	lastTx []int64
+
+	// nbr caches the neighbouring node behind each physical output port and
+	// downBuf the input buffer a flit sent on (port, vc) lands in; both are
+	// hot-path lookups precomputed at construction.
+	nbr     []*node
+	downBuf [][]*router.Buffer
+
+	// outArb arbitrates each output port (physical + ejection) among the
+	// node's input agents.
+	outArb []*router.RoundRobin
+	// allocRR rotates the starting input VC of the allocation phase.
+	allocRR int
+
+	// scratch buffers reused every cycle.
+	scratchCands []routing.Candidate
+	scratchPorts []topology.Port
+}
+
+// agent indices: input VCs first ([port*VCs+vc]), then injection channels.
+func (e *Engine) agentCount() int { return e.numPhys*e.cfg.VCs + e.cfg.InjChannels }
+
+// move is one planned flit transfer of the current cycle.
+type move struct {
+	node  int32 // node whose crossbar the flit traverses
+	agent int32 // source agent index (input VC or injection channel)
+	eject bool
+	ejCh  int8
+	// destination (forward moves): filled from the agent's route
+	outPort topology.Port
+	outVC   int8
+}
+
+// pathLoc identifies a buffer holding flits of an in-flight message: the
+// input virtual channel (port, vc) of a node.
+type pathLoc struct {
+	node topology.NodeID
+	port topology.Port
+	vc   int8
+}
+
+// Engine is a single simulation run. It is not safe for concurrent use;
+// run independent Engines on separate goroutines instead (see
+// internal/experiments).
+type Engine struct {
+	cfg     Config
+	topo    *topology.Torus
+	alg     routing.Algorithm
+	det     deadlock.Detector
+	col     *stats.Collector
+	nodes   []*node
+	numPhys int
+	now     int64
+
+	nextID message.ID
+	// paths tracks which buffers hold each in-flight message's flits, in
+	// path order (oldest first), for deadlock recovery.
+	paths map[*message.Message][]pathLoc
+
+	// moves is the per-cycle plan, rebuilt each cycle.
+	moves []move
+	// reqs holds the per-output-port requester lists of the node currently
+	// being switch-allocated (reused across nodes and cycles).
+	reqs [][]int32
+	// inputGranted marks input ports already granted this cycle, per node;
+	// indexed [node][inputPort], where injection channels occupy ports
+	// numPhys..numPhys+InjChannels-1.
+	inputGranted [][]bool
+
+	// genScratch reuses the traffic-generation slice.
+	genScratch []traffic.Generated
+
+	// sourcesStopped suppresses traffic generation (see StopSources).
+	sourcesStopped bool
+
+	// listener, when non-nil, receives message lifecycle events.
+	listener trace.Listener
+
+	// delivered counts all-time delivered messages (not just in-window).
+	delivered int64
+	// generated counts all-time generated messages.
+	generated int64
+	// recovered counts all-time deadlock recoveries.
+	recovered int64
+}
+
+// New builds a simulation engine from cfg. It validates the configuration
+// and pre-allocates all routers, channels and statistics state.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(cfg.K, cfg.N)
+	var alg routing.Algorithm
+	switch cfg.Routing {
+	case "tfar":
+		alg = routing.NewTFAR(topo, cfg.VCs)
+	case "dor":
+		alg = routing.NewDOR(topo, cfg.VCs)
+	case "duato":
+		alg = routing.NewDuato(topo, cfg.VCs)
+	default:
+		return nil, fmt.Errorf("sim: unknown routing %q", cfg.Routing)
+	}
+	pattern, err := traffic.ByName(cfg.Pattern, topo)
+	if err != nil {
+		return nil, err
+	}
+
+	// A deadlock-free routing engine needs no detection; running the
+	// FC3D-style criterion anyway would only produce false positives (it
+	// presumes deadlock from sustained blockage, which plain congestion can
+	// cause too).
+	threshold := cfg.DetectionThreshold
+	if alg.DeadlockFree() {
+		threshold = 0
+	}
+	e := &Engine{
+		cfg:     cfg,
+		topo:    topo,
+		alg:     alg,
+		det:     deadlock.NewDetector(threshold),
+		col:     stats.NewCollector(topo.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles),
+		numPhys: topo.NumPorts(),
+		paths:   make(map[*message.Message][]pathLoc),
+	}
+
+	nNodes := topo.Nodes()
+	e.nodes = make([]*node, nNodes)
+	e.inputGranted = make([][]bool, nNodes)
+	numOut := e.numPhys + cfg.EjChannels
+	for i := 0; i < nNodes; i++ {
+		nd := &node{id: topology.NodeID(i)}
+		nd.in = make([][]inVC, e.numPhys)
+		for p := range nd.in {
+			nd.in[p] = make([]inVC, cfg.VCs)
+			for v := range nd.in[p] {
+				nd.in[p][v].buf = router.NewBuffer(cfg.BufDepth)
+			}
+		}
+		nd.out = make([]*router.OutPort, e.numPhys)
+		for p := range nd.out {
+			nd.out[p] = router.NewOutPort(cfg.VCs)
+		}
+		nd.inj = make([]injChannel, cfg.InjChannels)
+		nd.ej = make([]ejChannel, cfg.EjChannels)
+		if cfg.Burst.Enabled() {
+			nd.src = traffic.NewBurstySource(nd.id, pattern, cfg.Rate, cfg.MsgLen,
+				cfg.Burst, cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
+		} else {
+			nd.src = traffic.NewSource(nd.id, pattern, cfg.Rate, cfg.MsgLen,
+				cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
+		}
+		nd.limiter = cfg.Limiter(nd.id, topo, cfg.VCs)
+		nd.blocked = deadlock.NewBlockTracker(e.numPhys * cfg.VCs)
+		nd.lastTx = make([]int64, e.numPhys*cfg.VCs)
+		for t := range nd.lastTx {
+			nd.lastTx[t] = -1
+		}
+		nd.outArb = make([]*router.RoundRobin, numOut)
+		for p := range nd.outArb {
+			nd.outArb[p] = router.NewRoundRobin(e.agentCount())
+		}
+		e.nodes[i] = nd
+		e.inputGranted[i] = make([]bool, e.numPhys+cfg.InjChannels)
+	}
+	// Wire the neighbour and downstream-buffer caches once all routers
+	// exist.
+	for _, nd := range e.nodes {
+		nd.nbr = make([]*node, e.numPhys)
+		nd.downBuf = make([][]*router.Buffer, e.numPhys)
+		for p := 0; p < e.numPhys; p++ {
+			nb := e.nodes[topo.Neighbor(nd.id, topology.Port(p))]
+			nd.nbr[p] = nb
+			nd.downBuf[p] = make([]*router.Buffer, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				nd.downBuf[p][v] = nb.in[topology.Opposite(topology.Port(p))][v].buf
+			}
+		}
+	}
+	return e, nil
+}
+
+// splitSeed derives a per-node stream seed from the run seed
+// (SplitMix64-style mixing).
+func splitSeed(seed, node uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(node+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// Collector returns the run's metrics collector.
+func (e *Engine) Collector() *stats.Collector { return e.col }
+
+// Config returns the run's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Topology returns the run's torus.
+func (e *Engine) Topology() *topology.Torus { return e.topo }
+
+// InFlight returns the number of generated-but-undelivered messages.
+func (e *Engine) InFlight() int64 { return e.generated - e.delivered }
+
+// Recovered returns the all-time count of deadlock recoveries.
+func (e *Engine) Recovered() int64 { return e.recovered }
+
+// Delivered returns the all-time count of delivered messages.
+func (e *Engine) Delivered() int64 { return e.delivered }
+
+// Generated returns the all-time count of generated messages.
+func (e *Engine) Generated() int64 { return e.generated }
+
+// Run executes the configured number of cycles and returns the summary.
+func (e *Engine) Run() stats.Result {
+	total := e.cfg.TotalCycles()
+	for e.now < total {
+		e.Step()
+	}
+	return e.col.Result()
+}
+
+// SetListener attaches a trace listener receiving message lifecycle events
+// (generation, injection, delivery, deadlock, recovery, throttling). Pass
+// nil to detach. Tracing costs one branch per event when detached.
+func (e *Engine) SetListener(l trace.Listener) { e.listener = l }
+
+// emit publishes a lifecycle event if a listener is attached.
+func (e *Engine) emit(kind trace.Kind, m *message.Message, at topology.NodeID) {
+	if e.listener == nil {
+		return
+	}
+	e.listener.Emit(trace.Event{
+		Cycle: e.now,
+		Kind:  kind,
+		Msg:   int64(m.ID),
+		Src:   m.Src,
+		Dst:   m.Dst,
+		Node:  at,
+	})
+}
+
+// StopSources turns off traffic generation for the rest of the run. The
+// network then drains: with a deadlock-handling configuration every
+// in-flight and queued message is eventually delivered, which tests and
+// checkpoint-style workloads rely on.
+func (e *Engine) StopSources() { e.sourcesStopped = true }
+
+// Inject enqueues a message directly into src's source queue, bypassing the
+// traffic source. It is the hook for hand-built scenarios (tests, examples).
+// The message is generated at the current cycle and participates in
+// measurement like any other.
+func (e *Engine) Inject(src, dst topology.NodeID, length int) *message.Message {
+	if !e.topo.Valid(src) || !e.topo.Valid(dst) {
+		panic(fmt.Sprintf("sim: invalid endpoints %d -> %d", src, dst))
+	}
+	if src == dst {
+		panic("sim: self-addressed message")
+	}
+	m := message.New(e.nextID, src, dst, length, e.now)
+	e.nextID++
+	m.Measured = e.col.OnGenerated(e.now)
+	e.nodes[src].queue = append(e.nodes[src].queue, m)
+	e.generated++
+	return m
+}
+
+// inVCIndex flattens (port, vc) into the node's agent index space.
+func (e *Engine) inVCIndex(p topology.Port, vc int8) int {
+	return int(p)*e.cfg.VCs + int(vc)
+}
+
+// injIndex returns the agent index of injection channel i.
+func (e *Engine) injIndex(i int) int { return e.numPhys*e.cfg.VCs + i }

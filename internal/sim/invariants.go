@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"wormnet/internal/message"
+	"wormnet/internal/topology"
+)
+
+// CheckInvariants validates the global consistency of the simulation state.
+// It is O(network size) and intended for tests, which interleave it with
+// Step calls; it returns the first violation found.
+//
+// Checked invariants:
+//  1. Flit conservation: for every message with flits in the network, the
+//     flits buffered across all routers equal FlitsSent - FlitsEjected.
+//  2. Buffer exclusivity: a virtual-channel buffer only holds flits of a
+//     single message, in ascending sequence order.
+//  3. Path tracking: every buffer holding flits of a message appears in the
+//     message's tracked path, and path entries never point at buffers
+//     holding another message's flits.
+//  4. Allocation consistency: every allocated output virtual channel is
+//     owned by a live (undelivered) message, and every valid forward route
+//     points at an output virtual channel owned by the routed message.
+//  5. Ejection consistency: a busy ejection channel belongs to exactly one
+//     in-flight message.
+func (e *Engine) CheckInvariants() error {
+	buffered := make(map[*message.Message]int)
+	inPath := make(map[pathLoc]*message.Message)
+	for m, path := range e.paths {
+		for _, loc := range path {
+			if prev, dup := inPath[loc]; dup {
+				return fmt.Errorf("path loc %+v tracked for both msg %d and msg %d", loc, prev.ID, m.ID)
+			}
+			inPath[loc] = m
+		}
+	}
+
+	for _, nd := range e.nodes {
+		for p := range nd.in {
+			for v := range nd.in[p] {
+				ivc := &nd.in[p][v]
+				loc := pathLoc{node: nd.id, port: topology.Port(p), vc: int8(v)}
+				var owner *message.Message
+				prevSeq := -1
+				for i := 0; i < ivc.buf.Len(); i++ {
+					f := ivc.buf.Pop()
+					ivc.buf.Push(f) // rotate through
+					if owner == nil {
+						owner = f.Msg
+					} else if owner != f.Msg {
+						return fmt.Errorf("node %d in[%d][%d]: flits of msgs %d and %d share a buffer",
+							nd.id, p, v, owner.ID, f.Msg.ID)
+					}
+					if f.Seq <= prevSeq {
+						return fmt.Errorf("node %d in[%d][%d]: flit sequence not ascending", nd.id, p, v)
+					}
+					prevSeq = f.Seq
+					buffered[f.Msg]++
+				}
+				if owner != nil {
+					if inPath[loc] != owner {
+						return fmt.Errorf("node %d in[%d][%d]: holds msg %d flits but path tracks %v",
+							nd.id, p, v, owner.ID, inPath[loc])
+					}
+				}
+				if tracked := inPath[loc]; tracked != nil && owner != nil && tracked != owner {
+					return fmt.Errorf("path entry %+v mismatch", loc)
+				}
+				// A valid forward route must point at a VC owned by the
+				// buffer's message (or the message that just drained it).
+				if ivc.route.valid && !ivc.route.eject && owner != nil {
+					oc := nd.out[ivc.route.outPort].VCs[ivc.route.outVC]
+					if oc.Owner() != owner {
+						return fmt.Errorf("node %d in[%d][%d]: route points at VC owned by %v, buffer holds msg %d",
+							nd.id, p, v, oc.Owner(), owner.ID)
+					}
+				}
+			}
+		}
+		for p := range nd.out {
+			for v := range nd.out[p].VCs {
+				if m := nd.out[p].VCs[v].Owner(); m != nil && m.State == message.StateDelivered {
+					return fmt.Errorf("node %d out[%d].vc[%d] owned by delivered msg %d", nd.id, p, v, m.ID)
+				}
+			}
+		}
+		for c := range nd.ej {
+			if m := nd.ej[c].msg; m != nil && m.State == message.StateDelivered {
+				return fmt.Errorf("node %d ej[%d] held by delivered msg %d", nd.id, c, m.ID)
+			}
+		}
+	}
+
+	for m, n := range buffered {
+		if want := m.FlitsSent - m.FlitsEjected; n != want {
+			return fmt.Errorf("msg %d: %d flits buffered, want sent-ejected=%d-%d=%d",
+				m.ID, n, m.FlitsSent, m.FlitsEjected, want)
+		}
+		if m.State == message.StateDelivered {
+			return fmt.Errorf("msg %d delivered but still has %d buffered flits", m.ID, n)
+		}
+	}
+	return nil
+}
+
+// QueueLengths returns the total source-queue and recovery-queue lengths
+// across all nodes (a congestion indicator used by tests and examples).
+func (e *Engine) QueueLengths() (source, recovery int) {
+	for _, nd := range e.nodes {
+		source += len(nd.queue)
+		recovery += len(nd.recovery)
+	}
+	return source, recovery
+}

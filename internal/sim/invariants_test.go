@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/message"
+)
+
+// The invariant checker is itself load-bearing for the test suite, so these
+// tests corrupt engine state deliberately and verify each class of
+// violation is caught.
+
+func TestInvariantCatchesUntrackedFlit(t *testing.T) {
+	e := idle(t, nil)
+	m := message.New(999, 0, 5, 4, 0)
+	m.FlitsSent = 1
+	// A flit parked in a buffer with no path entry.
+	e.nodes[3].in[0][0].buf.Push(message.MakeFlit(m, 0))
+	err := e.CheckInvariants()
+	if err == nil {
+		t.Fatal("untracked buffered flit not caught")
+	}
+	if !strings.Contains(err.Error(), "path") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestInvariantCatchesMixedBuffer(t *testing.T) {
+	e := idle(t, nil)
+	m1 := message.New(1, 0, 5, 4, 0)
+	m2 := message.New(2, 0, 5, 4, 0)
+	loc := pathLoc{node: 3, port: 0, vc: 0}
+	e.paths[m1] = []pathLoc{loc}
+	buf := e.nodes[3].in[0][0].buf
+	buf.Push(message.MakeFlit(m1, 0))
+	buf.Push(message.MakeFlit(m2, 0))
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "share a buffer") {
+		t.Fatalf("mixed buffer not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesFlitCountMismatch(t *testing.T) {
+	e := idle(t, nil)
+	m := message.New(1, 0, 5, 4, 0)
+	m.FlitsSent = 3 // three sent, only one buffered
+	e.paths[m] = []pathLoc{{node: 3, port: 0, vc: 0}}
+	e.nodes[3].in[0][0].buf.Push(message.MakeFlit(m, 0))
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "buffered") {
+		t.Fatalf("flit conservation not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesNonAscendingSeq(t *testing.T) {
+	e := idle(t, nil)
+	m := message.New(1, 0, 5, 8, 0)
+	m.FlitsSent = 2
+	e.paths[m] = []pathLoc{{node: 3, port: 0, vc: 0}}
+	buf := e.nodes[3].in[0][0].buf
+	buf.Push(message.MakeFlit(m, 2))
+	buf.Push(message.MakeFlit(m, 1)) // out of order
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Fatalf("sequence violation not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesDeliveredOwner(t *testing.T) {
+	e := idle(t, nil)
+	m := message.New(1, 0, 5, 4, 0)
+	m.State = message.StateDelivered
+	e.nodes[2].out[1].VCs[0].Allocate(m)
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "delivered") {
+		t.Fatalf("stale allocation not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesDeliveredEjection(t *testing.T) {
+	e := idle(t, nil)
+	m := message.New(1, 0, 5, 4, 0)
+	m.State = message.StateDelivered
+	e.nodes[2].ej[0].msg = m
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "ej") {
+		t.Fatalf("stale ejection channel not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesDuplicatePathEntry(t *testing.T) {
+	e := idle(t, nil)
+	m1 := message.New(1, 0, 5, 4, 0)
+	m2 := message.New(2, 0, 5, 4, 0)
+	loc := pathLoc{node: 3, port: 0, vc: 0}
+	e.paths[m1] = []pathLoc{loc}
+	e.paths[m2] = []pathLoc{loc}
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "both") {
+		t.Fatalf("duplicate path entry not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesRouteOwnershipMismatch(t *testing.T) {
+	e := idle(t, nil)
+	m1 := message.New(1, 0, 5, 4, 0)
+	m2 := message.New(2, 0, 5, 4, 0)
+	loc := pathLoc{node: 3, port: 0, vc: 0}
+	e.paths[m1] = []pathLoc{loc}
+	m1.FlitsSent = 1
+	nd := e.nodes[3]
+	nd.in[0][0].buf.Push(message.MakeFlit(m1, 0))
+	// Route on the VC points at an output channel owned by a different
+	// message.
+	nd.out[2].VCs[1].Allocate(m2)
+	nd.in[0][0].route = routeInfo{valid: true, outPort: 2, outVC: 1, assignedAt: 0}
+	err := e.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "owned by") {
+		t.Fatalf("route ownership mismatch not caught: %v", err)
+	}
+}
+
+// Running every limiter inside the engine exercises the channelView glue
+// (UsefulPorts/FreeVCs/QueuedMessages/HeadWait) and DRIL's Tick hook.
+func TestAllLimitersInsideEngine(t *testing.T) {
+	for name, f := range baseline.Factories() {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig()
+			cfg.Rate = 1.6 // beyond saturation so limiters actually bind
+			cfg.Limiter, cfg.LimiterName = f, name
+			cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 2500, 300
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < cfg.TotalCycles(); i++ {
+				e.Step()
+				if i%173 == 0 {
+					if err := e.CheckInvariants(); err != nil {
+						t.Fatalf("cycle %d: %v", i, err)
+					}
+				}
+			}
+			if e.Delivered() == 0 {
+				t.Fatal("nothing delivered")
+			}
+		})
+	}
+}
+
+func TestChannelViewQueueReporting(t *testing.T) {
+	e := idle(t, nil)
+	nd := e.nodes[0]
+	v := channelView{e: e, nd: nd}
+	if v.QueuedMessages() != 0 || v.HeadWait() != 0 {
+		t.Fatal("empty queue must report zeros")
+	}
+	e.Inject(0, 5, 4)
+	e.Inject(0, 6, 4)
+	if v.QueuedMessages() != 2 {
+		t.Fatalf("QueuedMessages=%d", v.QueuedMessages())
+	}
+	// Advance time without injecting (freeze injection by filling all
+	// injection channels? simpler: check HeadWait grows with now).
+	e.now += 25
+	if v.HeadWait() != 25 {
+		t.Fatalf("HeadWait=%d want 25", v.HeadWait())
+	}
+	if v.VCs() != e.cfg.VCs || v.NumPorts() != e.numPhys {
+		t.Error("geometry accessors")
+	}
+	ports := v.UsefulPorts(5)
+	if len(ports) == 0 {
+		t.Error("UsefulPorts empty for a remote destination")
+	}
+	for _, p := range ports {
+		if v.FreeVCs(p) != e.cfg.VCs {
+			t.Error("idle network must have all VCs free")
+		}
+	}
+}

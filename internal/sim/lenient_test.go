@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/baseline"
+)
+
+// The lenient (timeout-style) detector must flag far more presumed
+// deadlocks at saturation than the strict vital-sign criterion — the
+// difference behind the paper's 20-70% detection figures.
+func TestLenientDetectionFlagsMore(t *testing.T) {
+	base := QuickConfig()
+	base.Pattern = "complement"
+	base.Rate = 1.6 // beyond saturation
+	base.Limiter, base.LimiterName = baseline.NewNone(), "none"
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 500, 3000, 200
+
+	run := func(lenient bool) float64 {
+		cfg := base
+		cfg.LenientDetection = lenient
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run().DeadlockPct
+	}
+	strict := run(false)
+	lenient := run(true)
+	if lenient <= strict {
+		t.Errorf("lenient detection %.3f%% should exceed strict %.3f%%", lenient, strict)
+	}
+	if lenient < 1 {
+		t.Errorf("lenient detection at deep saturation should be substantial, got %.3f%%", lenient)
+	}
+}
+
+// Lenient detection must not fire below saturation.
+func TestLenientDetectionQuietAtLowLoad(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rate = 0.2
+	cfg.LenientDetection = true
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 3000, 200
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct := e.Run().DeadlockPct; pct > 0.5 {
+		t.Errorf("lenient detection fired at low load: %.3f%%", pct)
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"wormnet/internal/message"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+)
+
+// recover implements the software-based recovery of a presumed-deadlocked
+// message: every flit the message holds in the network is removed, every
+// virtual channel it occupies (sender-side allocations and routes) is
+// released, and the complete message is queued for re-injection at the node
+// that held its header — charged with the configured software processing
+// delay. The message keeps its generation timestamp, so the recovery cost
+// shows up in its latency.
+func (e *Engine) recover(m *message.Message, at *node) {
+	e.recovered++
+	e.col.OnDeadlock(e.now)
+	e.emit(trace.KindDeadlock, m, at.id)
+
+	// Free the injection channel if the message is still streaming in.
+	inj := e.nodes[m.Injector]
+	for i := range inj.inj {
+		ic := &inj.inj[i]
+		if ic.msg != m {
+			continue
+		}
+		if ic.route.valid {
+			if ic.route.eject {
+				if inj.ej[ic.route.ejCh].msg == m {
+					inj.ej[ic.route.ejCh].msg = nil
+				}
+			} else {
+				inj.out[ic.route.outPort].VCs[ic.route.outVC].ReleaseIfOwner(m)
+			}
+		}
+		ic.msg = nil
+		ic.route = routeInfo{}
+	}
+
+	// Tear down the path: remove buffered flits, clear routes, release the
+	// virtual channels feeding and leaving every buffer the message holds.
+	for _, loc := range e.paths[m] {
+		nd := e.nodes[loc.node]
+		ivc := &nd.in[loc.port][loc.vc]
+		ivc.buf.RemoveMessage(m.ID)
+		// The buffer held only this message's flits, so a valid route on it
+		// belongs to the message: release the onward channel it claimed.
+		if ivc.route.valid {
+			if ivc.route.eject {
+				if nd.ej[ivc.route.ejCh].msg == m {
+					nd.ej[ivc.route.ejCh].msg = nil
+				}
+			} else {
+				nd.out[ivc.route.outPort].VCs[ivc.route.outVC].ReleaseIfOwner(m)
+			}
+			ivc.route = routeInfo{}
+		}
+		nd.blocked.Progress(e.inVCIndex(loc.port, loc.vc))
+		// Release the upstream allocation feeding this buffer (a no-op when
+		// the tail already passed through it).
+		up := e.nodes[e.topo.Neighbor(loc.node, loc.port)]
+		up.out[topology.Opposite(loc.port)].VCs[loc.vc].ReleaseIfOwner(m)
+	}
+	delete(e.paths, m)
+
+	m.ResetForReinjection(at.id)
+	at.recovery = append(at.recovery, pendingRecovery{
+		msg:     m,
+		readyAt: e.now + e.cfg.RecoveryDelay,
+	})
+	e.emit(trace.KindRecovered, m, at.id)
+}

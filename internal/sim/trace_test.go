@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/core"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+)
+
+func TestEngineEmitsLifecycleEvents(t *testing.T) {
+	e := idle(t, nil)
+	rec := trace.NewRecorder(64)
+	e.SetListener(rec)
+	m := e.Inject(0, 5, 4)
+	stepN(t, e, 60)
+	if m.DeliverTime < 0 {
+		t.Fatal("not delivered")
+	}
+	hist := rec.MessageHistory(int64(m.ID))
+	kinds := make([]trace.Kind, len(hist))
+	for i, ev := range hist {
+		kinds[i] = ev.Kind
+	}
+	// Inject() bypasses generation, so the first event is the injection.
+	if len(kinds) != 2 || kinds[0] != trace.KindInjected || kinds[1] != trace.KindDelivered {
+		t.Fatalf("lifecycle events: %v", kinds)
+	}
+	if hist[1].Node != 5 {
+		t.Errorf("delivery node %d want 5", hist[1].Node)
+	}
+	// Detach: no more events.
+	e.SetListener(nil)
+	e.Inject(0, 6, 4)
+	stepN(t, e, 60)
+	if rec.Count(trace.KindDelivered) != 1 {
+		t.Error("listener not detached")
+	}
+}
+
+func TestEngineEmitsGenerationAndThrottle(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.K, cfg.N = 4, 1
+	cfg.Rate = 2.5 // far beyond a ring's capacity: ALO must throttle
+	cfg.Limiter, cfg.LimiterName = core.NewALO(), "alo"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 800, 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(128)
+	e.SetListener(rec)
+	e.Run()
+	if rec.Count(trace.KindGenerated) == 0 {
+		t.Error("no generation events")
+	}
+	if rec.Count(trace.KindThrottled) == 0 {
+		t.Error("ALO at 2.5 flits/node/cycle should have throttled at least once")
+	}
+	if rec.Count(trace.KindDelivered) == 0 {
+		t.Error("no deliveries")
+	}
+}
+
+func TestEngineEmitsDeadlockEvents(t *testing.T) {
+	e := idle(t, func(c *Config) {
+		c.K, c.N, c.VCs = 8, 1, 1
+		c.MsgLen = 64
+		c.DetectionThreshold, c.RecoveryDelay = 16, 8
+		c.WarmupCycles = 0
+	})
+	rec := trace.NewRecorder(256)
+	e.SetListener(rec)
+	for s := 0; s < 8; s++ {
+		e.Inject(topology.NodeID(s), topology.NodeID((s+3)%8), 64)
+	}
+	stepN(t, e, 3000)
+	if rec.Count(trace.KindDeadlock) == 0 || rec.Count(trace.KindRecovered) == 0 {
+		t.Fatalf("deadlock events missing: deadlock=%d recovered=%d",
+			rec.Count(trace.KindDeadlock), rec.Count(trace.KindRecovered))
+	}
+	// Every deadlock event pairs with a recovery event.
+	if rec.Count(trace.KindDeadlock) != rec.Count(trace.KindRecovered) {
+		t.Errorf("deadlock/recovery counts diverge: %d vs %d",
+			rec.Count(trace.KindDeadlock), rec.Count(trace.KindRecovered))
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"wormnet/internal/routing"
+	"wormnet/internal/topology"
+)
+
+// channelView adapts a node's router state to the core.ChannelView
+// interface consumed by injection limiters: the routing function plus the
+// virtual-channel status register, exactly the information the paper's
+// injection control unit sees.
+type channelView struct {
+	e  *Engine
+	nd *node
+}
+
+// UsefulPorts implements core.ChannelView by executing the run's routing
+// function for a locally generated message and collapsing its candidates to
+// distinct physical ports.
+func (v channelView) UsefulPorts(dst topology.NodeID) []topology.Port {
+	v.nd.scratchCands = v.e.alg.Candidates(v.nd.id, dst, v.nd.scratchCands[:0])
+	v.nd.scratchPorts = routing.Ports(v.nd.scratchCands, v.nd.scratchPorts[:0])
+	return v.nd.scratchPorts
+}
+
+// FreeVCs implements core.ChannelView.
+func (v channelView) FreeVCs(p topology.Port) int { return v.nd.out[p].FreeVCs() }
+
+// VCs implements core.ChannelView.
+func (v channelView) VCs() int { return v.e.cfg.VCs }
+
+// NumPorts implements core.ChannelView.
+func (v channelView) NumPorts() int { return v.e.numPhys }
+
+// QueuedMessages implements core.ChannelView.
+func (v channelView) QueuedMessages() int { return len(v.nd.queue) }
+
+// HeadWait implements core.ChannelView.
+func (v channelView) HeadWait() int64 {
+	if len(v.nd.queue) == 0 {
+		return 0
+	}
+	return v.e.now - v.nd.queue[0].GenTime
+}

@@ -1,0 +1,183 @@
+package stats
+
+// Collector gathers the per-run metrics the paper reports. The simulation
+// engine drives it through the On* hooks; measurement is restricted to a
+// window so that warm-up transients are excluded, mirroring the evaluation
+// methodology of Duato & López the paper adopts.
+//
+// Conventions:
+//   - "accepted traffic" is flits delivered during the measurement window,
+//     normalised per node per cycle;
+//   - latency statistics cover messages *generated* inside the window and
+//     delivered before the run ends (source-queue time included);
+//   - the deadlock rate is detected deadlocks per injected message, both
+//     counted inside the window;
+//   - fairness counts messages injected per node inside the window.
+type Collector struct {
+	nodes      int
+	winStart   int64
+	winEnd     int64
+	histWidth  float64
+	histBucket int
+
+	// Latency holds end-to-end latency samples (cycles) of measured
+	// messages; NetLatency excludes source-queue time.
+	Latency    Welford
+	NetLatency Welford
+	Hist       *Histogram
+
+	generatedMsgs  int64
+	deliveredMsgs  int64
+	deliveredFlits int64
+	injectedMsgs   int64
+	deadlocks      int64
+
+	fairness *Fairness
+
+	// deliveredSeries, when enabled, tracks flits delivered per interval
+	// over the whole run (not just the window).
+	deliveredSeries *TimeSeries
+}
+
+// NewCollector returns a collector for a run over nodes nodes that measures
+// activity in cycles [winStart, winEnd).
+func NewCollector(nodes int, winStart, winEnd int64) *Collector {
+	if nodes < 1 || winEnd <= winStart {
+		panic("stats: bad collector window")
+	}
+	return &Collector{
+		nodes:    nodes,
+		winStart: winStart,
+		winEnd:   winEnd,
+		Hist:     NewHistogram(50, 200), // 50-cycle buckets up to 10k cycles
+		fairness: NewFairness(nodes),
+	}
+}
+
+// InWindow reports whether cycle t falls inside the measurement window.
+func (c *Collector) InWindow(t int64) bool { return t >= c.winStart && t < c.winEnd }
+
+// Window returns the measurement window [start, end).
+func (c *Collector) Window() (start, end int64) { return c.winStart, c.winEnd }
+
+// OnGenerated records the generation of a message at cycle t and reports
+// whether the message is measured (generated inside the window).
+func (c *Collector) OnGenerated(t int64) bool {
+	if !c.InWindow(t) {
+		return false
+	}
+	c.generatedMsgs++
+	return true
+}
+
+// OnInjected records that node injected a message at cycle t.
+func (c *Collector) OnInjected(node int, t int64) {
+	if !c.InWindow(t) {
+		return
+	}
+	c.injectedMsgs++
+	c.fairness.Inc(node)
+}
+
+// OnDelivered records the delivery of a message at cycle t. measured tells
+// whether the message was generated inside the window; genTime and injTime
+// are its generation and first-injection cycles.
+func (c *Collector) OnDelivered(t, genTime, injTime int64, flits int, measured bool) {
+	if c.InWindow(t) {
+		c.deliveredMsgs++
+		c.deliveredFlits += int64(flits)
+	}
+	if c.deliveredSeries != nil {
+		c.deliveredSeries.Add(t, float64(flits))
+	}
+	if measured {
+		lat := float64(t - genTime)
+		c.Latency.Add(lat)
+		c.Hist.Add(lat)
+		if injTime >= 0 {
+			c.NetLatency.Add(float64(t - injTime))
+		}
+	}
+}
+
+// OnDeadlock records a detected deadlock at cycle t.
+func (c *Collector) OnDeadlock(t int64) {
+	if c.InWindow(t) {
+		c.deadlocks++
+	}
+}
+
+// AcceptedTraffic returns the measured accepted traffic in
+// flits/node/cycle.
+func (c *Collector) AcceptedTraffic() float64 {
+	cycles := c.winEnd - c.winStart
+	return float64(c.deliveredFlits) / float64(c.nodes) / float64(cycles)
+}
+
+// DeadlockRate returns detected deadlocks per injected message, in percent.
+// It returns 0 when nothing was injected.
+func (c *Collector) DeadlockRate() float64 {
+	if c.injectedMsgs == 0 {
+		return 0
+	}
+	return 100 * float64(c.deadlocks) / float64(c.injectedMsgs)
+}
+
+// Generated returns the number of measured generated messages.
+func (c *Collector) Generated() int64 { return c.generatedMsgs }
+
+// Delivered returns the number of messages delivered inside the window.
+func (c *Collector) Delivered() int64 { return c.deliveredMsgs }
+
+// Injected returns the number of messages injected inside the window.
+func (c *Collector) Injected() int64 { return c.injectedMsgs }
+
+// Deadlocks returns the number of deadlocks detected inside the window.
+func (c *Collector) Deadlocks() int64 { return c.deadlocks }
+
+// Fairness returns the per-node injection counters.
+func (c *Collector) Fairness() *Fairness { return c.fairness }
+
+// EnableDeliverySeries starts recording flits delivered per interval across
+// buckets covering cycles [0, n*interval). Call before the run starts.
+func (c *Collector) EnableDeliverySeries(interval int64, n int) *TimeSeries {
+	c.deliveredSeries = NewTimeSeries(interval, n)
+	return c.deliveredSeries
+}
+
+// DeliverySeries returns the per-interval delivered-flit series, or nil if
+// not enabled.
+func (c *Collector) DeliverySeries() *TimeSeries { return c.deliveredSeries }
+
+// Result is an immutable summary of a finished run, convenient for tables.
+type Result struct {
+	AvgLatency    float64 // cycles, including source-queue time
+	StdLatency    float64 // standard deviation of latency
+	AvgNetLatency float64 // cycles, network only
+	P99Latency    float64 // 99th percentile upper bound
+	Accepted      float64 // flits/node/cycle
+	DeadlockPct   float64 // detected deadlocks per injected message (%)
+	Delivered     int64
+	Injected      int64
+	Generated     int64
+	WorstNodeDev  float64 // most negative per-node injection deviation (%)
+	BestNodeDev   float64 // most positive per-node injection deviation (%)
+}
+
+// Result summarises the collector.
+func (c *Collector) Result() Result {
+	worst, best := c.fairness.Spread()
+	return Result{
+		AvgLatency:    c.Latency.Mean(),
+		StdLatency:    c.Latency.StdDev(),
+		AvgNetLatency: c.NetLatency.Mean(),
+		P99Latency:    c.Hist.Quantile(0.99),
+		Accepted:      c.AcceptedTraffic(),
+		DeadlockPct:   c.DeadlockRate(),
+		Delivered:     c.deliveredMsgs,
+		Injected:      c.injectedMsgs,
+		Generated:     c.generatedMsgs,
+		WorstNodeDev:  worst,
+		BestNodeDev:   best,
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import "fmt"
+
+// TimeSeries accumulates a quantity into fixed-width time buckets — e.g.
+// flits delivered per 100-cycle interval — so that transient behaviour
+// (bursts, saturation episodes, recovery storms) can be observed, not just
+// run-wide averages. Samples beyond the last bucket are dropped.
+type TimeSeries struct {
+	interval int64
+	buckets  []float64
+}
+
+// NewTimeSeries returns a series of n buckets of interval cycles each,
+// covering cycles [0, n*interval).
+func NewTimeSeries(interval int64, n int) *TimeSeries {
+	if interval < 1 || n < 1 {
+		panic(fmt.Sprintf("stats: bad time series geometry interval=%d n=%d", interval, n))
+	}
+	return &TimeSeries{interval: interval, buckets: make([]float64, n)}
+}
+
+// Add accumulates v into the bucket covering cycle t. Out-of-range cycles
+// are ignored.
+func (ts *TimeSeries) Add(t int64, v float64) {
+	if t < 0 {
+		return
+	}
+	i := t / ts.interval
+	if i >= int64(len(ts.buckets)) {
+		return
+	}
+	ts.buckets[i] += v
+}
+
+// Interval returns the bucket width in cycles.
+func (ts *TimeSeries) Interval() int64 { return ts.interval }
+
+// Len returns the number of buckets.
+func (ts *TimeSeries) Len() int { return len(ts.buckets) }
+
+// Bucket returns the accumulated value of bucket i.
+func (ts *TimeSeries) Bucket(i int) float64 { return ts.buckets[i] }
+
+// Values returns a copy of all bucket values.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.buckets))
+	copy(out, ts.buckets)
+	return out
+}
+
+// Rate returns bucket i's value normalised per cycle (value/interval).
+func (ts *TimeSeries) Rate(i int) float64 {
+	return ts.buckets[i] / float64(ts.interval)
+}
+
+// Peak returns the largest bucket value and its index.
+func (ts *TimeSeries) Peak() (idx int, v float64) {
+	for i, b := range ts.buckets {
+		if b > v {
+			idx, v = i, b
+		}
+	}
+	return idx, v
+}

@@ -1,0 +1,243 @@
+// Package topology implements the coordinate and port algebra of
+// bidirectional k-ary n-cube (torus) interconnection networks.
+//
+// A k-ary n-cube has k^n nodes. Every node is identified by a NodeID in
+// [0, k^n) or, equivalently, by an n-digit radix-k coordinate vector.
+// Each node has 2n unidirectional physical output channels (one per
+// dimension and direction) plus, in the router model built on top of this
+// package, a number of injection and ejection channels.
+//
+// The package is purely combinational: it has no simulation state and all
+// methods are safe for concurrent use.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NodeID identifies a node in the network. IDs are dense in [0, Nodes()).
+type NodeID int32
+
+// Direction selects one of the two travel directions along a dimension.
+type Direction int8
+
+// The two directions along a torus ring.
+const (
+	Plus  Direction = 0 // increasing coordinate (with wraparound)
+	Minus Direction = 1 // decreasing coordinate (with wraparound)
+)
+
+// String returns "+" or "-".
+func (d Direction) String() string {
+	if d == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// Port identifies a physical channel of a router. Ports 0..2n-1 are the
+// network channels: port 2*dim+0 heads in the Plus direction of dimension
+// dim, port 2*dim+1 in the Minus direction. Higher port numbers are used by
+// the router model for injection/ejection and are not interpreted here.
+type Port int8
+
+// Torus describes a bidirectional k-ary n-cube.
+//
+// The zero value is not usable; construct with New.
+type Torus struct {
+	k int // radix: nodes per ring
+	n int // dimensions
+	// powers[i] == k^i, for coordinate extraction.
+	powers []int32
+}
+
+// New returns a k-ary n-cube description.
+// It panics if k < 2, n < 1, or k^n overflows NodeID.
+func New(k, n int) *Torus {
+	if k < 2 {
+		panic(fmt.Sprintf("topology: radix k=%d must be >= 2", k))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("topology: dimensions n=%d must be >= 1", n))
+	}
+	powers := make([]int32, n+1)
+	powers[0] = 1
+	for i := 1; i <= n; i++ {
+		v := int64(powers[i-1]) * int64(k)
+		if v > 1<<30 {
+			panic(fmt.Sprintf("topology: k^n too large (k=%d n=%d)", k, n))
+		}
+		powers[i] = int32(v)
+	}
+	return &Torus{k: k, n: n, powers: powers}
+}
+
+// K returns the radix (ring size) of the torus.
+func (t *Torus) K() int { return t.k }
+
+// N returns the number of dimensions.
+func (t *Torus) N() int { return t.n }
+
+// Nodes returns the total number of nodes, k^n.
+func (t *Torus) Nodes() int { return int(t.powers[t.n]) }
+
+// NumPorts returns the number of physical network ports per router (2n).
+func (t *Torus) NumPorts() int { return 2 * t.n }
+
+// Valid reports whether id names a node of this torus.
+func (t *Torus) Valid(id NodeID) bool {
+	return id >= 0 && int(id) < t.Nodes()
+}
+
+// Coord returns digit dim of the radix-k representation of id.
+func (t *Torus) Coord(id NodeID, dim int) int {
+	return int(id) / int(t.powers[dim]) % t.k
+}
+
+// Coords fills dst (which must have length >= n) with the coordinates of id
+// and returns dst[:n].
+func (t *Torus) Coords(id NodeID, dst []int) []int {
+	v := int(id)
+	for i := 0; i < t.n; i++ {
+		dst[i] = v % t.k
+		v /= t.k
+	}
+	return dst[:t.n]
+}
+
+// FromCoords returns the NodeID with the given coordinates.
+// Coordinates are taken modulo k, so callers may pass unnormalized values.
+func (t *Torus) FromCoords(coords []int) NodeID {
+	if len(coords) != t.n {
+		panic(fmt.Sprintf("topology: got %d coords, want %d", len(coords), t.n))
+	}
+	id := 0
+	for i := t.n - 1; i >= 0; i-- {
+		c := coords[i] % t.k
+		if c < 0 {
+			c += t.k
+		}
+		id = id*t.k + c
+	}
+	return NodeID(id)
+}
+
+// PortFor returns the output port heading in direction dir of dimension dim.
+func PortFor(dim int, dir Direction) Port {
+	return Port(2*dim + int(dir))
+}
+
+// PortDim returns the dimension a physical network port belongs to.
+func PortDim(p Port) int { return int(p) / 2 }
+
+// PortDir returns the direction of a physical network port.
+func PortDir(p Port) Direction { return Direction(int(p) % 2) }
+
+// Opposite returns the port that faces p across a link: a flit leaving node
+// A on port p arrives at the neighbouring node on input port Opposite(p).
+func Opposite(p Port) Port { return p ^ 1 }
+
+// Neighbor returns the node reached by leaving id through the given port.
+func (t *Torus) Neighbor(id NodeID, p Port) NodeID {
+	dim := PortDim(p)
+	c := t.Coord(id, dim)
+	var nc int
+	if PortDir(p) == Plus {
+		nc = c + 1
+		if nc == t.k {
+			nc = 0
+		}
+	} else {
+		nc = c - 1
+		if nc < 0 {
+			nc = t.k - 1
+		}
+	}
+	return id + NodeID((nc-c)*int(t.powers[dim]))
+}
+
+// RingDist returns the minimal hop distance from a to b along a single
+// k-node ring (0 <= a,b < k).
+func (t *Torus) RingDist(a, b int) int {
+	d := b - a
+	if d < 0 {
+		d = -d
+	}
+	if alt := t.k - d; alt < d {
+		return alt
+	}
+	return d
+}
+
+// Distance returns the minimal hop distance between two nodes.
+func (t *Torus) Distance(a, b NodeID) int {
+	sum := 0
+	for dim := 0; dim < t.n; dim++ {
+		sum += t.RingDist(t.Coord(a, dim), t.Coord(b, dim))
+	}
+	return sum
+}
+
+// MinimalDirs reports the minimal travel directions along dimension dim to
+// go from coordinate a to coordinate b on the ring. It returns
+// (plusOK, minusOK). Both are false iff a == b; both are true iff k is even
+// and the offset is exactly k/2 (the two directions tie).
+func (t *Torus) MinimalDirs(a, b int) (plusOK, minusOK bool) {
+	if a == b {
+		return false, false
+	}
+	// Distance travelling in the Plus direction.
+	dp := b - a
+	if dp < 0 {
+		dp += t.k
+	}
+	dm := t.k - dp // distance travelling Minus
+	switch {
+	case dp < dm:
+		return true, false
+	case dm < dp:
+		return false, true
+	default:
+		return true, true
+	}
+}
+
+// UsefulPorts appends to dst the physical output ports of node cur that move
+// a message minimally closer to dst node d, and returns the extended slice.
+// It returns dst unchanged when cur == d.
+//
+// This is the set of "useful physical output channels" in the paper's sense:
+// the channels returned by a minimal adaptive routing function.
+func (t *Torus) UsefulPorts(cur, d NodeID, dst []Port) []Port {
+	if cur == d {
+		return dst
+	}
+	for dim := 0; dim < t.n; dim++ {
+		a, b := t.Coord(cur, dim), t.Coord(d, dim)
+		plus, minus := t.MinimalDirs(a, b)
+		if plus {
+			dst = append(dst, PortFor(dim, Plus))
+		}
+		if minus {
+			dst = append(dst, PortFor(dim, Minus))
+		}
+	}
+	return dst
+}
+
+// AddressBits returns log2(Nodes()) if the node count is a power of two,
+// and (0, false) otherwise. Bit-permutation traffic patterns (butterfly,
+// bit-reversal, perfect shuffle, complement) require a power-of-two size.
+func (t *Torus) AddressBits() (int, bool) {
+	nodes := t.Nodes()
+	if nodes&(nodes-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros(uint(nodes)), true
+}
+
+// String returns a description such as "8-ary 3-cube (512 nodes)".
+func (t *Torus) String() string {
+	return fmt.Sprintf("%d-ary %d-cube (%d nodes)", t.k, t.n, t.Nodes())
+}

@@ -1,0 +1,326 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		k, n int
+	}{
+		{"k too small", 1, 3},
+		{"n too small", 4, 0},
+		{"overflow", 1 << 16, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", c.k, c.n)
+				}
+			}()
+			New(c.k, c.n)
+		})
+	}
+}
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		k, n, nodes, ports int
+	}{
+		{2, 1, 2, 2},
+		{4, 2, 16, 4},
+		{8, 3, 512, 6},
+		{3, 3, 27, 6},
+		{5, 2, 25, 4},
+	}
+	for _, c := range cases {
+		tp := New(c.k, c.n)
+		if tp.Nodes() != c.nodes {
+			t.Errorf("%v: Nodes=%d want %d", tp, tp.Nodes(), c.nodes)
+		}
+		if tp.NumPorts() != c.ports {
+			t.Errorf("%v: NumPorts=%d want %d", tp, tp.NumPorts(), c.ports)
+		}
+		if tp.K() != c.k || tp.N() != c.n {
+			t.Errorf("%v: K/N mismatch", tp)
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	tp := New(5, 3)
+	buf := make([]int, 3)
+	for id := 0; id < tp.Nodes(); id++ {
+		coords := tp.Coords(NodeID(id), buf)
+		if got := tp.FromCoords(coords); got != NodeID(id) {
+			t.Fatalf("round trip %d -> %v -> %d", id, coords, got)
+		}
+		for d := 0; d < 3; d++ {
+			if tp.Coord(NodeID(id), d) != coords[d] {
+				t.Fatalf("Coord(%d,%d)=%d want %d", id, d, tp.Coord(NodeID(id), d), coords[d])
+			}
+		}
+	}
+}
+
+func TestFromCoordsNormalizes(t *testing.T) {
+	tp := New(4, 2)
+	if got := tp.FromCoords([]int{5, -1}); got != tp.FromCoords([]int{1, 3}) {
+		t.Errorf("FromCoords should normalize modulo k: got %d", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	tp := New(3, 2)
+	if tp.Valid(-1) || tp.Valid(9) {
+		t.Error("out-of-range ids reported valid")
+	}
+	if !tp.Valid(0) || !tp.Valid(8) {
+		t.Error("in-range ids reported invalid")
+	}
+}
+
+func TestPortAlgebra(t *testing.T) {
+	for dim := 0; dim < 4; dim++ {
+		for _, dir := range []Direction{Plus, Minus} {
+			p := PortFor(dim, dir)
+			if PortDim(p) != dim || PortDir(p) != dir {
+				t.Fatalf("port algebra broken for dim=%d dir=%v", dim, dir)
+			}
+			if Opposite(Opposite(p)) != p {
+				t.Fatalf("Opposite not involutive for %d", p)
+			}
+			if PortDim(Opposite(p)) != dim || PortDir(Opposite(p)) == dir {
+				t.Fatalf("Opposite(%d) wrong", p)
+			}
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Plus.String() != "+" || Minus.String() != "-" {
+		t.Error("Direction.String mismatch")
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	// Going out a port and back through the opposite port is the identity.
+	for _, cfg := range [][2]int{{2, 2}, {3, 3}, {4, 2}, {8, 3}} {
+		tp := New(cfg[0], cfg[1])
+		for id := 0; id < tp.Nodes(); id++ {
+			for p := Port(0); int(p) < tp.NumPorts(); p++ {
+				nb := tp.Neighbor(NodeID(id), p)
+				if !tp.Valid(nb) {
+					t.Fatalf("%v: invalid neighbor %d of %d via %d", tp, nb, id, p)
+				}
+				back := tp.Neighbor(nb, Opposite(p))
+				if back != NodeID(id) {
+					t.Fatalf("%v: neighbor not symmetric: %d -%d-> %d -%d-> %d",
+						tp, id, p, nb, Opposite(p), back)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborWraparound(t *testing.T) {
+	tp := New(4, 2)
+	// Node (3,0): Plus in dim 0 wraps to (0,0).
+	id := tp.FromCoords([]int{3, 0})
+	if nb := tp.Neighbor(id, PortFor(0, Plus)); nb != tp.FromCoords([]int{0, 0}) {
+		t.Errorf("wraparound plus failed: got %d", nb)
+	}
+	// Node (0,2): Minus in dim 0 wraps to (3,2).
+	id = tp.FromCoords([]int{0, 2})
+	if nb := tp.Neighbor(id, PortFor(0, Minus)); nb != tp.FromCoords([]int{3, 2}) {
+		t.Errorf("wraparound minus failed: got %d", nb)
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	tp := New(8, 1)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {0, 5, 3}, {0, 7, 1}, {7, 0, 1}, {2, 6, 4},
+	}
+	for _, c := range cases {
+		if got := tp.RingDist(c.a, c.b); got != c.want {
+			t.Errorf("RingDist(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetricTriangle(t *testing.T) {
+	tp := New(4, 3)
+	n := tp.Nodes()
+	for a := 0; a < n; a += 3 {
+		for b := 0; b < n; b += 5 {
+			da := tp.Distance(NodeID(a), NodeID(b))
+			db := tp.Distance(NodeID(b), NodeID(a))
+			if da != db {
+				t.Fatalf("Distance not symmetric: %d vs %d", da, db)
+			}
+			if a == b && da != 0 {
+				t.Fatalf("Distance(a,a)=%d", da)
+			}
+			if a != b && da == 0 {
+				t.Fatalf("Distance(%d,%d)=0", a, b)
+			}
+			if max := tp.N() * tp.K() / 2; da > max {
+				t.Fatalf("Distance %d exceeds diameter %d", da, max)
+			}
+		}
+	}
+}
+
+func TestMinimalDirs(t *testing.T) {
+	tp := New(8, 1)
+	cases := []struct {
+		a, b        int
+		plus, minus bool
+	}{
+		{0, 0, false, false},
+		{0, 1, true, false},
+		{0, 3, true, false},
+		{0, 4, true, true}, // half-way tie on even ring
+		{0, 5, false, true},
+		{0, 7, false, true},
+		{6, 1, true, false},
+	}
+	for _, c := range cases {
+		p, m := tp.MinimalDirs(c.a, c.b)
+		if p != c.plus || m != c.minus {
+			t.Errorf("MinimalDirs(%d,%d)=(%v,%v) want (%v,%v)", c.a, c.b, p, m, c.plus, c.minus)
+		}
+	}
+	// Odd radix never ties.
+	tp = New(5, 1)
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			p, m := tp.MinimalDirs(a, b)
+			if p && m {
+				t.Errorf("odd ring tie at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// Property: every useful port strictly decreases distance to destination.
+func TestUsefulPortsDecreaseDistance(t *testing.T) {
+	for _, cfg := range [][2]int{{4, 2}, {8, 3}, {3, 3}, {5, 2}} {
+		tp := New(cfg[0], cfg[1])
+		f := func(a, b uint16) bool {
+			cur := NodeID(int(a) % tp.Nodes())
+			dst := NodeID(int(b) % tp.Nodes())
+			ports := tp.UsefulPorts(cur, dst, nil)
+			if cur == dst {
+				return len(ports) == 0
+			}
+			if len(ports) == 0 {
+				return false
+			}
+			d := tp.Distance(cur, dst)
+			for _, p := range ports {
+				nb := tp.Neighbor(cur, p)
+				if tp.Distance(nb, dst) != d-1 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%v: %v", tp, err)
+		}
+	}
+}
+
+// Property: ports NOT in the useful set never strictly decrease distance
+// (i.e. the useful set is complete for minimal routing).
+func TestUsefulPortsComplete(t *testing.T) {
+	tp := New(4, 3)
+	f := func(a, b uint16) bool {
+		cur := NodeID(int(a) % tp.Nodes())
+		dst := NodeID(int(b) % tp.Nodes())
+		useful := map[Port]bool{}
+		for _, p := range tp.UsefulPorts(cur, dst, nil) {
+			useful[p] = true
+		}
+		d := tp.Distance(cur, dst)
+		for p := Port(0); int(p) < tp.NumPorts(); p++ {
+			if useful[p] {
+				continue
+			}
+			if tp.Distance(tp.Neighbor(cur, p), dst) < d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: following any chain of useful ports reaches the destination in
+// exactly Distance hops.
+func TestUsefulPortsReachDestination(t *testing.T) {
+	tp := New(8, 3)
+	f := func(a, b uint16, choice uint32) bool {
+		cur := NodeID(int(a) % tp.Nodes())
+		dst := NodeID(int(b) % tp.Nodes())
+		steps := 0
+		for cur != dst {
+			ports := tp.UsefulPorts(cur, dst, nil)
+			if len(ports) == 0 {
+				return false
+			}
+			cur = tp.Neighbor(cur, ports[int(choice)%len(ports)])
+			choice = choice*1664525 + 1013904223
+			steps++
+			if steps > tp.N()*tp.K() {
+				return false
+			}
+		}
+		return steps == tp.Distance(NodeID(int(a)%tp.Nodes()), dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsefulPortsAppend(t *testing.T) {
+	tp := New(4, 2)
+	pre := []Port{99}
+	got := tp.UsefulPorts(0, 5, pre)
+	if len(got) < 2 || got[0] != 99 {
+		t.Errorf("UsefulPorts should append: %v", got)
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	cases := []struct {
+		k, n, bits int
+		ok         bool
+	}{
+		{8, 3, 9, true},
+		{4, 2, 4, true},
+		{2, 4, 4, true},
+		{3, 3, 0, false},
+		{5, 2, 0, false},
+	}
+	for _, c := range cases {
+		tp := New(c.k, c.n)
+		b, ok := tp.AddressBits()
+		if b != c.bits || ok != c.ok {
+			t.Errorf("%v: AddressBits=(%d,%v) want (%d,%v)", tp, b, ok, c.bits, c.ok)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(8, 3).String(); s != "8-ary 3-cube (512 nodes)" {
+		t.Errorf("String=%q", s)
+	}
+}

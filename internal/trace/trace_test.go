@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(cycle int64, k Kind, msg int64) Event {
+	return Event{Cycle: cycle, Kind: k, Msg: msg, Src: 0, Dst: 5, Node: 2}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindGenerated: "generated", KindInjected: "injected",
+		KindDelivered: "delivered", KindDeadlock: "deadlock",
+		KindRecovered: "recovered", KindThrottled: "throttled",
+		Kind(42): "kind(42)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String()=%q want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	s := ev(100, KindInjected, 7).String()
+	for _, part := range []string{"100", "injected", "msg=7", "0->5", "at 2"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("event string %q misses %q", s, part)
+		}
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(10)
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	for i := int64(0); i < 5; i++ {
+		r.Emit(ev(i, KindGenerated, i))
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len=%d", r.Len())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Cycle != int64(i) {
+			t.Fatalf("order broken: %v", events)
+		}
+	}
+	if r.Count(KindGenerated) != 5 || r.Count(KindDelivered) != 0 {
+		t.Error("counts wrong")
+	}
+	if r.Count(Kind(42)) != 0 {
+		t.Error("unknown kind count")
+	}
+}
+
+func TestRecorderWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		r.Emit(ev(i, KindInjected, i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len=%d want 4", r.Len())
+	}
+	events := r.Events()
+	// Oldest retained is cycle 6.
+	for i, e := range events {
+		if e.Cycle != int64(6+i) {
+			t.Fatalf("ring order broken: %v", events)
+		}
+	}
+	// Total count is unaffected by eviction.
+	if r.Count(KindInjected) != 10 {
+		t.Errorf("Count=%d", r.Count(KindInjected))
+	}
+}
+
+func TestRecorderPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+func TestMessageHistory(t *testing.T) {
+	r := NewRecorder(16)
+	r.Emit(ev(1, KindGenerated, 7))
+	r.Emit(ev(2, KindGenerated, 8))
+	r.Emit(ev(3, KindInjected, 7))
+	r.Emit(ev(9, KindDelivered, 7))
+	hist := r.MessageHistory(7)
+	if len(hist) != 3 {
+		t.Fatalf("history: %v", hist)
+	}
+	if hist[0].Kind != KindGenerated || hist[2].Kind != KindDelivered {
+		t.Errorf("history order: %v", hist)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRecorder(4)
+	r.Emit(ev(1, KindGenerated, 7))
+	r.Emit(ev(2, KindDeadlock, 7))
+	d := r.Dump()
+	if strings.Count(d, "\n") != 2 || !strings.Contains(d, "deadlock") {
+		t.Errorf("dump:\n%s", d)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(8)
+	f := Filter{Next: r, Kinds: map[Kind]bool{KindDeadlock: true}}
+	f.Emit(ev(1, KindGenerated, 1))
+	f.Emit(ev(2, KindDeadlock, 1))
+	f.Emit(ev(3, KindInjected, 1))
+	if r.Len() != 1 || r.Events()[0].Kind != KindDeadlock {
+		t.Errorf("filter passed wrong events: %v", r.Events())
+	}
+}
+
+func TestMultiAndFunc(t *testing.T) {
+	r1, r2 := NewRecorder(4), NewRecorder(4)
+	calls := 0
+	m := Multi{r1, r2, Func(func(Event) { calls++ })}
+	m.Emit(ev(1, KindInjected, 1))
+	if r1.Len() != 1 || r2.Len() != 1 || calls != 1 {
+		t.Error("multi fan-out broken")
+	}
+}

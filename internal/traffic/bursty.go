@@ -1,0 +1,180 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wormnet/internal/topology"
+)
+
+// Generator is a per-node message generation process. Source (steady
+// Poisson) and BurstySource (on/off modulated Poisson) implement it.
+type Generator interface {
+	// Poll appends all messages generated up to and including cycle now.
+	Poll(now int64, dst []Generated) []Generated
+	// Node returns the node this generator belongs to.
+	Node() topology.NodeID
+}
+
+// BurstProfile parameterises an on/off modulated source. The paper's
+// motivation (§1) cites studies showing real parallel applications produce
+// bursty traffic whose peaks transiently saturate the network [Silla et
+// al. ICPP'98, Flich et al. ICPP'99]; this profile reproduces that shape
+// synthetically.
+//
+// The process alternates exponentially distributed ON and OFF periods with
+// the given mean lengths (in cycles). During ON periods messages are
+// generated at the peak rate; during OFF periods the source is silent. For
+// a long-run average offered load R, the peak rate is
+// R * (OnMean+OffMean) / OnMean.
+//
+// The zero value means "not bursty" (steady Poisson).
+type BurstProfile struct {
+	OnMean  float64 // mean ON period length in cycles
+	OffMean float64 // mean OFF period length in cycles
+	// Synchronized makes every node follow the *same* ON/OFF schedule,
+	// modelling the phase behaviour of parallel applications (all ranks
+	// compute, then all ranks communicate). Independent phases (the
+	// default) model uncorrelated background burstiness, which largely
+	// averages out across nodes; synchronized bursts are what transiently
+	// saturate the whole network.
+	Synchronized bool
+}
+
+// Enabled reports whether the profile describes a bursty source.
+func (p BurstProfile) Enabled() bool { return p.OnMean > 0 && p.OffMean > 0 }
+
+// PeakFactor returns the ratio of peak (ON-period) rate to the long-run
+// average rate: (OnMean+OffMean)/OnMean. It returns 1 when disabled.
+func (p BurstProfile) PeakFactor() float64 {
+	if !p.Enabled() {
+		return 1
+	}
+	return (p.OnMean + p.OffMean) / p.OnMean
+}
+
+// Validate reports whether the profile is usable.
+func (p BurstProfile) Validate() error {
+	if p.OnMean < 0 || p.OffMean < 0 {
+		return fmt.Errorf("traffic: negative burst period means (%v, %v)", p.OnMean, p.OffMean)
+	}
+	if (p.OnMean > 0) != (p.OffMean > 0) {
+		return fmt.Errorf("traffic: burst profile needs both period means set (got %v, %v)", p.OnMean, p.OffMean)
+	}
+	if p.Enabled() && (p.OnMean < 1 || p.OffMean < 1) {
+		return fmt.Errorf("traffic: burst period means must be >= 1 cycle (got %v, %v)", p.OnMean, p.OffMean)
+	}
+	return nil
+}
+
+// BurstySource is an on/off modulated Poisson message generator: a Source
+// whose generation events are gated by alternating ON/OFF periods.
+type BurstySource struct {
+	node    topology.NodeID
+	pattern Pattern
+	rng     *rand.Rand // generation events and destinations
+	prng    *rand.Rand // ON/OFF phase process (shared stream when synchronized)
+	msgLen  int
+	profile BurstProfile
+
+	peakGap float64 // mean cycles between messages during ON periods
+
+	on        bool
+	phaseEnds float64 // cycle the current ON/OFF period ends
+	next      float64 // next generation event (valid while on)
+}
+
+// NewBurstySource returns an on/off source with long-run average rate rate
+// (flits/node/cycle). It panics on invalid parameters, mirroring NewSource.
+func NewBurstySource(node topology.NodeID, pattern Pattern, rate float64, msgLen int,
+	profile BurstProfile, seed1, seed2 uint64) *BurstySource {
+	if rate < 0 {
+		panic(fmt.Sprintf("traffic: negative rate %v", rate))
+	}
+	if msgLen < 1 {
+		panic(fmt.Sprintf("traffic: message length %d < 1", msgLen))
+	}
+	if err := profile.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if !profile.Enabled() {
+		panic("traffic: BurstySource needs an enabled profile; use NewSource for steady traffic")
+	}
+	s := &BurstySource{
+		node:    node,
+		pattern: pattern,
+		rng:     rand.New(rand.NewPCG(seed1, seed2)),
+		msgLen:  msgLen,
+		profile: profile,
+	}
+	if profile.Synchronized {
+		// All nodes draw the phase schedule from the same stream: the
+		// phase seed depends only on the run seed, not on the node.
+		s.prng = rand.New(rand.NewPCG(seed1, 0xB0057))
+	} else {
+		s.prng = rand.New(rand.NewPCG(seed2, seed1^0xB0057))
+	}
+	if rate == 0 {
+		s.peakGap = math.Inf(1)
+	} else {
+		peakRate := rate * profile.PeakFactor()
+		s.peakGap = float64(msgLen) / peakRate
+	}
+	s.on = s.prng.Float64() < profile.OnMean/(profile.OnMean+profile.OffMean)
+	s.phaseEnds = s.periodLen()
+	s.next = s.rng.ExpFloat64() * s.peakGap
+	return s
+}
+
+func (s *BurstySource) periodLen() float64 {
+	if s.on {
+		return s.prng.ExpFloat64() * s.profile.OnMean
+	}
+	return s.prng.ExpFloat64() * s.profile.OffMean
+}
+
+// Node implements Generator.
+func (s *BurstySource) Node() topology.NodeID { return s.node }
+
+// On reports whether the source is currently in an ON period (for tests
+// and monitoring).
+func (s *BurstySource) On() bool { return s.on }
+
+// Poll implements Generator.
+func (s *BurstySource) Poll(now int64, dst []Generated) []Generated {
+	t := float64(now)
+	for {
+		// Advance through phase boundaries that occurred before t.
+		if s.phaseEnds <= t {
+			boundary := s.phaseEnds
+			s.on = !s.on
+			s.phaseEnds = boundary + s.periodLen()
+			if s.on {
+				// Re-arm the generation clock at the period start.
+				s.next = boundary + s.rng.ExpFloat64()*s.peakGap
+			}
+			continue
+		}
+		if !s.on || s.next > t {
+			return dst
+		}
+		if s.next >= s.phaseEnds {
+			// The next event falls past this ON period: skip to the
+			// boundary on the next loop iteration.
+			s.next = math.Inf(1)
+			continue
+		}
+		d := s.pattern.Destination(s.node, s.rng)
+		if d != s.node {
+			dst = append(dst, Generated{Dst: d, Length: s.msgLen})
+		}
+		s.next += s.rng.ExpFloat64() * s.peakGap
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Generator = (*Source)(nil)
+	_ Generator = (*BurstySource)(nil)
+)

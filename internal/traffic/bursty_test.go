@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+func TestBurstProfile(t *testing.T) {
+	var zero BurstProfile
+	if zero.Enabled() || zero.PeakFactor() != 1 || zero.Validate() != nil {
+		t.Error("zero profile must be a valid no-op")
+	}
+	p := BurstProfile{OnMean: 100, OffMean: 300}
+	if !p.Enabled() {
+		t.Fatal("enabled")
+	}
+	if got := p.PeakFactor(); got != 4 {
+		t.Errorf("PeakFactor=%v want 4", got)
+	}
+	bad := []BurstProfile{
+		{OnMean: -1, OffMean: 100},
+		{OnMean: 100, OffMean: 0},
+		{OnMean: 0, OffMean: 100},
+		{OnMean: 0.5, OffMean: 100},
+	}
+	for _, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("profile %+v should be invalid", b)
+		}
+	}
+}
+
+func TestBurstySourceLongRunRate(t *testing.T) {
+	tp := topology.New(4, 2)
+	const (
+		rate   = 0.4
+		msgLen = 16
+		cycles = 400000
+	)
+	s := NewBurstySource(3, NewUniform(tp), rate, msgLen,
+		BurstProfile{OnMean: 200, OffMean: 600}, 42, 7)
+	var gen []Generated
+	for c := int64(0); c < cycles; c++ {
+		gen = s.Poll(c, gen)
+	}
+	got := float64(len(gen)*msgLen) / cycles
+	if math.Abs(got-rate)/rate > 0.08 {
+		t.Errorf("long-run rate %.4f, want %.4f ±8%%", got, rate)
+	}
+	if s.Node() != 3 {
+		t.Error("Node")
+	}
+}
+
+func TestBurstySourceIsActuallyBursty(t *testing.T) {
+	tp := topology.New(4, 2)
+	s := NewBurstySource(0, NewUniform(tp), 0.5, 4,
+		BurstProfile{OnMean: 500, OffMean: 1500}, 9, 9)
+	// Count messages per 100-cycle window; a bursty source must show both
+	// silent windows and windows well above the average.
+	const windows = 400
+	counts := make([]int, windows)
+	var gen []Generated
+	for c := int64(0); c < windows*100; c++ {
+		n := len(gen)
+		gen = s.Poll(c, gen)
+		counts[c/100] += len(gen) - n
+	}
+	silent, hot := 0, 0
+	avg := float64(len(gen)) / windows
+	for _, n := range counts {
+		if n == 0 {
+			silent++
+		}
+		if float64(n) > 2.5*avg {
+			hot++
+		}
+	}
+	if silent < windows/10 {
+		t.Errorf("only %d/%d silent windows — not bursty enough", silent, windows)
+	}
+	if hot < windows/20 {
+		t.Errorf("only %d/%d hot windows — peaks missing", hot, windows)
+	}
+}
+
+func TestBurstySourceDeterminism(t *testing.T) {
+	tp := topology.New(4, 2)
+	run := func() []Generated {
+		s := NewBurstySource(1, NewUniform(tp), 0.3, 8,
+			BurstProfile{OnMean: 100, OffMean: 100}, 5, 9)
+		var gen []Generated
+		for c := int64(0); c < 20000; c++ {
+			gen = s.Poll(c, gen)
+		}
+		return gen
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBurstySourceZeroRate(t *testing.T) {
+	tp := topology.New(4, 2)
+	s := NewBurstySource(0, NewUniform(tp), 0, 16,
+		BurstProfile{OnMean: 100, OffMean: 100}, 1, 1)
+	if got := s.Poll(100000, nil); len(got) != 0 {
+		t.Errorf("zero-rate bursty source generated %d messages", len(got))
+	}
+}
+
+func TestBurstySourceValidation(t *testing.T) {
+	tp := topology.New(4, 2)
+	for _, f := range []func(){
+		func() {
+			NewBurstySource(0, NewUniform(tp), -1, 16, BurstProfile{OnMean: 10, OffMean: 10}, 1, 1)
+		},
+		func() {
+			NewBurstySource(0, NewUniform(tp), 0.1, 0, BurstProfile{OnMean: 10, OffMean: 10}, 1, 1)
+		},
+		func() { NewBurstySource(0, NewUniform(tp), 0.1, 16, BurstProfile{}, 1, 1) },
+		func() { NewBurstySource(0, NewUniform(tp), 0.1, 16, BurstProfile{OnMean: -5, OffMean: 5}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wormnet/internal/topology"
+)
+
+// Source is the per-node message generation process: a Poisson process whose
+// rate is expressed in flits per node per cycle, matching the paper's
+// "message injection rate is the same for all nodes. Each node generates
+// messages independently, according to an exponential distribution."
+type Source struct {
+	node    topology.NodeID
+	pattern Pattern
+	rng     *rand.Rand
+	msgLen  int
+	next    float64 // cycle of the next generation event
+	meanGap float64 // mean cycles between messages
+}
+
+// NewSource returns a generation process for one node.
+//
+// rate is the offered load in flits/node/cycle; msgLen is the message length
+// in flits, so messages are generated with mean inter-arrival msgLen/rate
+// cycles. A rate of 0 produces no messages. seed1/seed2 seed the node's
+// private deterministic random stream.
+func NewSource(node topology.NodeID, pattern Pattern, rate float64, msgLen int, seed1, seed2 uint64) *Source {
+	if rate < 0 {
+		panic(fmt.Sprintf("traffic: negative rate %v", rate))
+	}
+	if msgLen < 1 {
+		panic(fmt.Sprintf("traffic: message length %d < 1", msgLen))
+	}
+	s := &Source{
+		node:    node,
+		pattern: pattern,
+		rng:     rand.New(rand.NewPCG(seed1, seed2)),
+		msgLen:  msgLen,
+	}
+	if rate == 0 {
+		s.meanGap = math.Inf(1)
+		s.next = math.Inf(1)
+	} else {
+		s.meanGap = float64(msgLen) / rate
+		s.next = s.expGap()
+	}
+	return s
+}
+
+func (s *Source) expGap() float64 {
+	return s.rng.ExpFloat64() * s.meanGap
+}
+
+// Generated is one generation event: a destination and a length.
+type Generated struct {
+	Dst    topology.NodeID
+	Length int
+}
+
+// Poll appends to dst all messages generated up to and including cycle now,
+// and returns the extended slice. Self-addressed messages (permutation fixed
+// points) are suppressed, as they never enter the network.
+func (s *Source) Poll(now int64, dst []Generated) []Generated {
+	for s.next <= float64(now) {
+		d := s.pattern.Destination(s.node, s.rng)
+		if d != s.node {
+			dst = append(dst, Generated{Dst: d, Length: s.msgLen})
+		}
+		s.next += s.expGap()
+	}
+	return dst
+}
+
+// Node returns the node this source generates for.
+func (s *Source) Node() topology.NodeID { return s.node }

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+func TestSourceRate(t *testing.T) {
+	tp := topology.New(4, 2)
+	const (
+		rate   = 0.4 // flits/node/cycle
+		msgLen = 16
+		cycles = 200000
+	)
+	s := NewSource(3, NewUniform(tp), rate, msgLen, 42, 7)
+	var gen []Generated
+	for c := int64(0); c < cycles; c++ {
+		gen = s.Poll(c, gen)
+	}
+	gotRate := float64(len(gen)*msgLen) / cycles
+	if math.Abs(gotRate-rate)/rate > 0.05 {
+		t.Errorf("offered rate %.4f, want %.4f ±5%%", gotRate, rate)
+	}
+	for _, g := range gen {
+		if g.Length != msgLen {
+			t.Fatalf("length %d", g.Length)
+		}
+		if g.Dst == 3 {
+			t.Fatal("self destination leaked")
+		}
+	}
+}
+
+func TestSourceZeroRate(t *testing.T) {
+	tp := topology.New(4, 2)
+	s := NewSource(0, NewUniform(tp), 0, 16, 1, 1)
+	if got := s.Poll(1_000_000, nil); len(got) != 0 {
+		t.Errorf("zero-rate source generated %d messages", len(got))
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	tp := topology.New(4, 2)
+	run := func() []Generated {
+		s := NewSource(1, NewUniform(tp), 0.3, 8, 5, 9)
+		var gen []Generated
+		for c := int64(0); c < 5000; c++ {
+			gen = s.Poll(c, gen)
+		}
+		return gen
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSourceSeedsIndependent(t *testing.T) {
+	tp := topology.New(4, 2)
+	s1 := NewSource(1, NewUniform(tp), 0.3, 8, 5, 9)
+	s2 := NewSource(1, NewUniform(tp), 0.3, 8, 6, 9)
+	var g1, g2 []Generated
+	for c := int64(0); c < 5000; c++ {
+		g1 = s1.Poll(c, g1)
+		g2 = s2.Poll(c, g2)
+	}
+	if len(g1) == len(g2) {
+		same := true
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestSourceFixedPointSuppression(t *testing.T) {
+	tp := topology.New(8, 3)
+	// Node 0 is a fixed point of the complement? No — complement(0)=511.
+	// Butterfly fixes nodes whose msb==lsb, e.g. node 0.
+	s := NewSource(0, NewButterfly(tp), 1.0, 4, 1, 1)
+	if got := s.Poll(10000, nil); len(got) != 0 {
+		t.Errorf("fixed-point source generated %d messages", len(got))
+	}
+	// Node 1 is not fixed (butterfly(1)=256).
+	s = NewSource(1, NewButterfly(tp), 1.0, 4, 1, 1)
+	got := s.Poll(10000, nil)
+	if len(got) == 0 {
+		t.Fatal("non-fixed-point source generated nothing")
+	}
+	for _, g := range got {
+		if g.Dst != 256 {
+			t.Fatalf("butterfly dest %d want 256", g.Dst)
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	tp := topology.New(4, 2)
+	for _, f := range []func(){
+		func() { NewSource(0, NewUniform(tp), -1, 16, 1, 1) },
+		func() { NewSource(0, NewUniform(tp), 0.1, 0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSourceExponentialGaps(t *testing.T) {
+	// The coefficient of variation of exponential inter-arrivals is 1.
+	tp := topology.New(4, 2)
+	s := NewSource(0, NewUniform(tp), 0.2, 16, 11, 13)
+	var times []int64
+	var gen []Generated
+	for c := int64(0); c < 400000; c++ {
+		n := len(gen)
+		gen = s.Poll(c, gen)
+		for i := n; i < len(gen); i++ {
+			times = append(times, c)
+		}
+	}
+	if len(times) < 100 {
+		t.Fatalf("too few events: %d", len(times))
+	}
+	var gaps []float64
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, float64(times[i]-times[i-1]))
+	}
+	mean, m2 := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		m2 += (g - mean) * (g - mean)
+	}
+	sd := math.Sqrt(m2 / float64(len(gaps)))
+	cv := sd / mean
+	if cv < 0.85 || cv > 1.15 {
+		t.Errorf("inter-arrival CV=%.3f, want ≈1 (exponential)", cv)
+	}
+	if s.Node() != 0 {
+		t.Error("Node()")
+	}
+}
