@@ -5,6 +5,7 @@
 //
 //	figures                 # every figure at full scale (8-ary 3-cube)
 //	figures -fig 5          # only Figure 5
+//	figures -fig faults     # degradation under link failures (not in -fig all)
 //	figures -quick          # reduced 4-ary 2-cube scale
 //	figures -csv out.csv    # additionally dump CSV rows for plotting
 package main
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, or all")
 	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
 	csvPath := flag.String("csv", "", "also append CSV rows to this file")
 	flag.Parse()

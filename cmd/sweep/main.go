@@ -8,6 +8,7 @@
 //	sweep -vary vcs -values 1,2,3 -rate 0.5
 //	sweep -vary threshold -values 8,16,32,64 -rate 0.7 -limiter none
 //	sweep -vary buf -values 2,4,8 -rate 0.5
+//	sweep -vary faults -values 0,0.02,0.05,0.1 -rate 0.3 -limiter alo
 package main
 
 import (
@@ -19,12 +20,14 @@ import (
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
+	"wormnet/internal/fault"
 	"wormnet/internal/sim"
+	"wormnet/internal/topology"
 )
 
 func main() {
 	cfg := sim.DefaultConfig()
-	vary := flag.String("vary", "rate", "parameter to sweep: rate, vcs, buf, threshold, msglen")
+	vary := flag.String("vary", "rate", "parameter to sweep: rate, vcs, buf, threshold, msglen, faults")
 	values := flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
 	limiter := flag.String("limiter", "alo", "injection limiter: none, lf, dril, alo, alo-rule-a, alo-rule-b, alo-all-channels")
 	flag.IntVar(&cfg.K, "k", cfg.K, "torus radix")
@@ -37,6 +40,8 @@ func main() {
 	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement cycles")
 	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	faults := flag.Float64("faults", 0, "fraction of channels to fail in every run [0,1]")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault planner seed")
 	flag.Parse()
 
 	f, err := limiterByName(*limiter)
@@ -46,10 +51,11 @@ func main() {
 	}
 	cfg.Limiter, cfg.LimiterName = f, *limiter
 
-	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev\n", *vary)
+	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev,aborted,retried,dropped\n", *vary)
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
 		run := cfg
+		frac := *faults
 		switch *vary {
 		case "rate":
 			v, err := strconv.ParseFloat(raw, 64)
@@ -71,16 +77,27 @@ func main() {
 			v, err := strconv.Atoi(raw)
 			must(err)
 			run.MsgLen = v
+		case "faults":
+			v, err := strconv.ParseFloat(raw, 64)
+			must(err)
+			frac = v
 		default:
 			fmt.Fprintf(os.Stderr, "unknown -vary %q\n", *vary)
 			os.Exit(2)
 		}
+		if frac > 0 {
+			sched, err := fault.Plan(topology.New(run.K, run.N),
+				fault.Profile{LinkFraction: frac, Seed: *faultSeed})
+			must(err)
+			run.Faults = sched
+		}
 		e, err := sim.New(run)
 		must(err)
 		r := e.Run()
-		fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f\n",
+		fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f,%d,%d,%d\n",
 			raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
-			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev)
+			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev,
+			r.Aborted, r.Retried, r.Dropped)
 	}
 }
 

@@ -6,6 +6,10 @@
 // Example (the paper's base configuration):
 //
 //	wormsim -k 8 -n 3 -vcs 3 -pattern uniform -len 16 -rate 0.4 -limiter alo
+//
+// With fault injection (5% of channels fail at cycle 0):
+//
+//	wormsim -rate 0.3 -limiter alo -faults 0.05 -fault-seed 7
 package main
 
 import (
@@ -16,7 +20,9 @@ import (
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
+	"wormnet/internal/fault"
 	"wormnet/internal/sim"
+	"wormnet/internal/topology"
 )
 
 func main() {
@@ -41,9 +47,31 @@ func main() {
 	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement window (cycles)")
 	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles after measurement")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	prof := fault.Profile{}
+	flag.Float64Var(&prof.LinkFraction, "faults", 0, "fraction of channels to fail [0,1]")
+	flag.Float64Var(&prof.RouterFraction, "fault-routers", 0, "fraction of routers to fail [0,1]")
+	flag.Uint64Var(&prof.Seed, "fault-seed", 1, "fault planner seed")
+	flag.Int64Var(&prof.At, "fault-at", 0, "cycle the first failure strikes")
+	flag.Int64Var(&prof.Stagger, "fault-stagger", 0, "spread failures over this many cycles")
+	flag.Float64Var(&prof.TransientFraction, "fault-transient", 0, "fraction of failures that heal [0,1]")
+	flag.Int64Var(&prof.RepairAfter, "fault-repair", 0, "outage length of transient failures (cycles)")
+	retries := flag.Int("retry-limit", fault.DefaultRetryPolicy().MaxRetries,
+		"re-injection attempts before a fault-killed message is dropped")
 	verbose := flag.Bool("v", false, "print per-node fairness summary")
 	flag.Parse()
 	cfg.DetectionThreshold = int32(threshold)
+
+	faulty := prof.LinkFraction > 0 || prof.RouterFraction > 0
+	if faulty {
+		sched, err := fault.Plan(topology.New(cfg.K, cfg.N), prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = sched
+		cfg.Retry = fault.DefaultRetryPolicy()
+		cfg.Retry.MaxRetries = *retries
+	}
 
 	f, err := limiterByName(limiterName)
 	if err != nil {
@@ -79,6 +107,13 @@ func main() {
 	sq, rq := e.QueueLengths()
 	fmt.Printf("backlog        : %d queued, %d awaiting recovery, %d in flight\n",
 		sq, rq, e.InFlight())
+	if faulty {
+		l := e.Liveness()
+		fmt.Printf("faults         : %d links, %d routers down at end\n",
+			l.DownLinks(), l.DownRouters())
+		fmt.Printf("fault recovery : %d aborted, %d retried, %d dropped (whole run)\n",
+			e.Aborted(), e.Retried(), e.Dropped())
+	}
 	fmt.Printf("simulated      : %d cycles in %v (%.0f cycles/s)\n",
 		cfg.TotalCycles(), elapsed.Round(time.Millisecond),
 		float64(cfg.TotalCycles())/elapsed.Seconds())

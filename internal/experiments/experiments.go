@@ -26,8 +26,10 @@ import (
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
+	"wormnet/internal/fault"
 	"wormnet/internal/sim"
 	"wormnet/internal/stats"
+	"wormnet/internal/topology"
 )
 
 // Scale selects the execution scale of an experiment: the paper's full
@@ -45,7 +47,10 @@ type Scale struct {
 	// FairRate is the beyond-saturation operating point of the fairness
 	// experiment (the paper uses 0.65 flits/node/cycle).
 	FairRate float64
-	Seed     uint64
+	// FaultRate is the below-saturation operating point of the faults
+	// experiment, where degradation comes from failures, not congestion.
+	FaultRate float64
+	Seed      uint64
 }
 
 // Full is the paper's configuration: an 8-ary 3-cube (512 nodes).
@@ -56,6 +61,7 @@ func Full() Scale {
 		Rates:     []float64{0.1, 0.3, 0.5, 0.6, 0.65, 0.7, 0.8, 0.9},
 		PermRates: []float64{0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0},
 		FairRate:  0.65,
+		FaultRate: 0.3,
 		Seed:      1,
 	}
 }
@@ -71,6 +77,7 @@ func Quick() Scale {
 		Rates:     []float64{0.2, 0.6, 1.0, 1.4, 1.7, 2.0},
 		PermRates: []float64{0.1, 0.3, 0.6, 0.9, 1.2},
 		FairRate:  1.8,
+		FaultRate: 0.8,
 		Seed:      1,
 	}
 }
@@ -189,7 +196,7 @@ func All() []Experiment {
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, error) {
-	for _, ex := range append(All(), DeadlockRates()) {
+	for _, ex := range append(All(), DeadlockRates(), Faults()) {
 		if ex.ID == id {
 			return ex, nil
 		}
@@ -225,6 +232,59 @@ func DeadlockRates() Experiment {
 						Points: []Point{{Offered: rate, Result: e.Collector().Result()}},
 					})
 				}
+			}
+			return rep
+		},
+	}
+}
+
+// FaultFractions is the failed-link grid of the faults experiment: from the
+// healthy network up to 10% of channels dead.
+func FaultFractions() []float64 {
+	return []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10}
+}
+
+// Faults measures graceful degradation under permanent link failures:
+// accepted traffic and latency versus the fraction of failed channels
+// (0–10%), per injection mechanism, at a below-saturation uniform load.
+// Failed links shrink the useful-channel set the limiters measure, so ALO
+// throttles into the reduced capacity instead of collapsing; killed
+// wormholes retry from their sources. Points use Offered to carry the
+// failed-link fraction, not the injection rate.
+func Faults() Experiment {
+	return Experiment{
+		ID:    "faults",
+		Title: "Graceful degradation under link failures (uniform, 16-flit)",
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = "uniform", 16
+			topo := topology.New(s.K, s.N)
+			fractions := FaultFractions()
+			rep := Report{ID: "faults", Title: "Accepted traffic and latency vs failed links"}
+			for _, m := range mechanisms() {
+				cfgs := make([]sim.Config, len(fractions))
+				for i, frac := range fractions {
+					cfg := base.WithLimiter(m.name, m.f).WithRate(s.FaultRate)
+					if frac > 0 {
+						sched, err := fault.Plan(topo, fault.Profile{
+							LinkFraction: frac, Seed: s.Seed,
+						})
+						if err != nil {
+							panic(fmt.Sprintf("experiments: bad fault profile: %v", err))
+						}
+						cfg = cfg.WithFaults(sched)
+					}
+					cfgs[i] = cfg
+				}
+				engines := runAll(cfgs, exec)
+				ser := Series{Name: m.name}
+				for i, e := range engines {
+					ser.Points = append(ser.Points, Point{
+						Offered: fractions[i],
+						Result:  e.Collector().Result(),
+					})
+				}
+				rep.Series = append(rep.Series, ser)
 			}
 			return rep
 		},

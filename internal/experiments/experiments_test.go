@@ -17,6 +17,7 @@ func tinyScale() Scale {
 		Rates:     []float64{0.1, 0.8},
 		PermRates: []float64{0.1, 0.6},
 		FairRate:  0.8,
+		FaultRate: 0.5,
 		Seed:      7,
 	}
 }
@@ -40,6 +41,51 @@ func TestAllAndByID(t *testing.T) {
 	}
 	if _, err := ByID("deadlocks"); err != nil {
 		t.Errorf("deadlocks experiment missing: %v", err)
+	}
+	if _, err := ByID("faults"); err != nil {
+		t.Errorf("faults experiment missing: %v", err)
+	}
+}
+
+func TestFaultsExperiment(t *testing.T) {
+	rep := Faults().Run(tinyScale(), nil)
+	if len(rep.Series) != 4 {
+		t.Fatalf("faults series: %d want 4 mechanisms", len(rep.Series))
+	}
+	fracs := FaultFractions()
+	for _, s := range rep.Series {
+		if len(s.Points) != len(fracs) {
+			t.Fatalf("series %s points: %d want %d", s.Name, len(s.Points), len(fracs))
+		}
+		healthy := s.Points[0].Result
+		worst := s.Points[len(s.Points)-1].Result
+		if healthy.Aborted != 0 || healthy.Dropped != 0 {
+			t.Errorf("series %s: healthy point has fault counters %+v", s.Name, healthy)
+		}
+		if worst.Aborted == 0 {
+			t.Errorf("series %s: 10%% dead links aborted nothing", s.Name)
+		}
+		// Graceful degradation: the network keeps moving the bulk of its
+		// traffic — reduced capacity, not collapse.
+		if worst.Accepted < 0.5*healthy.Accepted {
+			t.Errorf("series %s collapsed: accepted %.4f -> %.4f",
+				s.Name, healthy.Accepted, worst.Accepted)
+		}
+		for i, p := range s.Points {
+			if p.Offered != fracs[i] {
+				t.Fatalf("series %s point %d carries %v want fraction %v",
+					s.Name, i, p.Offered, fracs[i])
+			}
+		}
+	}
+	out := rep.Render()
+	for _, want := range []string{"failed%", "aborted", "retried", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faults renderer misses %q", want)
+		}
+	}
+	if !strings.Contains(rep.CSV(), ",aborted,retried,dropped") {
+		t.Error("CSV header misses fault columns")
 	}
 }
 

@@ -15,6 +15,8 @@ func (r Report) Render() string {
 		r.renderFig2(&b)
 	case "fig4":
 		r.renderFig4(&b)
+	case "faults":
+		r.renderFaults(&b)
 	default:
 		r.renderLatency(&b)
 	}
@@ -69,6 +71,23 @@ func (r Report) renderFig4(b *strings.Builder) {
 	}
 }
 
+// renderFaults prints the degradation table of the faults experiment: one
+// row per failed-link fraction (carried in Offered) per mechanism, with the
+// fault-recovery counters next to the usual performance measures.
+func (r Report) renderFaults(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %8s %10s %10s %9s %8s %8s %8s\n",
+		"mechanism", "failed%", "accepted", "latency", "deadlk%", "aborted", "retried", "dropped")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			res := p.Result
+			fmt.Fprintf(b, "%-10s %8.1f %10.4f %10.1f %9.3f %8d %8d %8d\n",
+				s.Name, p.Offered*100, res.Accepted, res.AvgLatency,
+				res.DeadlockPct, res.Aborted, res.Retried, res.Dropped)
+		}
+		b.WriteString("\n")
+	}
+}
+
 // percentile reads the q-quantile of an ascending-sorted slice.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -82,13 +101,14 @@ func percentile(sorted []float64, q float64) float64 {
 // plotting: figure, series, offered, accepted, latency, stddev, deadlock%.
 func (r Report) CSV() string {
 	var b strings.Builder
-	b.WriteString("figure,series,offered,accepted,latency,stddev,netlatency,deadlockpct\n")
+	b.WriteString("figure,series,offered,accepted,latency,stddev,netlatency,deadlockpct,aborted,retried,dropped\n")
 	for _, s := range r.Series {
 		for _, p := range s.Points {
 			res := p.Result
-			fmt.Fprintf(&b, "%s,%s,%.4f,%.5f,%.2f,%.2f,%.2f,%.4f\n",
+			fmt.Fprintf(&b, "%s,%s,%.4f,%.5f,%.2f,%.2f,%.2f,%.4f,%d,%d,%d\n",
 				r.ID, s.Name, p.Offered, res.Accepted, res.AvgLatency,
-				res.StdLatency, res.AvgNetLatency, res.DeadlockPct)
+				res.StdLatency, res.AvgNetLatency, res.DeadlockPct,
+				res.Aborted, res.Retried, res.Dropped)
 		}
 	}
 	return b.String()

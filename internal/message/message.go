@@ -28,6 +28,7 @@ const (
 	StateInjecting              // holds an injection channel, flits streaming in
 	StateInNetwork              // fully injected, some flits still in transit
 	StateDelivered              // tail flit ejected at the destination
+	StateDropped                // permanently dropped by the fault machinery
 )
 
 // String returns a short name for the state.
@@ -41,6 +42,8 @@ func (s State) String() string {
 		return "in-network"
 	case StateDelivered:
 		return "delivered"
+	case StateDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -75,6 +78,14 @@ type Message struct {
 	// Recoveries counts how many times the message was presumed deadlocked
 	// and re-injected by the software recovery mechanism.
 	Recoveries int
+
+	// Retries counts how many times a fault killed the message and the
+	// source re-enqueued it (capped exponential backoff between attempts).
+	Retries int
+
+	// DropReason is set when the fault machinery permanently drops the
+	// message (State == StateDropped); empty otherwise.
+	DropReason DropReason
 
 	// Measured marks messages generated inside the measurement window;
 	// only these contribute to latency statistics.
@@ -117,6 +128,18 @@ func (m *Message) NetworkLatency() int64 {
 	return m.DeliverTime - m.InjectTime
 }
 
+// DropReason explains why the fault machinery permanently dropped a
+// message.
+type DropReason string
+
+// Drop reasons.
+const (
+	DropNone             DropReason = ""                  // not dropped
+	DropRetriesExhausted DropReason = "retries-exhausted" // retry limit reached
+	DropUnreachable      DropReason = "unreachable"       // destination router dead
+	DropSourceFailed     DropReason = "source-failed"     // source router died holding it
+)
+
 // ResetForReinjection prepares a recovered message for re-injection at node
 // injector: all flit progress is discarded and the message returns to the
 // queued state. Generation time is preserved so the extra latency of the
@@ -127,6 +150,24 @@ func (m *Message) ResetForReinjection(injector topology.NodeID) {
 	m.FlitsEjected = 0
 	m.State = StateQueued
 	m.Recoveries++
+}
+
+// ResetForRetry prepares a fault-killed message for a fresh injection
+// attempt at node injector (normally its original source): like
+// ResetForReinjection, but counted as a fault retry. Generation time is
+// preserved so backoff delays are charged to the message's latency.
+func (m *Message) ResetForRetry(injector topology.NodeID) {
+	m.Injector = injector
+	m.FlitsSent = 0
+	m.FlitsEjected = 0
+	m.State = StateQueued
+	m.Retries++
+}
+
+// Drop marks the message permanently dropped for the given reason.
+func (m *Message) Drop(reason DropReason) {
+	m.State = StateDropped
+	m.DropReason = reason
 }
 
 // String summarises the message for debugging.

@@ -19,9 +19,10 @@ import (
 //
 // V must be at least 3 so that at least one adaptive channel exists.
 type Duato struct {
-	t   *topology.Torus
-	vcs int
-	dor *DOR
+	t    *topology.Torus
+	vcs  int
+	dor  *DOR
+	live *topology.Liveness
 }
 
 // NewDuato returns the escape-channel adaptive engine. It panics if fewer
@@ -42,19 +43,32 @@ func (r *Duato) Candidates(cur, dst topology.NodeID, out []Candidate) []Candidat
 		return out
 	}
 	escape := r.dor.Candidates(cur, dst, nil)
-	// DOR yields exactly one candidate for cur != dst.
-	esc := escape[0]
+	// DOR yields exactly one candidate for cur != dst — unless its
+	// prescribed channel is dead, in which case only the adaptive channels
+	// remain (the engine then runs with detection enabled, since losing the
+	// escape path voids the deadlock-freedom guarantee).
+	esc := Candidate{Port: -1}
+	if len(escape) > 0 {
+		esc = escape[0]
+	}
 	for dim := 0; dim < r.t.N(); dim++ {
 		a, b := r.t.Coord(cur, dim), r.t.Coord(dst, dim)
 		plus, minus := r.t.MinimalDirs(a, b)
-		if plus {
+		if plus && alive(r.live, cur, topology.PortFor(dim, topology.Plus)) {
 			out = r.appendPortCands(out, topology.PortFor(dim, topology.Plus), esc)
 		}
-		if minus {
+		if minus && alive(r.live, cur, topology.PortFor(dim, topology.Minus)) {
 			out = r.appendPortCands(out, topology.PortFor(dim, topology.Minus), esc)
 		}
 	}
 	return out
+}
+
+// SetLiveness implements FaultAware: both the adaptive channels and the
+// embedded escape engine filter against the same mask.
+func (r *Duato) SetLiveness(l *topology.Liveness) {
+	r.live = l
+	r.dor.SetLiveness(l)
 }
 
 // appendPortCands appends port p's admissible virtual channels: the escape

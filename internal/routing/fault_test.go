@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+// portsOf collects the distinct physical ports of a candidate set.
+func portsOf(cands []Candidate) map[topology.Port]bool {
+	set := map[topology.Port]bool{}
+	for _, c := range cands {
+		set[c.Port] = true
+	}
+	return set
+}
+
+func TestTFARFiltersDeadChannels(t *testing.T) {
+	tp := topology.New(8, 2)
+	r := NewTFAR(tp, 3)
+	l := topology.NewLiveness(tp)
+	r.SetLiveness(l)
+
+	src := tp.FromCoords([]int{0, 0})
+	dst := tp.FromCoords([]int{2, 2})
+	full := r.Candidates(src, dst, nil)
+	if len(full) != 6 { // 2 useful ports * 3 VCs
+		t.Fatalf("healthy candidates: %d want 6", len(full))
+	}
+
+	// Kill one of the two useful channels: its 3 VCs disappear.
+	deadPort := full[0].Port
+	l.SetLink(src, deadPort, false)
+	rest := r.Candidates(src, dst, nil)
+	if len(rest) != 3 {
+		t.Fatalf("after link failure: %d candidates want 3", len(rest))
+	}
+	if portsOf(rest)[deadPort] {
+		t.Error("dead channel still offered")
+	}
+
+	// Kill the other one too: the message is unroutable for now.
+	for p := range portsOf(full) {
+		l.SetLink(src, p, false)
+	}
+	if got := r.Candidates(src, dst, nil); len(got) != 0 {
+		t.Errorf("all useful channels dead but %d candidates remain", len(got))
+	}
+
+	// A dead downstream router also removes its channel.
+	l2 := topology.NewLiveness(tp)
+	r.SetLiveness(l2)
+	l2.SetRouter(tp.Neighbor(src, deadPort), false)
+	if portsOf(r.Candidates(src, dst, nil))[deadPort] {
+		t.Error("channel toward dead router still offered")
+	}
+
+	// nil mask restores the fault-free set.
+	r.SetLiveness(nil)
+	if got := r.Candidates(src, dst, nil); len(got) != 6 {
+		t.Errorf("nil mask: %d candidates want 6", len(got))
+	}
+}
+
+func TestDORDeadChannelYieldsNoCandidate(t *testing.T) {
+	tp := topology.New(8, 2)
+	r := NewDOR(tp, 2)
+	l := topology.NewLiveness(tp)
+	r.SetLiveness(l)
+
+	src := tp.FromCoords([]int{0, 0})
+	dst := tp.FromCoords([]int{3, 0})
+	cands := r.Candidates(src, dst, nil)
+	if len(cands) != 1 {
+		t.Fatalf("healthy DOR candidates: %d want 1", len(cands))
+	}
+	// DOR is deterministic: killing its one prescribed channel leaves
+	// nothing — it must not reroute through another dimension.
+	l.SetLink(src, cands[0].Port, false)
+	if got := r.Candidates(src, dst, nil); len(got) != 0 {
+		t.Errorf("DOR rerouted around a dead channel: %v", got)
+	}
+}
+
+func TestDuatoFiltersAdaptiveAndEscape(t *testing.T) {
+	tp := topology.New(8, 2)
+	r := NewDuato(tp, 3) // vc0/vc1 escape, vc2 adaptive
+	l := topology.NewLiveness(tp)
+	r.SetLiveness(l)
+
+	src := tp.FromCoords([]int{0, 0})
+	dst := tp.FromCoords([]int{2, 2})
+	full := r.Candidates(src, dst, nil)
+	// 2 useful ports: 1 adaptive VC each, plus the escape VC on the DOR port.
+	if len(full) != 3 {
+		t.Fatalf("healthy Duato candidates: %d want 3", len(full))
+	}
+	var escPort topology.Port = -1
+	for _, c := range full {
+		if c.VC < 2 {
+			escPort = c.Port
+		}
+	}
+	if escPort < 0 {
+		t.Fatal("no escape candidate in healthy set")
+	}
+
+	// Killing the escape channel leaves only the other port's adaptive VC.
+	l.SetLink(src, escPort, false)
+	rest := r.Candidates(src, dst, nil)
+	if len(rest) != 1 || rest[0].VC < 2 || rest[0].Port == escPort {
+		t.Fatalf("after escape-channel failure: %v", rest)
+	}
+}

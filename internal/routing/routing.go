@@ -20,7 +20,8 @@ type Candidate struct {
 }
 
 // Algorithm computes, for a header at node cur addressed to dst, the set of
-// output virtual channels it may use. Implementations are stateless and safe
+// output virtual channels it may use. Implementations hold no per-message
+// state; after construction (and optional SetLiveness wiring) they are safe
 // for concurrent use.
 type Algorithm interface {
 	// Candidates appends the admissible output virtual channels to out and
@@ -34,11 +35,33 @@ type Algorithm interface {
 	DeadlockFree() bool
 }
 
+// FaultAware is implemented by algorithms that can filter dead channels out
+// of their candidate sets. The simulation engine wires its liveness mask in
+// before the run when fault injection is active; a nil mask (the default)
+// means every channel is alive and the candidate set is the fault-free one.
+//
+// With a mask attached, Candidates never yields a channel leaving through a
+// dead link or toward/out of a dead router — so injection limiters that run
+// the routing function (ALO) automatically see the reduced capacity, and
+// the candidate set may become empty even when cur != dst (the message is
+// currently unroutable; the engine's source-retry machinery handles it).
+type FaultAware interface {
+	SetLiveness(l *topology.Liveness)
+}
+
+// All three engines in this package are fault-aware.
+var (
+	_ FaultAware = (*TFAR)(nil)
+	_ FaultAware = (*DOR)(nil)
+	_ FaultAware = (*Duato)(nil)
+)
+
 // TFAR is True Fully Adaptive Routing: every virtual channel of every
 // minimal physical channel is admissible.
 type TFAR struct {
-	t   *topology.Torus
-	vcs int
+	t    *topology.Torus
+	vcs  int
+	live *topology.Liveness
 }
 
 // NewTFAR returns a TFAR engine for torus t with vcs virtual channels per
@@ -58,14 +81,23 @@ func (r *TFAR) Candidates(cur, dst topology.NodeID, out []Candidate) []Candidate
 	for dim := 0; dim < r.t.N(); dim++ {
 		a, b := r.t.Coord(cur, dim), r.t.Coord(dst, dim)
 		plus, minus := r.t.MinimalDirs(a, b)
-		if plus {
+		if plus && alive(r.live, cur, topology.PortFor(dim, topology.Plus)) {
 			out = appendPort(out, topology.PortFor(dim, topology.Plus), r.vcs)
 		}
-		if minus {
+		if minus && alive(r.live, cur, topology.PortFor(dim, topology.Minus)) {
 			out = appendPort(out, topology.PortFor(dim, topology.Minus), r.vcs)
 		}
 	}
 	return out
+}
+
+// SetLiveness implements FaultAware.
+func (r *TFAR) SetLiveness(l *topology.Liveness) { r.live = l }
+
+// alive reports whether the channel (cur, p) is usable under mask l; a nil
+// mask means yes.
+func alive(l *topology.Liveness, cur topology.NodeID, p topology.Port) bool {
+	return l == nil || l.LinkAlive(cur, p)
 }
 
 func appendPort(out []Candidate, p topology.Port, vcs int) []Candidate {
@@ -89,8 +121,9 @@ func (r *TFAR) DeadlockFree() bool { return false }
 // dependency. DOR needs at least 2 virtual channels per physical channel on
 // rings with k > 2 to be deadlock-free; extra virtual channels are unused.
 type DOR struct {
-	t   *topology.Torus
-	vcs int
+	t    *topology.Torus
+	vcs  int
+	live *topology.Liveness
 }
 
 // NewDOR returns a dimension-order engine for torus t. vcs is the number of
@@ -126,10 +159,19 @@ func (r *DOR) Candidates(cur, dst topology.NodeID, out []Candidate) []Candidate 
 		if wrapAhead(a, b, dir) {
 			vc = 0
 		}
+		// A dead prescribed channel leaves DOR with no candidate at all:
+		// deterministic routing cannot route around a fault, so the header
+		// waits (and the engine's retry machinery eventually reacts).
+		if !alive(r.live, cur, topology.PortFor(dim, dir)) {
+			return out
+		}
 		return append(out, Candidate{Port: topology.PortFor(dim, dir), VC: vc})
 	}
 	return out
 }
+
+// SetLiveness implements FaultAware.
+func (r *DOR) SetLiveness(l *topology.Liveness) { r.live = l }
 
 // wrapAhead reports whether the remaining path from coordinate a to b in
 // direction dir still crosses the ring's wraparound link.

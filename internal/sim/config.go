@@ -23,6 +23,7 @@ import (
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
 	"wormnet/internal/deadlock"
+	"wormnet/internal/fault"
 	"wormnet/internal/topology"
 	"wormnet/internal/traffic"
 )
@@ -74,6 +75,16 @@ type Config struct {
 	// 20-70% figures); the default strict criterion fires only on total
 	// stillness.
 	LenientDetection bool
+
+	// Faults is the fault-injection schedule: timed link and router
+	// failures (and repairs) applied at cycle boundaries. Nil or empty
+	// disables fault injection entirely — the engine then runs the exact
+	// fault-free code path of the seed simulator.
+	Faults *fault.Schedule
+	// Retry is the source-retry policy for messages killed by faults. The
+	// zero value selects fault.DefaultRetryPolicy; ignored when Faults is
+	// empty.
+	Retry fault.RetryPolicy
 
 	// Measurement.
 	WarmupCycles  int64 // cycles before the measurement window opens
@@ -159,6 +170,17 @@ func (c *Config) validate() error {
 	if err := c.Burst.Validate(); err != nil {
 		return err
 	}
+	if !c.Faults.Empty() {
+		if err := c.Faults.Validate(topology.New(c.K, c.N)); err != nil {
+			return err
+		}
+		if c.Retry == (fault.RetryPolicy{}) {
+			c.Retry = fault.DefaultRetryPolicy()
+		}
+		if err := c.Retry.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.Limiter == nil {
 		c.Limiter = baseline.NewNone()
 		if c.LimiterName == "" {
@@ -186,5 +208,11 @@ func (c Config) WithLimiter(name string, f core.Factory) Config {
 // WithRate returns a copy of the config at a different offered load.
 func (c Config) WithRate(rate float64) Config {
 	c.Rate = rate
+	return c
+}
+
+// WithFaults returns a copy of the config using the given fault schedule.
+func (c Config) WithFaults(s *fault.Schedule) Config {
+	c.Faults = s
 	return c
 }

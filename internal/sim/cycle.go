@@ -9,8 +9,14 @@ import (
 
 // Step advances the simulation by one cycle, running the five phases in
 // order: generation, injection, virtual-channel allocation (with deadlock
-// detection), switch allocation, and flit movement.
+// detection), switch allocation, and flit movement. When fault injection
+// is active a fault phase runs first, applying scheduled failures at the
+// cycle boundary; without a fault schedule the extra phase reduces to one
+// nil check and the cycle is exactly the seed simulator's.
 func (e *Engine) Step() {
+	if e.live != nil {
+		e.phaseFaults()
+	}
 	e.phaseGenerate()
 	e.phaseInject()
 	e.phaseAllocate()
@@ -26,6 +32,9 @@ func (e *Engine) phaseGenerate() {
 		return
 	}
 	for _, nd := range e.nodes {
+		if e.live != nil && !e.live.RouterAlive(nd.id) {
+			continue // a dead router generates nothing
+		}
 		e.genScratch = nd.src.Poll(e.now, e.genScratch[:0])
 		for _, g := range e.genScratch {
 			m := message.New(e.nextID, nd.id, g.Dst, g.Length, e.now)
@@ -46,6 +55,27 @@ func (e *Engine) phaseGenerate() {
 // "pending messages have higher priority than newer ones".
 func (e *Engine) phaseInject() {
 	for _, nd := range e.nodes {
+		if e.live != nil {
+			if !e.live.RouterAlive(nd.id) {
+				continue // a dead router injects nothing
+			}
+			// Shed head-of-line messages whose destination router died:
+			// they can never be delivered, and letting them enter would
+			// only wedge traffic near the failure.
+			for len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now &&
+				!e.live.RouterAlive(nd.recovery[0].msg.Dst) {
+				m := nd.recovery[0].msg
+				nd.recovery[0] = pendingRecovery{}
+				nd.recovery = nd.recovery[1:]
+				e.drop(m, nd.id, message.DropUnreachable)
+			}
+			for len(nd.queue) > 0 && !e.live.RouterAlive(nd.queue[0].Dst) {
+				m := nd.queue[0]
+				nd.queue[0] = nil
+				nd.queue = nd.queue[1:]
+				e.drop(m, nd.id, message.DropUnreachable)
+			}
+		}
 		view := channelView{e: e, nd: nd}
 		if obs, ok := nd.limiter.(core.CycleObserver); ok {
 			obs.Tick(view, e.now)
@@ -105,10 +135,17 @@ func (e *Engine) phaseAllocate() {
 				continue
 			}
 			m := front.Msg
-			route, ok, vital := e.allocate(nd, m)
+			route, ok, vital, unroutable := e.allocate(nd, m)
 			if ok {
 				ivc.route = route
 				nd.blocked.Progress(idx)
+				continue
+			}
+			if unroutable {
+				// Faults left the header with no admissible channel at
+				// all: the wormhole can never advance from here. Sever it
+				// and hand it back to the source-retry machinery.
+				e.kill(m, nd.id)
 				continue
 			}
 			if m.Dst == nd.id {
@@ -136,8 +173,12 @@ func (e *Engine) phaseAllocate() {
 			if ic.msg == nil || ic.route.valid || ic.msg.FlitsSent > 0 {
 				continue
 			}
-			if route, ok, _ := e.allocate(nd, ic.msg); ok {
+			route, ok, _, unroutable := e.allocate(nd, ic.msg)
+			switch {
+			case ok:
 				ic.route = route
+			case unroutable:
+				e.kill(ic.msg, nd.id)
 			}
 		}
 	}
@@ -145,21 +186,27 @@ func (e *Engine) phaseAllocate() {
 
 // allocate claims an output virtual channel (or ejection channel) for
 // message m whose header is at node nd. It reports whether allocation
-// succeeded and whether the candidate set shows any "vital sign" — an
+// succeeded, whether the candidate set shows any "vital sign" — an
 // unallocated virtual channel or one that transmitted a flit within the
-// last cycle — which vetoes the deadlock presumption.
-func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool) {
+// last cycle — which vetoes the deadlock presumption, and whether faults
+// left the header with no admissible channel at all (unroutable; only ever
+// true when fault injection is active, since minimal routing otherwise
+// always yields candidates).
+func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool, bool) {
 	if m.Dst == nd.id {
 		for c := range nd.ej {
 			if nd.ej[c].msg == nil {
 				nd.ej[c].msg = m
-				return routeInfo{valid: true, eject: true, ejCh: int8(c), assignedAt: e.now}, true, false
+				return routeInfo{valid: true, eject: true, ejCh: int8(c), assignedAt: e.now}, true, false, false
 			}
 		}
-		return routeInfo{}, false, false
+		return routeInfo{}, false, false, false
 	}
 	cands := e.alg.Candidates(nd.id, m.Dst, nd.scratchCands[:0])
 	nd.scratchCands = cands[:0]
+	if e.live != nil && len(cands) == 0 {
+		return routeInfo{}, false, false, true
+	}
 
 	anyFree := false
 	bestPort := topology.Port(-1)
@@ -202,13 +249,13 @@ func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool) 
 		}
 	}
 	if bestPort < 0 {
-		return routeInfo{}, false, anyFree || anyActive
+		return routeInfo{}, false, anyFree || anyActive, false
 	}
 	nd.out[bestPort].VCs[bestVC].Allocate(m)
 	e.paths[m] = append(e.paths[m], pathLoc{
 		node: nd.nbr[bestPort].id, port: topology.Opposite(bestPort), vc: bestVC,
 	})
-	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC, assignedAt: e.now}, true, true
+	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC, assignedAt: e.now}, true, true, false
 }
 
 // phaseSwitch performs separable switch allocation per node — at most one

@@ -5,6 +5,7 @@ import (
 
 	"wormnet/internal/core"
 	"wormnet/internal/deadlock"
+	"wormnet/internal/fault"
 	"wormnet/internal/message"
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
@@ -50,6 +51,13 @@ type pendingRecovery struct {
 	readyAt int64
 }
 
+// pendingRetry is a fault-killed message waiting out its source-retry
+// backoff; at readyAt it rejoins the front of the source queue.
+type pendingRetry struct {
+	msg     *message.Message
+	readyAt int64
+}
+
 // node is one network endpoint: a router plus its local injection state.
 type node struct {
 	id topology.NodeID
@@ -61,6 +69,7 @@ type node struct {
 
 	queue    []*message.Message // source queue (FIFO; paper: older first)
 	recovery []pendingRecovery  // software-recovery queue (priority)
+	retry    []pendingRetry     // fault-retry queue (backoff; faults only)
 
 	src     traffic.Generator
 	limiter core.Limiter
@@ -147,6 +156,17 @@ type Engine struct {
 	// sourcesStopped suppresses traffic generation (see StopSources).
 	sourcesStopped bool
 
+	// live is the channel/router liveness mask; nil whenever fault
+	// injection is off, which keeps the fault-free path identical to the
+	// seed simulator (every fault hook is behind a nil check).
+	live *topology.Liveness
+	// faultEvents is the run's sorted fault schedule; faultIdx is the next
+	// event to apply.
+	faultEvents []fault.Event
+	faultIdx    int
+	// killScratch reuses the kill-collection slice of fault application.
+	killScratch []*message.Message
+
 	// listener, when non-nil, receives message lifecycle events.
 	listener trace.Listener
 
@@ -156,6 +176,12 @@ type Engine struct {
 	generated int64
 	// recovered counts all-time deadlock recoveries.
 	recovered int64
+	// aborted counts all-time fault kills; retried and dropped count their
+	// outcomes (aborted == retried + dropped-at-abort; drops also happen at
+	// injection time for unreachable destinations).
+	aborted int64
+	retried int64
+	dropped int64
 }
 
 // New builds a simulation engine from cfg. It validates the configuration
@@ -184,9 +210,10 @@ func New(cfg Config) (*Engine, error) {
 	// A deadlock-free routing engine needs no detection; running the
 	// FC3D-style criterion anyway would only produce false positives (it
 	// presumes deadlock from sustained blockage, which plain congestion can
-	// cause too).
+	// cause too). Faults void deadlock-freedom guarantees (an escape path
+	// may die), so with a fault schedule detection stays on regardless.
 	threshold := cfg.DetectionThreshold
-	if alg.DeadlockFree() {
+	if alg.DeadlockFree() && cfg.Faults.Empty() {
 		threshold = 0
 	}
 	e := &Engine{
@@ -197,6 +224,15 @@ func New(cfg Config) (*Engine, error) {
 		col:     stats.NewCollector(topo.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles),
 		numPhys: topo.NumPorts(),
 		paths:   make(map[*message.Message][]pathLoc),
+	}
+	if !cfg.Faults.Empty() {
+		e.live = topology.NewLiveness(topo)
+		e.faultEvents = cfg.Faults.Events()
+		fa, ok := alg.(routing.FaultAware)
+		if !ok {
+			return nil, fmt.Errorf("sim: routing %q is not fault-aware", cfg.Routing)
+		}
+		fa.SetLiveness(e.live)
 	}
 
 	nNodes := topo.Nodes()
@@ -276,11 +312,25 @@ func (e *Engine) Config() Config { return e.cfg }
 // Topology returns the run's torus.
 func (e *Engine) Topology() *topology.Torus { return e.topo }
 
-// InFlight returns the number of generated-but-undelivered messages.
-func (e *Engine) InFlight() int64 { return e.generated - e.delivered }
+// InFlight returns the number of generated messages that are neither
+// delivered nor dropped yet.
+func (e *Engine) InFlight() int64 { return e.generated - e.delivered - e.dropped }
 
 // Recovered returns the all-time count of deadlock recoveries.
 func (e *Engine) Recovered() int64 { return e.recovered }
+
+// Aborted returns the all-time count of messages killed by faults.
+func (e *Engine) Aborted() int64 { return e.aborted }
+
+// Retried returns the all-time count of scheduled source retries.
+func (e *Engine) Retried() int64 { return e.retried }
+
+// Dropped returns the all-time count of permanently dropped messages.
+func (e *Engine) Dropped() int64 { return e.dropped }
+
+// Liveness returns the engine's channel/router liveness mask, or nil when
+// fault injection is off.
+func (e *Engine) Liveness() *topology.Liveness { return e.live }
 
 // Delivered returns the all-time count of delivered messages.
 func (e *Engine) Delivered() int64 { return e.delivered }

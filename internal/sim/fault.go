@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"sort"
+
+	"wormnet/internal/fault"
+	"wormnet/internal/message"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+)
+
+// This file is the engine side of fault injection: applying scheduled link
+// and router failures to the liveness mask at cycle boundaries, killing the
+// in-flight messages whose wormhole paths die, and feeding the killed
+// messages back to their sources with capped exponential backoff (or
+// dropping them once the retry limit is exhausted or an endpoint is gone).
+//
+// Everything here runs only when the run has a fault schedule (e.live is
+// non-nil); a fault-free engine never reaches this code.
+
+// phaseFaults applies every scheduled fault event whose cycle has arrived,
+// then promotes fault retries whose backoff has expired back to the front
+// of their source queues. It runs before traffic generation, so a failure
+// at cycle t is visible to every decision of cycle t.
+func (e *Engine) phaseFaults() {
+	for e.faultIdx < len(e.faultEvents) && e.faultEvents[e.faultIdx].Cycle <= e.now {
+		e.applyFault(e.faultEvents[e.faultIdx])
+		e.faultIdx++
+	}
+	for _, nd := range e.nodes {
+		if len(nd.retry) > 0 {
+			e.promoteRetries(nd)
+		}
+	}
+}
+
+// applyFault executes one schedule event against the liveness mask and
+// tears down whatever the failure severed. Events that do not change state
+// (failing a failed component, repairing a healthy one) are ignored.
+func (e *Engine) applyFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.LinkDown:
+		if !e.live.SetLink(ev.Node, ev.Port, false) {
+			return
+		}
+		e.col.OnFault(e.now)
+		e.emitFault(trace.KindFault, ev.Node)
+		e.killOnLink(ev.Node, ev.Port)
+	case fault.LinkUp:
+		if e.live.SetLink(ev.Node, ev.Port, true) {
+			e.emitFault(trace.KindRepair, ev.Node)
+		}
+	case fault.RouterDown:
+		if !e.live.SetRouter(ev.Node, false) {
+			return
+		}
+		e.col.OnFault(e.now)
+		e.emitFault(trace.KindFault, ev.Node)
+		e.killOnRouter(ev.Node)
+	case fault.RouterUp:
+		if e.live.SetRouter(ev.Node, true) {
+			e.emitFault(trace.KindRepair, ev.Node)
+		}
+	}
+}
+
+// emitFault publishes a component-level fault/repair event; there is no
+// associated message, so the message ID is -1.
+func (e *Engine) emitFault(kind trace.Kind, node topology.NodeID) {
+	if e.listener == nil {
+		return
+	}
+	e.listener.Emit(trace.Event{
+		Cycle: e.now, Kind: kind, Msg: -1, Src: node, Dst: node, Node: node,
+	})
+}
+
+// killOnLink kills every in-flight message whose occupied path crosses the
+// now-dead channel (node, port). A wormhole that loses any link of its path
+// is severed: the whole message is torn down and handed back to its source.
+func (e *Engine) killOnLink(n topology.NodeID, p topology.Port) {
+	// The channel (n, p) feeds the input buffer (Opposite(p)) of the
+	// neighbouring node; any tracked path containing that buffer (on any
+	// virtual channel) crosses the link.
+	down := e.topo.Neighbor(n, p)
+	inPort := topology.Opposite(p)
+	kills := e.killScratch[:0]
+	for m, path := range e.paths {
+		for _, loc := range path {
+			if loc.node == down && loc.port == inPort {
+				kills = append(kills, m)
+				break
+			}
+		}
+	}
+	e.processKills(kills, n)
+}
+
+// killOnRouter kills every in-flight message touching the now-dead router
+// n — flits buffered at n, paths crossing a channel into or out of n, or
+// messages addressed to n — drops everything queued at n (a crashed node
+// loses its volatile state), and kills whatever its injection channels were
+// streaming in.
+func (e *Engine) killOnRouter(n topology.NodeID) {
+	kills := e.killScratch[:0]
+	for m, path := range e.paths {
+		if m.Dst == n {
+			kills = append(kills, m)
+			continue
+		}
+		for _, loc := range path {
+			if loc.node == n || e.topo.Neighbor(loc.node, loc.port) == n {
+				kills = append(kills, m)
+				break
+			}
+		}
+	}
+	// Messages without tracked paths: unrouted injection channels at n, and
+	// unrouted injection channels anywhere streaming toward n.
+	for _, nd := range e.nodes {
+		for i := range nd.inj {
+			m := nd.inj[i].msg
+			if m != nil && (nd.id == n || m.Dst == n) {
+				kills = append(kills, m)
+			}
+		}
+	}
+	e.processKills(kills, n)
+
+	// The dead node's own backlog is lost with it.
+	nd := e.nodes[n]
+	for _, m := range nd.queue {
+		e.drop(m, n, message.DropSourceFailed)
+	}
+	nd.queue = nil
+	for _, pr := range nd.recovery {
+		e.drop(pr.msg, n, message.DropSourceFailed)
+	}
+	nd.recovery = nil
+	for _, pr := range nd.retry {
+		e.drop(pr.msg, n, message.DropSourceFailed)
+	}
+	nd.retry = nil
+}
+
+// processKills deduplicates the collected messages, orders them by ID (map
+// iteration order must not leak into simulation state) and kills each.
+func (e *Engine) processKills(kills []*message.Message, at topology.NodeID) {
+	sort.Slice(kills, func(i, j int) bool { return kills[i].ID < kills[j].ID })
+	for i, m := range kills {
+		if i > 0 && kills[i-1] == m {
+			continue
+		}
+		e.kill(m, at)
+	}
+	e.killScratch = kills[:0]
+}
+
+// kill tears message m out of the network and decides its fate: a source
+// retry after backoff, or a permanent drop when an endpoint router is dead
+// or the retry budget is spent.
+func (e *Engine) kill(m *message.Message, at topology.NodeID) {
+	e.teardown(m)
+	e.aborted++
+	e.col.OnAborted(e.now)
+	e.emit(trace.KindAborted, m, at)
+	switch {
+	case !e.live.RouterAlive(m.Dst):
+		e.drop(m, at, message.DropUnreachable)
+	case !e.live.RouterAlive(m.Src):
+		e.drop(m, at, message.DropSourceFailed)
+	case e.cfg.Retry.Exhausted(m.Retries):
+		e.drop(m, at, message.DropRetriesExhausted)
+	default:
+		e.scheduleRetry(m)
+	}
+}
+
+// scheduleRetry re-arms a killed message at its original source with the
+// policy's capped exponential backoff.
+func (e *Engine) scheduleRetry(m *message.Message) {
+	m.ResetForRetry(m.Src)
+	delay := e.cfg.Retry.Delay(m.Retries - 1)
+	src := e.nodes[m.Src]
+	src.retry = append(src.retry, pendingRetry{msg: m, readyAt: e.now + delay})
+	e.retried++
+	e.col.OnRetried(e.now)
+	e.emit(trace.KindRetried, m, m.Src)
+}
+
+// drop permanently removes a message from the workload with the given
+// reason. The caller has already detached it from all network state.
+func (e *Engine) drop(m *message.Message, at topology.NodeID, reason message.DropReason) {
+	m.Drop(reason)
+	e.dropped++
+	e.col.OnDropped(e.now)
+	e.emit(trace.KindDropped, m, at)
+}
+
+// promoteRetries moves retries whose backoff expired to the front of the
+// source queue (oldest first — retried traffic keeps the paper's
+// pending-before-new priority), dropping any whose destination died while
+// they waited.
+func (e *Engine) promoteRetries(nd *node) {
+	var ready []*message.Message
+	rest := nd.retry[:0]
+	for _, pr := range nd.retry {
+		switch {
+		case pr.readyAt > e.now:
+			rest = append(rest, pr)
+		case !e.live.RouterAlive(pr.msg.Dst):
+			e.drop(pr.msg, nd.id, message.DropUnreachable)
+		default:
+			ready = append(ready, pr.msg)
+		}
+	}
+	nd.retry = rest
+	if len(ready) > 0 {
+		nd.queue = append(ready, nd.queue...)
+	}
+}

@@ -24,6 +24,10 @@ import (
 //     points at an output virtual channel owned by the routed message.
 //  5. Ejection consistency: a busy ejection channel belongs to exactly one
 //     in-flight message.
+//  6. Fault consistency (only with fault injection active): no flit sits in
+//     a buffer fed by a dead channel or anywhere on a dead router, no
+//     route or sender-side allocation crosses a dead channel, a dead
+//     router holds no queued work, and no tracked message is dropped.
 func (e *Engine) CheckInvariants() error {
 	buffered := make(map[*message.Message]int)
 	inPath := make(map[pathLoc]*message.Message)
@@ -99,6 +103,70 @@ func (e *Engine) CheckInvariants() error {
 		}
 		if m.State == message.StateDelivered {
 			return fmt.Errorf("msg %d delivered but still has %d buffered flits", m.ID, n)
+		}
+	}
+	if e.live != nil {
+		return e.checkFaultInvariants()
+	}
+	return nil
+}
+
+// checkFaultInvariants validates the liveness-dependent state: the fault
+// machinery must leave no flit, route, allocation or queued work on dead
+// hardware, and a permanently dropped message must be gone from tracking.
+func (e *Engine) checkFaultInvariants() error {
+	for m := range e.paths {
+		if m.State == message.StateDropped {
+			return fmt.Errorf("dropped msg %d still tracked in paths", m.ID)
+		}
+	}
+	for _, nd := range e.nodes {
+		alive := e.live.RouterAlive(nd.id)
+		if !alive {
+			if len(nd.queue) != 0 || len(nd.recovery) != 0 || len(nd.retry) != 0 {
+				return fmt.Errorf("dead node %d still holds queued work (%d/%d/%d)",
+					nd.id, len(nd.queue), len(nd.recovery), len(nd.retry))
+			}
+			for i := range nd.inj {
+				if nd.inj[i].msg != nil {
+					return fmt.Errorf("dead node %d inj[%d] holds msg %d", nd.id, i, nd.inj[i].msg.ID)
+				}
+			}
+			for c := range nd.ej {
+				if nd.ej[c].msg != nil {
+					return fmt.Errorf("dead node %d ej[%d] holds msg %d", nd.id, c, nd.ej[c].msg.ID)
+				}
+			}
+		}
+		for p := range nd.in {
+			port := topology.Port(p)
+			// The channel feeding nd.in[p][*] leaves the neighbour through
+			// the opposite port.
+			feeder := e.topo.Neighbor(nd.id, port)
+			feederAlive := e.live.LinkAlive(feeder, topology.Opposite(port))
+			for v := range nd.in[p] {
+				ivc := &nd.in[p][v]
+				if (!alive || !feederAlive) && !ivc.buf.Empty() {
+					return fmt.Errorf("node %d in[%d][%d]: %d flits behind a dead channel",
+						nd.id, p, v, ivc.buf.Len())
+				}
+				if ivc.route.valid && !ivc.route.eject &&
+					!e.live.LinkAlive(nd.id, ivc.route.outPort) {
+					return fmt.Errorf("node %d in[%d][%d]: route crosses dead channel (port %d)",
+						nd.id, p, v, ivc.route.outPort)
+				}
+			}
+		}
+		for p := range nd.out {
+			if e.live.LinkAlive(nd.id, topology.Port(p)) {
+				continue
+			}
+			for v := range nd.out[p].VCs {
+				if m := nd.out[p].VCs[v].Owner(); m != nil {
+					return fmt.Errorf("node %d out[%d].vc[%d] on a dead channel owned by msg %d",
+						nd.id, p, v, m.ID)
+				}
+			}
 		}
 	}
 	return nil

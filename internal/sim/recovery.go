@@ -18,6 +18,23 @@ func (e *Engine) recover(m *message.Message, at *node) {
 	e.col.OnDeadlock(e.now)
 	e.emit(trace.KindDeadlock, m, at.id)
 
+	e.teardown(m)
+
+	m.ResetForReinjection(at.id)
+	at.recovery = append(at.recovery, pendingRecovery{
+		msg:     m,
+		readyAt: e.now + e.cfg.RecoveryDelay,
+	})
+	e.emit(trace.KindRecovered, m, at.id)
+}
+
+// teardown removes every trace of message m from the network: the
+// injection channel it may still hold, every buffered flit, every route and
+// every virtual channel (sender-side allocations up- and downstream of each
+// buffer) it occupies. The message's own progress counters are untouched;
+// callers reset or drop the message afterwards. Both deadlock recovery and
+// the fault-kill machinery run exactly this teardown.
+func (e *Engine) teardown(m *message.Message) {
 	// Free the injection channel if the message is still streaming in.
 	inj := e.nodes[m.Injector]
 	for i := range inj.inj {
@@ -63,11 +80,4 @@ func (e *Engine) recover(m *message.Message, at *node) {
 		up.out[topology.Opposite(loc.port)].VCs[loc.vc].ReleaseIfOwner(m)
 	}
 	delete(e.paths, m)
-
-	m.ResetForReinjection(at.id)
-	at.recovery = append(at.recovery, pendingRecovery{
-		msg:     m,
-		readyAt: e.now + e.cfg.RecoveryDelay,
-	})
-	e.emit(trace.KindRecovered, m, at.id)
 }

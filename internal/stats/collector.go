@@ -32,6 +32,12 @@ type Collector struct {
 	injectedMsgs   int64
 	deadlocks      int64
 
+	// Fault-injection counters (all zero when faults are disabled).
+	faultEvents int64 // link/router failures applied in the window
+	abortedMsgs int64 // messages killed because their path died
+	retriedMsgs int64 // source retries scheduled for killed messages
+	droppedMsgs int64 // messages dropped (retries exhausted or unreachable)
+
 	fairness *Fairness
 
 	// deliveredSeries, when enabled, tracks flits delivered per interval
@@ -107,6 +113,37 @@ func (c *Collector) OnDeadlock(t int64) {
 	}
 }
 
+// OnFault records the application of a fault event (a link or router
+// failure — repairs are not counted) at cycle t.
+func (c *Collector) OnFault(t int64) {
+	if c.InWindow(t) {
+		c.faultEvents++
+	}
+}
+
+// OnAborted records a message killed at cycle t because a fault severed its
+// path (or left it unroutable).
+func (c *Collector) OnAborted(t int64) {
+	if c.InWindow(t) {
+		c.abortedMsgs++
+	}
+}
+
+// OnRetried records a source retry scheduled at cycle t for a killed
+// message.
+func (c *Collector) OnRetried(t int64) {
+	if c.InWindow(t) {
+		c.retriedMsgs++
+	}
+}
+
+// OnDropped records a message permanently dropped at cycle t.
+func (c *Collector) OnDropped(t int64) {
+	if c.InWindow(t) {
+		c.droppedMsgs++
+	}
+}
+
 // AcceptedTraffic returns the measured accepted traffic in
 // flits/node/cycle.
 func (c *Collector) AcceptedTraffic() float64 {
@@ -135,6 +172,18 @@ func (c *Collector) Injected() int64 { return c.injectedMsgs }
 // Deadlocks returns the number of deadlocks detected inside the window.
 func (c *Collector) Deadlocks() int64 { return c.deadlocks }
 
+// FaultEvents returns the number of failures applied inside the window.
+func (c *Collector) FaultEvents() int64 { return c.faultEvents }
+
+// Aborted returns the number of fault-killed messages inside the window.
+func (c *Collector) Aborted() int64 { return c.abortedMsgs }
+
+// Retried returns the number of source retries scheduled inside the window.
+func (c *Collector) Retried() int64 { return c.retriedMsgs }
+
+// Dropped returns the number of messages dropped inside the window.
+func (c *Collector) Dropped() int64 { return c.droppedMsgs }
+
 // Fairness returns the per-node injection counters.
 func (c *Collector) Fairness() *Fairness { return c.fairness }
 
@@ -162,6 +211,12 @@ type Result struct {
 	Generated     int64
 	WorstNodeDev  float64 // most negative per-node injection deviation (%)
 	BestNodeDev   float64 // most positive per-node injection deviation (%)
+
+	// Fault-injection measures (window counts; zero when faults are off).
+	FaultEvents int64 // failures applied
+	Aborted     int64 // messages killed by faults
+	Retried     int64 // source retries scheduled
+	Dropped     int64 // messages permanently dropped
 }
 
 // Result summarises the collector.
@@ -179,5 +234,9 @@ func (c *Collector) Result() Result {
 		Generated:     c.generatedMsgs,
 		WorstNodeDev:  worst,
 		BestNodeDev:   best,
+		FaultEvents:   c.faultEvents,
+		Aborted:       c.abortedMsgs,
+		Retried:       c.retriedMsgs,
+		Dropped:       c.droppedMsgs,
 	}
 }

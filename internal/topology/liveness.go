@@ -1,0 +1,108 @@
+package topology
+
+import "fmt"
+
+// Liveness is the channel- and router-liveness mask of a torus: which
+// unidirectional physical channels and which routers are currently usable.
+// It is the single source of truth the routing engines and the simulation
+// engine consult when fault injection is active; a nil *Liveness means
+// "everything alive" throughout the simulator, so the fault-free path pays
+// nothing beyond a nil check.
+//
+// A channel (node, port) is alive iff the link itself is up and both of its
+// endpoint routers are up. Failing a router therefore implicitly kills all
+// channels into and out of it without touching the per-link bits, which
+// lets a transient router failure heal back to the exact prior link state.
+//
+// Liveness is owned by a single simulation engine and is not safe for
+// concurrent mutation; concurrent reads are safe once mutation stops.
+type Liveness struct {
+	t    *Torus
+	link []bool // [node*numPorts + port]: the link itself is up
+	rtr  []bool // [node]: the router is up
+
+	downLinks int // links with link[i] == false
+	downRtrs  int // routers with rtr[i] == false
+}
+
+// NewLiveness returns an all-alive mask for torus t.
+func NewLiveness(t *Torus) *Liveness {
+	l := &Liveness{
+		t:    t,
+		link: make([]bool, t.Nodes()*t.NumPorts()),
+		rtr:  make([]bool, t.Nodes()),
+	}
+	for i := range l.link {
+		l.link[i] = true
+	}
+	for i := range l.rtr {
+		l.rtr[i] = true
+	}
+	return l
+}
+
+// linkIndex flattens (node, port) into the link mask.
+func (l *Liveness) linkIndex(n NodeID, p Port) int {
+	if !l.t.Valid(n) || int(p) < 0 || int(p) >= l.t.NumPorts() {
+		panic(fmt.Sprintf("topology: bad channel (%d, %d)", n, p))
+	}
+	return int(n)*l.t.NumPorts() + int(p)
+}
+
+// LinkAlive reports whether the unidirectional channel leaving node n
+// through port p is usable: the link is up and both endpoints are up.
+func (l *Liveness) LinkAlive(n NodeID, p Port) bool {
+	return l.link[l.linkIndex(n, p)] && l.rtr[n] && l.rtr[l.t.Neighbor(n, p)]
+}
+
+// LinkUp reports the raw state of the link (node, port), ignoring router
+// state.
+func (l *Liveness) LinkUp(n NodeID, p Port) bool {
+	return l.link[l.linkIndex(n, p)]
+}
+
+// SetLink sets the raw state of the unidirectional link (node, port) and
+// reports whether the state changed.
+func (l *Liveness) SetLink(n NodeID, p Port, up bool) bool {
+	i := l.linkIndex(n, p)
+	if l.link[i] == up {
+		return false
+	}
+	l.link[i] = up
+	if up {
+		l.downLinks--
+	} else {
+		l.downLinks++
+	}
+	return true
+}
+
+// RouterAlive reports whether router n is up.
+func (l *Liveness) RouterAlive(n NodeID) bool { return l.rtr[n] }
+
+// SetRouter sets the state of router n and reports whether it changed.
+func (l *Liveness) SetRouter(n NodeID, up bool) bool {
+	if !l.t.Valid(n) {
+		panic(fmt.Sprintf("topology: bad node %d", n))
+	}
+	if l.rtr[n] == up {
+		return false
+	}
+	l.rtr[n] = up
+	if up {
+		l.downRtrs--
+	} else {
+		l.downRtrs++
+	}
+	return true
+}
+
+// DownLinks returns the number of links whose raw state is down (excluding
+// channels dead only because an endpoint router is down).
+func (l *Liveness) DownLinks() int { return l.downLinks }
+
+// DownRouters returns the number of routers currently down.
+func (l *Liveness) DownRouters() int { return l.downRtrs }
+
+// AllAlive reports whether no link or router is down.
+func (l *Liveness) AllAlive() bool { return l.downLinks == 0 && l.downRtrs == 0 }

@@ -1,0 +1,98 @@
+package topology
+
+import "testing"
+
+func TestLivenessLinks(t *testing.T) {
+	tp := New(4, 2)
+	l := NewLiveness(tp)
+	if !l.AllAlive() || l.DownLinks() != 0 || l.DownRouters() != 0 {
+		t.Fatal("fresh mask not all-alive")
+	}
+	for n := 0; n < tp.Nodes(); n++ {
+		for p := 0; p < tp.NumPorts(); p++ {
+			if !l.LinkAlive(NodeID(n), Port(p)) {
+				t.Fatalf("fresh channel (%d,%d) dead", n, p)
+			}
+		}
+	}
+
+	if !l.SetLink(3, 1, false) {
+		t.Fatal("SetLink down reported no change")
+	}
+	if l.SetLink(3, 1, false) {
+		t.Fatal("repeated SetLink down reported a change")
+	}
+	if l.LinkAlive(3, 1) || l.LinkUp(3, 1) || l.DownLinks() != 1 || l.AllAlive() {
+		t.Fatal("link failure not reflected")
+	}
+	// Unidirectional: the reverse channel is unaffected.
+	rev := tp.Neighbor(3, 1)
+	if !l.LinkAlive(rev, Opposite(1)) {
+		t.Error("reverse channel died with the forward one")
+	}
+	if !l.SetLink(3, 1, true) || !l.LinkAlive(3, 1) || l.DownLinks() != 0 {
+		t.Fatal("link repair not reflected")
+	}
+}
+
+func TestLivenessRouterKillsChannels(t *testing.T) {
+	tp := New(4, 2)
+	l := NewLiveness(tp)
+	const dead NodeID = 5
+	if !l.SetRouter(dead, false) {
+		t.Fatal("SetRouter down reported no change")
+	}
+	if l.RouterAlive(dead) || l.DownRouters() != 1 {
+		t.Fatal("router failure not reflected")
+	}
+	// Every channel out of and into the dead router is dead, but the raw
+	// link bits are untouched.
+	for p := 0; p < tp.NumPorts(); p++ {
+		if l.LinkAlive(dead, Port(p)) {
+			t.Errorf("channel out of dead router via port %d still alive", p)
+		}
+		if !l.LinkUp(dead, Port(p)) {
+			t.Errorf("raw link bit (dead,%d) flipped by router failure", p)
+		}
+		nbr := tp.Neighbor(dead, Port(p))
+		if l.LinkAlive(nbr, Opposite(Port(p))) {
+			t.Errorf("channel into dead router from %d still alive", nbr)
+		}
+	}
+	// Channels not touching the dead router stay alive.
+	var far NodeID
+	for n := 0; n < tp.Nodes(); n++ {
+		if NodeID(n) != dead && tp.Distance(NodeID(n), dead) > 1 {
+			far = NodeID(n)
+			break
+		}
+	}
+	healthy := false
+	for p := 0; p < tp.NumPorts(); p++ {
+		if tp.Neighbor(far, Port(p)) != dead && l.LinkAlive(far, Port(p)) {
+			healthy = true
+		}
+	}
+	if !healthy {
+		t.Error("router failure killed unrelated channels")
+	}
+	// Healing restores the exact prior state (no link bits were consumed).
+	if !l.SetRouter(dead, true) || !l.AllAlive() {
+		t.Fatal("router repair did not restore the mask")
+	}
+	for p := 0; p < tp.NumPorts(); p++ {
+		if !l.LinkAlive(dead, Port(p)) {
+			t.Errorf("channel (dead,%d) not restored by router repair", p)
+		}
+	}
+}
+
+func TestLivenessPanicsOnBadChannel(t *testing.T) {
+	l := NewLiveness(New(4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range port")
+		}
+	}()
+	l.LinkAlive(0, Port(99))
+}

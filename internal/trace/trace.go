@@ -19,7 +19,8 @@ import (
 // Kind enumerates the event types.
 type Kind int8
 
-// Event kinds, in lifecycle order.
+// Event kinds, in lifecycle order. The fault kinds (KindFault onward) are
+// emitted only when fault injection is active.
 const (
 	KindGenerated Kind = iota // message created at its source
 	KindInjected              // head flit entered the network
@@ -27,6 +28,13 @@ const (
 	KindDeadlock              // message presumed deadlocked (detection fired)
 	KindRecovered             // message re-entered a queue after recovery
 	KindThrottled             // injection denied by the limitation mechanism
+	KindFault                 // a link or router failed (Msg is -1)
+	KindRepair                // a link or router was repaired (Msg is -1)
+	KindAborted               // message killed because its path died
+	KindRetried               // killed message scheduled for source retry
+	KindDropped               // message dropped (retries exhausted or unreachable)
+
+	numKinds // count of event kinds; keep last
 )
 
 // String returns the event kind's name.
@@ -44,6 +52,16 @@ func (k Kind) String() string {
 		return "recovered"
 	case KindThrottled:
 		return "throttled"
+	case KindFault:
+		return "fault"
+	case KindRepair:
+		return "repair"
+	case KindAborted:
+		return "aborted"
+	case KindRetried:
+		return "retried"
+	case KindDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -78,7 +96,7 @@ type Recorder struct {
 	events []Event
 	next   int
 	filled bool
-	counts [6]int64
+	counts [numKinds]int64
 }
 
 // NewRecorder returns a recorder keeping the latest capacity events.
