@@ -17,6 +17,7 @@
 package wormnet
 
 import (
+	"fmt"
 	"testing"
 
 	"wormnet/internal/baseline"
@@ -44,6 +45,7 @@ func reportSeries(b *testing.B, ser experiments.Series, prefix string) {
 // the last iteration's metrics for the named series.
 func runFigure(b *testing.B, ex experiments.Experiment, series ...string) experiments.Report {
 	b.Helper()
+	b.ReportAllocs()
 	var rep experiments.Report
 	for i := 0; i < b.N; i++ {
 		rep = ex.Run(benchScale(), nil)
@@ -74,6 +76,7 @@ func BenchmarkFig1_Degradation(b *testing.B) {
 // BenchmarkFig2_Conditions regenerates Figure 2: how often ALO's rules (a),
 // (b) and (a)∨(b) hold at injection time as traffic grows.
 func BenchmarkFig2_Conditions(b *testing.B) {
+	b.ReportAllocs()
 	var rep experiments.Report
 	for i := 0; i < b.N; i++ {
 		rep = experiments.Fig2().Run(benchScale(), nil)
@@ -89,6 +92,7 @@ func BenchmarkFig2_Conditions(b *testing.B) {
 // BenchmarkFig4_Fairness regenerates Figure 4: the per-node injection
 // deviation spread of LF, DRIL and ALO beyond saturation.
 func BenchmarkFig4_Fairness(b *testing.B) {
+	b.ReportAllocs()
 	var rep experiments.Report
 	for i := 0; i < b.N; i++ {
 		rep = experiments.Fig4().Run(benchScale(), nil)
@@ -166,6 +170,7 @@ func runOnce(b *testing.B, cfg sim.Config) (accepted, latency, deadlockPct float
 // the paper's Figure-2 argument that the OR of both rules is the right
 // congestion indicator.
 func BenchmarkAblationRules(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct {
 		name string
 		f    core.Factory
@@ -188,6 +193,7 @@ func BenchmarkAblationRules(b *testing.B) {
 // the all-channels variant under a pattern that only uses a subset of the
 // dimensions — ALO's adaptivity claim.
 func BenchmarkAblationAllChannels(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct {
 		name string
 		f    core.Factory
@@ -210,14 +216,15 @@ func BenchmarkAblationAllChannels(b *testing.B) {
 // physical channel — the hardware alternative to injection limitation the
 // paper's introduction discusses.
 func BenchmarkAblationVCCount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, vcs := range []int{1, 2, 3} {
 			cfg := ablationConfig("uniform").WithLimiter("none", baseline.NewNone())
 			cfg.VCs = vcs
 			acc, _, dl := runOnce(b, cfg)
 			if i == b.N-1 {
-				b.ReportMetric(acc, "vcs"+string(rune('0'+vcs))+"_accepted")
-				b.ReportMetric(dl, "vcs"+string(rune('0'+vcs))+"_deadlock_pct")
+				b.ReportMetric(acc, fmt.Sprintf("vcs%d_accepted", vcs))
+				b.ReportMetric(dl, fmt.Sprintf("vcs%d_deadlock_pct", vcs))
 			}
 		}
 	}
@@ -227,6 +234,7 @@ func BenchmarkAblationVCCount(b *testing.B) {
 // too low and congested messages are killed spuriously; too high and real
 // deadlocks stall the network for longer.
 func BenchmarkAblationDetectionThreshold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, th := range []int32{8, 32, 128} {
 			cfg := ablationConfig("complement").WithLimiter("none", baseline.NewNone())
@@ -241,14 +249,43 @@ func BenchmarkAblationDetectionThreshold(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineCycles measures raw simulator speed: cycles per second on
-// a saturated full-size (8-ary 3-cube) network, the figure-of-merit for
-// reproduction wall-clock cost.
+// BenchmarkEngineCycles measures raw simulator speed: steady-state cycles
+// per second on a heavily loaded full-size (8-ary 3-cube) network, the
+// figure-of-merit for reproduction wall-clock cost. The engine is built and
+// warmed outside the timer so the loop measures exactly the per-cycle hot
+// path (one Step per iteration); allocs/op is therefore the steady-state
+// allocation cost of a cycle. The rate sits just below saturation: past it
+// the in-flight population grows without bound, so the working set (and the
+// message pool) never reaches a steady state and allocs/op is meaningless.
 func BenchmarkEngineCycles(b *testing.B) {
 	cfg := sim.DefaultConfig()
-	cfg.Rate = 0.7
+	cfg.Rate = 0.65
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 1<<40, 0
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		e.Step() // reach saturated steady state before timing
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkEngineRun measures a short whole run — construction, warm-up and
+// all — so regressions in engine setup cost stay visible alongside the
+// steady-state figure above.
+func BenchmarkEngineRun(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Rate = 0.65
 	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
 	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 500, 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e, err := sim.New(cfg)

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wormnet/internal/baseline"
@@ -58,6 +60,8 @@ func main() {
 	retries := flag.Int("retry-limit", fault.DefaultRetryPolicy().MaxRetries,
 		"re-injection attempts before a fault-killed message is dropped")
 	verbose := flag.Bool("v", false, "print per-node fairness summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 	cfg.DetectionThreshold = int32(threshold)
 
@@ -86,9 +90,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	r := e.Run()
 	elapsed := time.Since(start)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runtime.GC() // settle the heap so the profile shows live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("network        : %s, %d VCs x %d-flit buffers, routing=%s\n",
 		e.Topology(), cfg.VCs, cfg.BufDepth, cfg.Routing)

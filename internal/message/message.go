@@ -90,6 +90,26 @@ type Message struct {
 	// Measured marks messages generated inside the measurement window;
 	// only these contribute to latency statistics.
 	Measured bool
+
+	// Pooled marks messages owned by the engine's free list: they are
+	// recycled (reset and reused for a new message) after delivery or a
+	// permanent drop. Callers outside the engine must not retain pointers
+	// to pooled messages past those events.
+	Pooled bool
+
+	// Path tracks the input virtual-channel buffers currently holding (or
+	// allocated to receive) this message's flits, in path order, oldest
+	// first. The engine maintains it for deadlock recovery and fault
+	// teardown; the backing array is reused across pool recycles.
+	Path []PathLoc
+}
+
+// PathLoc identifies one input virtual-channel buffer on a message's path:
+// virtual channel vc of input port Port at node Node.
+type PathLoc struct {
+	Node topology.NodeID
+	Port topology.Port
+	VC   int8
 }
 
 // New returns a freshly generated message in StateQueued.
@@ -107,6 +127,28 @@ func New(id ID, src, dst topology.NodeID, length int, now int64) *Message {
 		DeliverTime: -1,
 		Injector:    src,
 		State:       StateQueued,
+	}
+}
+
+// Reuse re-initialises a recycled message in place, as if freshly built by
+// New, preserving the Path backing array (and the Pooled mark) so that
+// steady-state simulation does not allocate.
+func (m *Message) Reuse(id ID, src, dst topology.NodeID, length int, now int64) {
+	if length < 1 {
+		panic(fmt.Sprintf("message: length %d < 1", length))
+	}
+	*m = Message{
+		ID:          id,
+		Src:         src,
+		Dst:         dst,
+		Length:      length,
+		GenTime:     now,
+		InjectTime:  -1,
+		DeliverTime: -1,
+		Injector:    src,
+		State:       StateQueued,
+		Pooled:      m.Pooled,
+		Path:        m.Path[:0],
 	}
 }
 
@@ -176,10 +218,13 @@ func (m *Message) String() string {
 }
 
 // Flit is one buffer-entry's worth of a message. Flits are small values
-// copied between buffers; they carry no payload.
+// copied between buffers; they carry no payload. The struct is kept at 16
+// bytes (four flits per cache line) because buffer pops and pushes dominate
+// the simulator's flit-movement phase; Seq is an int32 accordingly, which
+// bounds messages at 2^31 flits.
 type Flit struct {
 	Msg  *Message
-	Seq  int // 0-based flit index within the message
+	Seq  int32 // 0-based flit index within the message
 	Head bool
 	Tail bool
 }
@@ -188,7 +233,7 @@ type Flit struct {
 func MakeFlit(m *Message, seq int) Flit {
 	return Flit{
 		Msg:  m,
-		Seq:  seq,
+		Seq:  int32(seq),
 		Head: seq == 0,
 		Tail: seq == m.Length-1,
 	}

@@ -11,10 +11,18 @@ type RoundRobin struct {
 
 // NewRoundRobin returns an arbiter over n requesters. n must be positive.
 func NewRoundRobin(n int) *RoundRobin {
+	a := &RoundRobin{}
+	a.Init(n)
+	return a
+}
+
+// Init (re-)initialises a in place as an arbiter over n requesters, so
+// arbiters can be stored by value in contiguous slices.
+func (a *RoundRobin) Init(n int) {
 	if n < 1 {
 		panic("router: round-robin arbiter needs at least one requester")
 	}
-	return &RoundRobin{n: n}
+	*a = RoundRobin{n: n}
 }
 
 // Grant returns the index of the first requester i (in rotating order) for
@@ -33,6 +41,22 @@ func (a *RoundRobin) Grant(want func(int) bool) int {
 
 // N returns the number of requesters.
 func (a *RoundRobin) N() int { return a.n }
+
+// Next returns the rotating priority pointer: the requester index that
+// currently has top priority. Exposed so hot callers can run the GrantFrom
+// scan inline with a specialised admissibility check instead of paying an
+// indirect call per candidate; pair with Advance to commit the grant.
+func (a *RoundRobin) Next() int { return a.next }
+
+// Advance moves the priority pointer one past winner, exactly as a grant
+// does. winner must be a valid requester index. The wrap is a compare
+// rather than a modulo: this runs once per granted flit.
+func (a *RoundRobin) Advance(winner int) {
+	a.next = winner + 1
+	if a.next == a.n {
+		a.next = 0
+	}
+}
 
 // GrantFrom picks, among the candidate requester indices, the admissible one
 // closest after the rotating priority pointer, advances the pointer past the

@@ -15,32 +15,54 @@ import (
 )
 
 // Buffer is a fixed-capacity FIFO of flits: one virtual-channel buffer.
-// The zero value is not usable; construct with NewBuffer.
+// The zero value is not usable; construct with NewBuffer, or initialise a
+// value in place with Init (the simulation engine stores buffers by value
+// in one contiguous slice per node, so the hot path walks them linearly).
 type Buffer struct {
 	flits []message.Flit
-	head  int // index of front element
-	size  int
+	head  int32 // index of front element
+	tail  int32 // index one past the back element (mod capacity)
+	size  int32
 }
 
 // NewBuffer returns an empty buffer holding at most capacity flits.
 func NewBuffer(capacity int) *Buffer {
+	b := &Buffer{}
+	b.Init(capacity)
+	return b
+}
+
+// Init (re-)initialises b in place as an empty buffer of the given
+// capacity, allocating only the flit storage.
+func (b *Buffer) Init(capacity int) {
 	if capacity < 1 {
 		panic(fmt.Sprintf("router: buffer capacity %d < 1", capacity))
 	}
-	return &Buffer{flits: make([]message.Flit, capacity)}
+	*b = Buffer{flits: make([]message.Flit, capacity)}
+}
+
+// InitOver (re-)initialises b in place as an empty buffer whose flit
+// storage is the caller-provided slice; its length is the capacity. The
+// simulation engine uses it to pack every buffer of a run into one
+// contiguous arena.
+func (b *Buffer) InitOver(storage []message.Flit) {
+	if len(storage) < 1 {
+		panic("router: buffer storage must hold at least one flit")
+	}
+	*b = Buffer{flits: storage}
 }
 
 // Cap returns the buffer capacity in flits.
 func (b *Buffer) Cap() int { return len(b.flits) }
 
 // Len returns the number of buffered flits.
-func (b *Buffer) Len() int { return b.size }
+func (b *Buffer) Len() int { return int(b.size) }
 
 // Empty reports whether the buffer holds no flits.
 func (b *Buffer) Empty() bool { return b.size == 0 }
 
 // Full reports whether the buffer is at capacity.
-func (b *Buffer) Full() bool { return b.size == len(b.flits) }
+func (b *Buffer) Full() bool { return int(b.size) == len(b.flits) }
 
 // Push appends a flit at the back. It panics if the buffer is full; the
 // simulator's credit check must prevent that.
@@ -48,7 +70,11 @@ func (b *Buffer) Push(f message.Flit) {
 	if b.Full() {
 		panic("router: push into full buffer")
 	}
-	b.flits[(b.head+b.size)%len(b.flits)] = f
+	b.flits[b.tail] = f
+	b.tail++
+	if int(b.tail) == len(b.flits) {
+		b.tail = 0
+	}
 	b.size++
 }
 
@@ -61,10 +87,15 @@ func (b *Buffer) Front() message.Flit {
 }
 
 // Pop removes and returns the front flit. It panics if the buffer is empty.
+// The vacated slot is not cleared: slots outside [head, head+size) are never
+// read, and the stale *Message reference keeps nothing extra alive — the
+// simulator pools and reuses messages rather than freeing them.
 func (b *Buffer) Pop() message.Flit {
 	f := b.Front()
-	b.flits[b.head] = message.Flit{} // release the *Message reference
-	b.head = (b.head + 1) % len(b.flits)
+	b.head++
+	if int(b.head) == len(b.flits) {
+		b.head = 0
+	}
 	b.size--
 	return f
 }
@@ -77,7 +108,7 @@ func (b *Buffer) Pop() message.Flit {
 // nothing; the implementation nevertheless handles interleavings defensively.
 func (b *Buffer) RemoveMessage(id message.ID) int {
 	removed := 0
-	n := b.size
+	n := int(b.size)
 	for i := 0; i < n; i++ {
 		f := b.Pop()
 		if f.Msg.ID == id {

@@ -22,7 +22,7 @@ func TestBufferFIFO(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		f := b.Pop()
-		if f.Seq != i {
+		if f.Seq != int32(i) {
 			t.Fatalf("pop %d got seq %d", i, f.Seq)
 		}
 	}
@@ -45,7 +45,7 @@ func TestBufferWrapAround(t *testing.T) {
 		b.Pop()
 	}
 	// Remaining flits must still come out in order.
-	prev := -1
+	prev := int32(-1)
 	for !b.Empty() {
 		f := b.Pop()
 		if f.Seq <= prev {

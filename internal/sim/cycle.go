@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"wormnet/internal/core"
+	"math/bits"
+
 	"wormnet/internal/message"
 	"wormnet/internal/topology"
 	"wormnet/internal/trace"
@@ -13,6 +14,13 @@ import (
 // is active a fault phase runs first, applying scheduled failures at the
 // cycle boundary; without a fault schedule the extra phase reduces to one
 // nil check and the cycle is exactly the seed simulator's.
+//
+// Every phase is active-set scheduled: nodes with no buffered flits, no
+// streaming injection channel and no pending source work are skipped
+// outright, so an idle region of the network costs (close to) nothing per
+// cycle. The skips are exact no-op eliminations — a skipped node would not
+// have changed any state, including arbiter pointers — so results are
+// bit-for-bit identical to exhaustive iteration (see TestGoldenDeterminism).
 func (e *Engine) Step() {
 	if e.live != nil {
 		e.phaseFaults()
@@ -26,22 +34,26 @@ func (e *Engine) Step() {
 }
 
 // phaseGenerate polls every node's traffic source and appends fresh
-// messages to the source queues.
+// messages to the source queues. Nodes whose source cannot fire yet
+// (cached NextAt) are skipped without touching the source.
 func (e *Engine) phaseGenerate() {
 	if e.sourcesStopped {
 		return
 	}
-	for _, nd := range e.nodes {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		if e.now < nd.nextGen {
+			continue // Poll is guaranteed a no-op before nextGen
+		}
 		if e.live != nil && !e.live.RouterAlive(nd.id) {
 			continue // a dead router generates nothing
 		}
 		e.genScratch = nd.src.Poll(e.now, e.genScratch[:0])
+		nd.nextGen = nd.src.NextAt()
 		for _, g := range e.genScratch {
-			m := message.New(e.nextID, nd.id, g.Dst, g.Length, e.now)
-			e.nextID++
+			m := e.newMessage(nd.id, g.Dst, g.Length)
 			m.Measured = e.col.OnGenerated(e.now)
-			nd.queue = append(nd.queue, m)
-			e.generated++
+			nd.queue.Push(m)
 			e.emit(trace.KindGenerated, m, nd.id)
 		}
 	}
@@ -54,7 +66,8 @@ func (e *Engine) phaseGenerate() {
 // queue head blocks the messages behind it, preserving the paper's
 // "pending messages have higher priority than newer ones".
 func (e *Engine) phaseInject() {
-	for _, nd := range e.nodes {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
 		if e.live != nil {
 			if !e.live.RouterAlive(nd.id) {
 				continue // a dead router injects nothing
@@ -69,19 +82,21 @@ func (e *Engine) phaseInject() {
 				nd.recovery = nd.recovery[1:]
 				e.drop(m, nd.id, message.DropUnreachable)
 			}
-			for len(nd.queue) > 0 && !e.live.RouterAlive(nd.queue[0].Dst) {
-				m := nd.queue[0]
-				nd.queue[0] = nil
-				nd.queue = nd.queue[1:]
-				e.drop(m, nd.id, message.DropUnreachable)
+			for !nd.queue.Empty() && !e.live.RouterAlive(nd.queue.Front().Dst) {
+				e.drop(nd.queue.PopFront(), nd.id, message.DropUnreachable)
 			}
 		}
-		view := channelView{e: e, nd: nd}
-		if obs, ok := nd.limiter.(core.CycleObserver); ok {
-			obs.Tick(view, e.now)
+		// Nothing to tick and nothing to inject: skip. Limiters with a
+		// per-cycle hook (DRIL's window counter) must tick every cycle, so
+		// their nodes never take this fast path.
+		if nd.limObs == nil && nd.queue.Empty() && len(nd.recovery) == 0 {
+			continue
 		}
-		for i := range nd.inj {
-			ic := &nd.inj[i]
+		if nd.limObs != nil {
+			nd.limObs.Tick(nd.view, e.now)
+		}
+		for c := range nd.inj {
+			ic := &nd.inj[c]
 			if ic.msg != nil {
 				continue
 			}
@@ -91,20 +106,27 @@ func (e *Engine) phaseInject() {
 				nd.recovery = nd.recovery[1:]
 				ic.msg.State = message.StateInjecting
 				ic.route = routeInfo{}
+				ic.left = int32(ic.msg.Length)
+				ic.len = ic.left
+				ic.dst = ic.msg.Dst
+				nd.busyInj++
 				continue
 			}
-			if len(nd.queue) == 0 {
+			if nd.queue.Empty() {
 				continue
 			}
-			m := nd.queue[0]
-			if !nd.limiter.Allow(view, m.Dst) {
+			m := nd.queue.Front()
+			if !nd.limiter.Allow(nd.view, m.Dst) {
 				e.emit(trace.KindThrottled, m, nd.id)
 				break // FIFO: do not bypass a throttled queue head
 			}
-			nd.queue[0] = nil
-			nd.queue = nd.queue[1:]
+			nd.queue.PopFront()
 			ic.msg = m
 			ic.route = routeInfo{}
+			ic.left = int32(m.Length)
+			ic.len = ic.left
+			ic.dst = m.Dst
+			nd.busyInj++
 			m.State = message.StateInjecting
 		}
 	}
@@ -115,147 +137,231 @@ func (e *Engine) phaseInject() {
 // to claim an output virtual channel (or an ejection channel at the
 // destination); injection channels do the same for messages about to enter
 // the network. Headers that fail allocation feed the deadlock detector.
+//
+// The rotating start index is derived from the cycle counter rather than
+// stored per node: the per-node pointer advanced by exactly one every
+// cycle regardless of activity, so it always equalled now % nAgents —
+// deriving it makes skipping idle nodes free of state drift.
 func (e *Engine) phaseAllocate() {
-	for _, nd := range e.nodes {
-		nAgents := e.numPhys * e.cfg.VCs
-		start := nd.allocRR
-		nd.allocRR = (nd.allocRR + 1) % nAgents
-		for off := 0; off < nAgents; off++ {
-			idx := (start + off) % nAgents
-			p := topology.Port(idx / e.cfg.VCs)
-			v := int8(idx % e.cfg.VCs)
-			ivc := &nd.in[p][v]
-			if ivc.route.valid || ivc.buf.Empty() {
-				continue
+	nVC := e.numPhys * e.cfg.VCs
+	start := int(e.now % int64(nVC))
+	// The rotating agent order start, start+1, …, nVC-1, 0, …, start-1 is
+	// equivalent to: the start port's VCs from the start VC up, the
+	// remaining ports in wrapping order, then the start port's VCs below
+	// the start VC. Each port's occupied VCs come off its not-empty status
+	// word, so empty channels are never touched.
+	ps := start / e.cfg.VCs
+	vcsMask := uint32(1)<<uint(e.cfg.VCs) - 1
+	hi := vcsMask &^ (uint32(1)<<uint(start%e.cfg.VCs) - 1)
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		if nd.occVCs == 0 && nd.busyInj == 0 {
+			continue
+		}
+		if nd.occVCs > 0 {
+			e.allocWalk(nd, ps, hi)
+			for p := ps + 1; p < e.numPhys; p++ {
+				e.allocWalk(nd, p, vcsMask)
 			}
-			front := ivc.buf.Front()
-			if !front.Head {
-				// A body flit at the front of an unrouted VC cannot happen:
-				// routes outlive the message's traversal of the buffer.
-				continue
+			for p := 0; p < ps; p++ {
+				e.allocWalk(nd, p, vcsMask)
 			}
-			m := front.Msg
-			route, ok, vital, unroutable := e.allocate(nd, m)
-			if ok {
-				ivc.route = route
-				nd.blocked.Progress(idx)
-				continue
-			}
-			if unroutable {
-				// Faults left the header with no admissible channel at
-				// all: the wormhole can never advance from here. Sever it
-				// and hand it back to the source-retry machinery.
-				e.kill(m, nd.id)
-				continue
-			}
-			if m.Dst == nd.id {
-				// Waiting for an ejection channel: always drains
-				// eventually, never a deadlock.
-				nd.blocked.Progress(idx)
-				continue
-			}
-			// FC3D-style criterion: only sustained stillness counts. Any
-			// sign of life on the header's candidate channels — a free
-			// virtual channel or a recent flit transmission — resets the
-			// blockage counter.
-			if vital {
-				nd.blocked.Progress(idx)
-				continue
-			}
-			if e.det.Deadlocked(nd.blocked.Blocked(idx), false) {
-				nd.blocked.Progress(idx)
-				e.recover(m, nd)
-			}
+			e.allocWalk(nd, ps, vcsMask&^hi)
 		}
 		// Injection channels route after the network traffic.
-		for i := range nd.inj {
-			ic := &nd.inj[i]
-			if ic.msg == nil || ic.route.valid || ic.msg.FlitsSent > 0 {
-				continue
-			}
-			route, ok, _, unroutable := e.allocate(nd, ic.msg)
-			switch {
-			case ok:
-				ic.route = route
-			case unroutable:
-				e.kill(ic.msg, nd.id)
+		if nd.busyInj > 0 {
+			for c := range nd.inj {
+				ic := &nd.inj[c]
+				if ic.msg == nil || ic.route.valid || ic.left < ic.len {
+					continue
+				}
+				route, ok, _, unroutable := e.allocate(nd, ic.msg, ic.dst)
+				switch {
+				case ok:
+					ic.route = route
+					nd.freshInj |= 1 << uint(c)
+				case unroutable:
+					e.kill(ic.msg, nd.id)
+				}
 			}
 		}
 	}
 }
 
+// allocWalk runs header allocation for the occupied, unrouted input VCs of
+// one port (restricted to the VCs in mask), in ascending VC order. Channels
+// that already hold a route never reach allocateVC: they are masked out by
+// the routed status word.
+func (e *Engine) allocWalk(nd *node, p int, mask uint32) {
+	w := ^nd.inEmpty[p] &^ nd.routed[p] & mask
+	base := p * e.cfg.VCs
+	for w != 0 {
+		v := bits.TrailingZeros32(w)
+		w &= w - 1
+		e.allocateVC(nd, base+v)
+	}
+}
+
+// allocateVC is one iteration of the allocation walk: route the header at
+// input virtual channel (agent index) a of node nd, feeding the deadlock
+// detector on failure.
+func (e *Engine) allocateVC(nd *node, a int) {
+	ivc := &nd.in[a]
+	// The status words are sampled at the start of each port's walk; a
+	// deadlock recovery triggered behind it can empty a buffer mid-walk, so
+	// the emptiness check stays live.
+	if ivc.buf.Empty() {
+		return
+	}
+	// An unrouted, non-empty VC fronts the message's header flit (routes
+	// outlive the message's traversal of the buffer), so the owner cache
+	// identifies it without touching flit storage, and the dst cache spares
+	// the allocator the message dereference entirely.
+	m := ivc.owner
+	route, ok, vital, unroutable := e.allocate(nd, m, ivc.dst)
+	if ok {
+		nd.routes[a] = route
+		p := e.portTab[a]
+		nd.routed[p] |= e.vcBit[a]
+		nd.fresh[p] |= e.vcBit[a]
+		if route.eject {
+			nd.swDesc[a] = uint16(e.numPhys+int(route.ejCh)) << 8
+		} else {
+			nd.swDesc[a] = uint16(route.outPort)<<8 | uint16(route.outVC)
+		}
+		nd.blocked.Progress(a)
+		return
+	}
+	if unroutable {
+		// Faults left the header with no admissible channel at all: the
+		// wormhole can never advance from here. Sever it and hand it back
+		// to the source-retry machinery.
+		e.kill(m, nd.id)
+		return
+	}
+	if ivc.dst == nd.id {
+		// Waiting for an ejection channel: always drains eventually, never
+		// a deadlock.
+		nd.blocked.Progress(a)
+		return
+	}
+	// FC3D-style criterion: only sustained stillness counts. Any sign of
+	// life on the header's candidate channels — a free virtual channel or a
+	// recent flit transmission — resets the blockage counter.
+	if vital {
+		nd.blocked.Progress(a)
+		return
+	}
+	if e.det.Deadlocked(nd.blocked.Blocked(a), false) {
+		nd.blocked.Progress(a)
+		e.recover(m, nd)
+	}
+}
+
 // allocate claims an output virtual channel (or ejection channel) for
-// message m whose header is at node nd. It reports whether allocation
+// message m (dst is the caller's cached copy of m.Dst, so the common
+// retry path never loads the message struct) whose header is at node nd.
+// It reports whether allocation
 // succeeded, whether the candidate set shows any "vital sign" — an
 // unallocated virtual channel or one that transmitted a flit within the
 // last cycle — which vetoes the deadlock presumption, and whether faults
 // left the header with no admissible channel at all (unroutable; only ever
 // true when fault injection is active, since minimal routing otherwise
 // always yields candidates).
-func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool, bool) {
-	if m.Dst == nd.id {
+//
+// The selection runs entirely on the per-port status words: a port's
+// allocatable VCs are freeMask & candidates & downstream-empty, its first
+// admissible VC the lowest set bit (candidates are emitted in ascending VC
+// order), and its load score a popcount. The vital-sign scan — the only
+// part needing per-VC timestamps — runs only when allocation failed.
+func (e *Engine) allocate(nd *node, m *message.Message, dst topology.NodeID) (routeInfo, bool, bool, bool) {
+	if dst == nd.id {
 		for c := range nd.ej {
 			if nd.ej[c].msg == nil {
 				nd.ej[c].msg = m
-				return routeInfo{valid: true, eject: true, ejCh: int8(c), assignedAt: e.now}, true, false, false
+				return routeInfo{valid: true, eject: true, ejCh: int8(c)}, true, false, false
 			}
 		}
 		return routeInfo{}, false, false, false
 	}
-	cands := e.alg.Candidates(nd.id, m.Dst, nd.scratchCands[:0])
-	nd.scratchCands = cands[:0]
-	if e.live != nil && len(cands) == 0 {
-		return routeInfo{}, false, false, true
+	// Candidate lookup. On static-routing runs the deduplicated table serves
+	// every lookup: the set id array is the only sizeable state it touches,
+	// and a blocked header retrying the same destination re-reads the same
+	// entry every cycle, so retries stay cache-hot.
+	var cands []portCand
+	if e.cand != nil {
+		cands = e.cand.get(nd.id, dst)
+	} else {
+		// Fault runs: liveness changes candidate sets mid-run, so nothing is
+		// cached, and faults can leave a header with no candidates at all.
+		cands = e.candidates(nd, dst)
+		if len(cands) == 0 {
+			return routeInfo{}, false, false, true
+		}
 	}
 
-	anyFree := false
 	bestPort := topology.Port(-1)
 	bestVC := int8(-1)
 	bestScore := -1
 	bestPref := 1 << 30
 	rot := int(e.now) % e.numPhys // rotating tie-break among equal ports
 
-	anyActive := false
-	for i := 0; i < len(cands); {
-		p := cands[i].Port
-		allocVC := int8(-1)
-		for ; i < len(cands) && cands[i].Port == p; i++ {
-			v := cands[i].VC
-			if !nd.out[p].VCs[v].Free() {
-				if !e.cfg.LenientDetection && nd.lastTx[int(p)*e.cfg.VCs+int(v)] >= e.now-1 {
-					anyActive = true
-				}
-				continue
-			}
-			anyFree = true
-			if allocVC >= 0 {
-				continue
-			}
-			if nd.downBuf[p][v].Empty() {
-				allocVC = v
-			}
+	// anyFree doubles as the first vital sign (an unallocated candidate VC):
+	// computing it here lets ports with no free candidate VC skip the
+	// downstream-status dereference, and the failure path below skip a
+	// second scan.
+	anyFree := false
+	for _, pc := range cands {
+		fm := nd.freeMask[pc.port] & pc.mask
+		if fm == 0 {
+			continue
 		}
-		if allocVC < 0 {
+		anyFree = true
+		avail := fm & e.emptyArena[nd.downWord[pc.port]]
+		if avail == 0 {
 			continue
 		}
 		// Prefer the least-multiplexed useful channel (most free VCs); the
 		// paper's model assumes adaptive routing spreads virtual-channel
 		// load across physical channels this way. Ties rotate.
-		score := nd.out[p].FreeVCs()
-		pref := (int(p) - rot + e.numPhys) % e.numPhys
+		score := bits.OnesCount32(nd.freeMask[pc.port])
+		pref := int(pc.port) - rot // rotating distance, without the division
+		if pref < 0 {
+			pref += e.numPhys
+		}
 		if score > bestScore || (score == bestScore && pref < bestPref) {
 			bestScore, bestPref = score, pref
-			bestPort, bestVC = p, allocVC
+			bestPort = pc.port
+			bestVC = int8(bits.TrailingZeros32(avail))
 		}
 	}
 	if bestPort < 0 {
-		return routeInfo{}, false, anyFree || anyActive, false
+		// Nothing allocatable: the deadlock detector's remaining vital sign
+		// is a recent transmission on a busy candidate VC.
+		vital := anyFree
+		if !vital && !e.cfg.LenientDetection {
+		active:
+			for _, pc := range cands {
+				busy := pc.mask &^ nd.freeMask[pc.port]
+				base := int(pc.port) * e.cfg.VCs
+				for busy != 0 {
+					v := bits.TrailingZeros32(busy)
+					busy &= busy - 1
+					if nd.lastTx[base+v] >= e.now-1 {
+						vital = true
+						break active
+					}
+				}
+			}
+		}
+		return routeInfo{}, false, vital, false
 	}
 	nd.out[bestPort].VCs[bestVC].Allocate(m)
-	e.paths[m] = append(e.paths[m], pathLoc{
-		node: nd.nbr[bestPort].id, port: topology.Opposite(bestPort), vc: bestVC,
+	nd.freeMask[bestPort] &^= 1 << uint(bestVC)
+	m.Path = append(m.Path, pathLoc{
+		Node: nd.nbr[bestPort].id, Port: topology.Opposite(bestPort), VC: bestVC,
 	})
-	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC, assignedAt: e.now}, true, true, false
+	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC}, true, true, false
 }
 
 // phaseSwitch performs separable switch allocation per node — at most one
@@ -263,157 +369,243 @@ func (e *Engine) allocate(nd *node, m *message.Message) (routeInfo, bool, bool, 
 // stages — and plans the cycle's flit moves against start-of-cycle buffer
 // state.
 func (e *Engine) phaseSwitch() {
-	e.moves = e.moves[:0]
-	numOut := e.numPhys + e.cfg.EjChannels
-	if e.reqs == nil {
-		e.reqs = make([][]int32, numOut)
-	}
-	for ni, nd := range e.nodes {
-		granted := e.inputGranted[ni]
-		for i := range granted {
-			granted[i] = false
+	// Hot engine state hoisted into locals: the loop bodies below call no
+	// function that could change any of it, and keeping the values out of
+	// pointer-chased fields lets the compiler hold them in registers.
+	numPhys := e.numPhys
+	vcs := e.cfg.VCs
+	nVC := numPhys * vcs
+	nAgents := e.agentCount()
+	fullArena := e.fullArena
+	reqsFlat := e.reqsFlat
+	moves := e.moves[:0]
+	// reqLen[o] counts the requests collected for output port o of the node
+	// currently under allocation; the requests themselves sit in the flat
+	// per-engine scratch at reqsFlat[o*nAgents:], each packed as
+	// agent<<16 | outVC<<8 | crossbar-input-port. Port and output VC are
+	// known for free at collection time, so the grant stage below runs on
+	// the packed words alone — no route or injection-channel loads per
+	// candidate. Re-zeroing a 32-entry stack array per active node
+	// replaces the stamped-slice bookkeeping.
+	var reqLen [32]uint16
+	for ni := range e.nodes {
+		nd := &e.nodes[ni]
+		if nd.occVCs == 0 && nd.busyInj == 0 {
+			continue // no flit anywhere: no requests, no arbiter movement
 		}
-		for i := range e.reqs {
-			e.reqs[i] = e.reqs[i][:0]
-		}
+		reqLen = [32]uint16{}
+		// reqMask collects which output ports received at least one request,
+		// so the grant stage iterates exactly those instead of scanning all.
+		reqMask := uint32(0)
 
-		// Collect requests from input virtual channels...
-		for p := 0; p < e.numPhys; p++ {
-			for v := 0; v < e.cfg.VCs; v++ {
-				ivc := &nd.in[p][v]
-				if ivc.buf.Empty() || !ivc.route.valid || ivc.route.assignedAt >= e.now {
-					continue
+		// Collect requests from the occupied AND routed input virtual
+		// channels, skipping ones routed this very cycle (fresh masks;
+		// movement starts the cycle after allocation): an unrouted channel
+		// has nothing to forward yet, a routed but drained one nothing to
+		// forward with. The forwarding data comes from the two-byte switch
+		// descriptors written at allocation, not the routeInfo structs.
+		for p := 0; p < numPhys; p++ {
+			w := ^nd.inEmpty[p] & nd.routed[p] &^ nd.fresh[p]
+			nd.fresh[p] = 0
+			for w != 0 {
+				v := bits.TrailingZeros32(w)
+				w &= w - 1
+				a := p*vcs + v
+				d := nd.swDesc[a]
+				o := int(d >> 8)
+				if o < numPhys &&
+					fullArena[nd.downWord[o]]&(1<<uint(d&0xff)) != 0 {
+					continue // no credit: the downstream buffer is full
 				}
-				agent := int32(e.inVCIndex(topology.Port(p), int8(v)))
-				if ivc.route.eject {
-					out := e.numPhys + int(ivc.route.ejCh)
-					e.reqs[out] = append(e.reqs[out], agent)
-				} else if !nd.downBuf[ivc.route.outPort][ivc.route.outVC].Full() {
-					e.reqs[ivc.route.outPort] = append(e.reqs[ivc.route.outPort], agent)
-				}
+				reqsFlat[o*nAgents+int(reqLen[o])] = int32(a)<<16 |
+					int32(d&0xff)<<8 | int32(p)
+				reqLen[o]++
+				reqMask |= 1 << uint(o)
 			}
 		}
 		// ... and from injection channels.
-		for i := range nd.inj {
-			ic := &nd.inj[i]
-			if ic.msg == nil || !ic.route.valid || ic.route.assignedAt >= e.now ||
-				ic.msg.FlitsSent >= ic.msg.Length {
-				continue
-			}
-			agent := int32(e.injIndex(i))
-			if ic.route.eject {
-				out := e.numPhys + int(ic.route.ejCh)
-				e.reqs[out] = append(e.reqs[out], agent)
-			} else if !nd.downBuf[ic.route.outPort][ic.route.outVC].Full() {
-				e.reqs[ic.route.outPort] = append(e.reqs[ic.route.outPort], agent)
+		freshInj := nd.freshInj
+		nd.freshInj = 0
+		if nd.busyInj > 0 {
+			for c := range nd.inj {
+				ic := &nd.inj[c]
+				if ic.msg == nil || !ic.route.valid || freshInj>>uint(c)&1 != 0 ||
+					ic.left <= 0 {
+					continue
+				}
+				o := int(ic.route.outPort)
+				if ic.route.eject {
+					o = numPhys + int(ic.route.ejCh)
+				} else if fullArena[nd.downWord[o]]&(1<<uint(ic.route.outVC)) != 0 {
+					continue
+				}
+				reqsFlat[o*nAgents+int(reqLen[o])] = int32(nVC+c)<<16 |
+					int32(ic.route.outVC)<<8 | int32(numPhys+c)
+				reqLen[o]++
+				reqMask |= 1 << uint(o)
 			}
 		}
 
 		// Grant one requester per output port, honouring the one-flit-per-
-		// input-port crossbar constraint. Ejection "ports" go first so that
-		// draining traffic is never starved by through traffic.
-		for o := numOut - 1; o >= 0; o-- {
-			lst := e.reqs[o]
-			if len(lst) == 0 {
+		// input-port crossbar constraint (grantedMask: crossbar input ports
+		// already granted this node). Walking the request mask from the top,
+		// ejection "ports" (the highest indices) go first so that draining
+		// traffic is never starved by through traffic.
+		grantedMask := uint32(0)
+		for reqMask != 0 {
+			o := bits.Len32(reqMask) - 1
+			reqMask &^= 1 << uint(o)
+			// Inline router.RoundRobin.GrantFrom with the input-port-free
+			// admissibility check: among the candidates whose crossbar input
+			// port is still ungranted, pick the one closest after the
+			// arbiter's rotating pointer. Inlining avoids an indirect
+			// closure call per candidate on the hottest arbitration loop.
+			arb := &nd.outArb[o]
+			next := arb.Next()
+			best := int32(-1)
+			bestDist := nAgents
+			base := o * nAgents
+			for _, c := range reqsFlat[base : base+int(reqLen[o])] {
+				if grantedMask>>uint(c&0xff)&1 != 0 {
+					continue
+				}
+				d := int(c>>16) - next
+				if d < 0 {
+					d += nAgents
+				}
+				if d < bestDist {
+					bestDist = d
+					best = c
+				}
+			}
+			if best < 0 {
 				continue
 			}
-			agent := nd.outArb[o].GrantFrom(lst, func(a int32) bool {
-				return !granted[e.inputPortOf(int(a))]
-			})
-			if agent < 0 {
-				continue
-			}
-			granted[e.inputPortOf(int(agent))] = true
+			agent := best >> 16
+			arb.Advance(int(agent))
+			grantedMask |= 1 << uint(best&0xff)
 			mv := move{node: int32(ni), agent: agent}
-			if o >= e.numPhys {
+			if o >= numPhys {
 				mv.eject = true
-				mv.ejCh = int8(o - e.numPhys)
+				mv.ejCh = int8(o - numPhys)
 			} else {
 				mv.outPort = topology.Port(o)
-				mv.outVC = e.routeOf(nd, int(agent)).outVC
+				mv.outVC = int8(best >> 8 & 0xff)
 			}
-			e.moves = append(e.moves, mv)
+			moves = append(moves, mv)
 		}
 	}
-}
-
-// inputPortOf maps an agent index to its crossbar input port index
-// (physical ports first, then one port per injection channel).
-func (e *Engine) inputPortOf(agent int) int {
-	if agent < e.numPhys*e.cfg.VCs {
-		return agent / e.cfg.VCs
-	}
-	return e.numPhys + (agent - e.numPhys*e.cfg.VCs)
-}
-
-// routeOf returns the route of the given agent of node nd.
-func (e *Engine) routeOf(nd *node, agent int) routeInfo {
-	if agent < e.numPhys*e.cfg.VCs {
-		return nd.in[agent/e.cfg.VCs][agent%e.cfg.VCs].route
-	}
-	return nd.inj[agent-e.numPhys*e.cfg.VCs].route
+	e.moves = moves
 }
 
 // The credit condition for a forward move is that the receiving
-// virtual-channel buffer (node.downBuf[port][vc]) has a slot free at the
+// virtual-channel buffer (node.down[port*VCs+vc]) has a slot free at the
 // start of the cycle: a one-cycle credit loop. Each buffer has a single
 // upstream sender and one grant per output port, so the check is exact.
 
 // phaseMove applies the planned flit transfers: pops from input buffers or
 // injection channels, pushes into downstream buffers or ejection sinks, and
 // performs all the bookkeeping that head and tail flits trigger (channel
-// release, path tracking, delivery accounting).
+// release, path tracking, delivery accounting, active-set counters).
 func (e *Engine) phaseMove() {
+	// Hot engine state hoisted into locals (no callee below mutates any of
+	// it), so the compiler need not reload the fields across calls.
+	vcs := e.cfg.VCs
+	nVC := e.numPhys * vcs
+	now := e.now
+	portTab := e.portTab
+	vcBit := e.vcBit
+	vcOf := e.vcOf
+	emptyArena := e.emptyArena
+	fullArena := e.fullArena
 	for _, mv := range e.moves {
-		nd := e.nodes[mv.node]
+		nd := &e.nodes[mv.node]
 		var flit message.Flit
 
-		if a := int(mv.agent); a < e.numPhys*e.cfg.VCs {
-			p, v := a/e.cfg.VCs, a%e.cfg.VCs
-			ivc := &nd.in[p][v]
+		if a := int(mv.agent); a < nVC {
+			ivc := &nd.in[a]
 			flit = ivc.buf.Pop()
+			p := portTab[a]
+			bit := vcBit[a]
+			nd.inFull[p] &^= bit
+			if ivc.buf.Empty() {
+				nd.inEmpty[p] |= bit
+				nd.occVCs--
+			}
 			if flit.Tail {
-				ivc.route = routeInfo{}
+				nd.routes[a] = routeInfo{}
+				nd.routed[p] &^= bit
 				nd.blocked.Progress(a)
-				e.removePathLoc(flit.Msg, pathLoc{node: nd.id, port: topology.Port(p), vc: int8(v)})
+				e.removePathLoc(flit.Msg, pathLoc{
+					Node: nd.id, Port: topology.Port(p), VC: vcOf[a],
+				})
 			}
 		} else {
-			ic := &nd.inj[a-e.numPhys*e.cfg.VCs]
+			// The flit is built from the channel's cached counters, and the
+			// message's FlitsSent is settled when the tail leaves: body
+			// flits never touch the (cold) message struct.
+			ic := &nd.inj[a-nVC]
 			m := ic.msg
-			flit = message.MakeFlit(m, m.FlitsSent)
-			m.FlitsSent++
+			seq := ic.len - ic.left
+			flit = message.Flit{Msg: m, Seq: seq, Head: seq == 0, Tail: ic.left == 1}
+			ic.left--
 			if flit.Head && m.InjectTime < 0 {
-				m.InjectTime = e.now
-				e.col.OnInjected(int(nd.id), e.now)
+				m.InjectTime = now
+				e.col.OnInjected(int(nd.id), now)
 				e.emit(trace.KindInjected, m, nd.id)
 			}
 			if flit.Tail {
+				m.FlitsSent = int(ic.len)
 				ic.msg = nil
 				ic.route = routeInfo{}
+				nd.busyInj--
 				m.State = message.StateInNetwork
 			}
 		}
 
 		m := flit.Msg
 		if mv.eject {
-			m.FlitsEjected++
-			if flit.Tail {
-				nd.ej[mv.ejCh].msg = nil
-				m.State = message.StateDelivered
-				m.DeliverTime = e.now
-				e.delivered++
-				delete(e.paths, m)
-				e.col.OnDelivered(e.now, m.GenTime, m.InjectTime, m.Length, m.Measured)
-				e.emit(trace.KindDelivered, m, nd.id)
+			// Body flits charge the ejection channel's pending counter;
+			// the message is debited once, when the tail arrives — so
+			// consuming a flit touches only this hot little struct.
+			ej := &nd.ej[mv.ejCh]
+			if !flit.Tail {
+				ej.pending++
+				continue
 			}
+			m.FlitsEjected += int(ej.pending) + 1
+			ej.pending = 0
+			ej.msg = nil
+			m.State = message.StateDelivered
+			m.DeliverTime = now
+			e.delivered++
+			m.Path = m.Path[:0]
+			e.col.OnDelivered(now, m.GenTime, m.InjectTime, m.Length, m.Measured)
+			e.emit(trace.KindDelivered, m, nd.id)
+			e.releaseMessage(m)
 			continue
 		}
 
-		nd.lastTx[int(mv.outPort)*e.cfg.VCs+int(mv.outVC)] = e.now
-		if flit.Tail {
-			nd.out[mv.outPort].VCs[mv.outVC].ReleaseIfOwner(m)
+		nd.lastTx[int(mv.outPort)*vcs+int(mv.outVC)] = now
+		bit := uint32(1) << uint(mv.outVC)
+		if flit.Tail && nd.out[mv.outPort].VCs[mv.outVC].ReleaseIfOwner(m) {
+			nd.freeMask[mv.outPort] |= bit
 		}
-		nd.downBuf[mv.outPort][mv.outVC].Push(flit)
+		dvc := nd.down[int(mv.outPort)*vcs+int(mv.outVC)]
+		if dvc.buf.Empty() {
+			nd.nbr[mv.outPort].occVCs++
+			emptyArena[nd.downWord[mv.outPort]] &^= bit
+		}
+		if flit.Head {
+			// The buffer holds one message at a time, so the owner/dst
+			// caches only need (re-)writing when a new head moves in.
+			dvc.owner = m
+			dvc.dst = m.Dst
+		}
+		dvc.buf.Push(flit)
+		if dvc.buf.Full() {
+			fullArena[nd.downWord[mv.outPort]] |= bit
+		}
 	}
 }
 
@@ -421,10 +613,9 @@ func (e *Engine) phaseMove() {
 // leaves buffers in path order, so the match is normally the front entry;
 // the scan is defensive.
 func (e *Engine) removePathLoc(m *message.Message, loc pathLoc) {
-	path := e.paths[m]
-	for i, l := range path {
+	for i, l := range m.Path {
 		if l == loc {
-			e.paths[m] = append(path[:i], path[i+1:]...)
+			m.Path = append(m.Path[:i], m.Path[i+1:]...)
 			return
 		}
 	}

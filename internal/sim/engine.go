@@ -16,32 +16,53 @@ import (
 )
 
 // routeInfo is the forwarding decision attached to an input virtual channel
-// or injection channel while a message traverses it.
+// or injection channel while a message traverses it. Allocation cycle is not
+// recorded here: the node's fresh masks mark routes assigned in the current
+// cycle (movement starts the next one), keeping the struct at five bytes.
 type routeInfo struct {
-	valid      bool
-	eject      bool
-	outPort    topology.Port // valid when !eject
-	outVC      int8          // valid when !eject
-	ejCh       int8          // valid when eject
-	assignedAt int64         // cycle of allocation; movement starts the next cycle
+	valid   bool
+	eject   bool
+	outPort topology.Port // valid when !eject
+	outVC   int8          // valid when !eject
+	ejCh    int8          // valid when eject
 }
 
-// inVC is one input virtual channel: its flit buffer plus routing state.
+// inVC is one input virtual channel: its flit buffer. Input VCs are stored
+// by value in node.in, flat-indexed by the channel id port*VCs+vc, so a
+// node's entire input state is contiguous in memory. The forwarding
+// decisions live in the parallel node.routes array: the switch phase walks
+// routes alone, four to a cache line, without pulling in buffer state.
 type inVC struct {
-	buf   *router.Buffer
-	route routeInfo
+	buf router.Buffer
+	// owner caches the message whose flits the buffer holds (buffers are
+	// exclusive to one message). It is written when a head flit is pushed
+	// and only read while the buffer is non-empty, so it needs no
+	// clearing; the allocator reads the blocked header from it without
+	// touching flit storage. dst mirrors owner.Dst so allocation retries
+	// never touch the (cold) message struct at all.
+	owner *message.Message
+	dst   topology.NodeID
 }
 
 // injChannel is one of the node's injection channels: a message being
-// streamed into the network flit by flit.
+// streamed into the network flit by flit. left caches the flits still to
+// send (Length - FlitsSent), so the switch phase's done-streaming check
+// never dereferences the message.
 type injChannel struct {
 	msg   *message.Message
 	route routeInfo
+	left  int32
+	len   int32           // msg.Length, cached when the channel is claimed
+	dst   topology.NodeID // msg.Dst, cached when the channel is claimed
 }
 
-// ejChannel is one of the node's ejection channels.
+// ejChannel is one of the node's ejection channels. pending counts flits
+// consumed but not yet folded into msg.FlitsEjected: the per-flit counter
+// update happens on this hot little struct, and the message is charged in
+// one go when its tail arrives (or the message is torn down).
 type ejChannel struct {
-	msg *message.Message // nil when free
+	msg     *message.Message // nil when free
+	pending int32
 }
 
 // pendingRecovery is a recovered message waiting out the software
@@ -59,48 +80,103 @@ type pendingRetry struct {
 }
 
 // node is one network endpoint: a router plus its local injection state.
+// Nodes are stored by value in Engine.nodes; all code must take the
+// address (&e.nodes[i]) rather than copy.
 type node struct {
 	id topology.NodeID
 
-	in  [][]inVC          // [physical input port][vc]
-	out []*router.OutPort // [physical output port]
-	inj []injChannel
-	ej  []ejChannel
+	// in[p*VCs+v] is input virtual channel v of physical port p — the
+	// flat channel id doubles as the agent index of the allocation and
+	// switch phases. outVCs is the matching flat output-side state;
+	// out[p] wraps the per-port subslice of it.
+	in     []inVC
+	routes []routeInfo
+	outVCs []router.OutVC
+	out    []router.OutPort
+	inj    []injChannel
+	ej     []ejChannel
 
-	queue    []*message.Message // source queue (FIFO; paper: older first)
-	recovery []pendingRecovery  // software-recovery queue (priority)
-	retry    []pendingRetry     // fault-retry queue (backoff; faults only)
+	// Active-set counters: input VCs currently holding at least one flit
+	// and injection channels currently streaming a message. The
+	// allocation and switch phases skip a node outright when both are
+	// zero, so idle regions of the network cost nothing per cycle.
+	occVCs  int
+	busyInj int
 
-	src     traffic.Generator
+	queue    msgFIFO           // source queue (FIFO; paper: older first)
+	recovery []pendingRecovery // software-recovery queue (priority)
+	retry    []pendingRetry    // fault-retry queue (backoff; faults only)
+
+	src traffic.Generator
+	// nextGen caches src.NextAt(): the generation phase skips the node
+	// while now is before it, without touching the source.
+	nextGen int64
+
 	limiter core.Limiter
+	// limObs caches the limiter's CycleObserver assertion (nil when the
+	// limiter has no per-cycle hook) and view the node's preallocated
+	// ChannelView, so the injection phase performs no per-cycle interface
+	// conversions.
+	limObs core.CycleObserver
+	view   *channelView
 
 	// blocked tracks consecutive cycles each input VC's header failed to
 	// obtain an output virtual channel (deadlock detection input).
 	blocked *deadlock.BlockTracker
-	// lastTx records, per output virtual channel (flattened port*VCs+vc),
-	// the last cycle a flit was transmitted through it. The FC3D-style
-	// detector uses it to distinguish a dead knot (no movement anywhere the
-	// header could go) from plain congestion.
+	// lastTx records, per output virtual channel (flat channel id), the
+	// last cycle a flit was transmitted through it. The FC3D-style
+	// detector uses it to distinguish a dead knot (no movement anywhere
+	// the header could go) from plain congestion.
 	lastTx []int64
 
-	// nbr caches the neighbouring node behind each physical output port and
-	// downBuf the input buffer a flit sent on (port, vc) lands in; both are
-	// hot-path lookups precomputed at construction.
-	nbr     []*node
-	downBuf [][]*router.Buffer
+	// Status registers, one word per physical port, bit v = virtual
+	// channel v. freeMask tracks which output VCs are unallocated,
+	// inEmpty/inFull which of the node's own input buffers are empty/at
+	// capacity, and routed which input VCs hold a valid forwarding
+	// decision (bit set iff routes[p*VCs+v].valid). The allocator and
+	// switch phases test whole candidate sets against these words instead
+	// of walking per-VC state: the allocation walk visits occupied AND
+	// unrouted channels, the switch walk occupied AND routed ones.
+	freeMask []uint32
+	inEmpty  []uint32
+	inFull   []uint32
+	routed   []uint32
+	// fresh marks input VCs (and freshInj injection channels) whose route
+	// was assigned in the current cycle: the switch phase skips them — a
+	// flit moves no earlier than the cycle after allocation — and clears
+	// the masks as it goes. This replaces a per-route assignment
+	// timestamp, halving routeInfo.
+	fresh    []uint32
+	freshInj uint32
+	// swDesc[a] is the packed switch descriptor of input VC a's current
+	// route — output index (ejection offset by numPhys) in the high byte,
+	// output VC in the low — written at allocation so the switch phase
+	// reads two bytes per routed channel instead of a routeInfo.
+	swDesc []uint16
+
+	// nbr caches the neighbouring node behind each physical output port
+	// and down[p*VCs+v] the input VC a flit sent on (p, v) lands in;
+	// downWord[p] is the index of the downstream node's status word for
+	// the buffers this port feeds, in the engine's dense emptyArena and
+	// fullArena (the same index addresses both). An index into a dense
+	// array beats a pointer here: the credit checks become a single
+	// dependent load off a base the compiler keeps in a register. All are
+	// precomputed at construction.
+	nbr      []*node
+	down     []*inVC
+	downWord []int32
 
 	// outArb arbitrates each output port (physical + ejection) among the
 	// node's input agents.
-	outArb []*router.RoundRobin
-	// allocRR rotates the starting input VC of the allocation phase.
-	allocRR int
+	outArb []router.RoundRobin
 
-	// scratch buffers reused every cycle.
+	// scratch buffers reused across cycles (fault-mode routing calls).
 	scratchCands []routing.Candidate
+	scratchPC    []portCand
 	scratchPorts []topology.Port
 }
 
-// agent indices: input VCs first ([port*VCs+vc]), then injection channels.
+// agent indices: input VCs first (flat channel id), then injection channels.
 func (e *Engine) agentCount() int { return e.numPhys*e.cfg.VCs + e.cfg.InjChannels }
 
 // move is one planned flit transfer of the current cycle.
@@ -115,12 +191,9 @@ type move struct {
 }
 
 // pathLoc identifies a buffer holding flits of an in-flight message: the
-// input virtual channel (port, vc) of a node.
-type pathLoc struct {
-	node topology.NodeID
-	port topology.Port
-	vc   int8
-}
+// input virtual channel (port, vc) of a node. Paths live on the messages
+// themselves (message.Message.Path) so that path tracking needs no map.
+type pathLoc = message.PathLoc
 
 // Engine is a single simulation run. It is not safe for concurrent use;
 // run independent Engines on separate goroutines instead (see
@@ -131,24 +204,47 @@ type Engine struct {
 	alg     routing.Algorithm
 	det     deadlock.Detector
 	col     *stats.Collector
-	nodes   []*node
+	nodes   []node
 	numPhys int
 	now     int64
 
 	nextID message.ID
-	// paths tracks which buffers hold each in-flight message's flits, in
-	// path order (oldest first), for deadlock recovery.
-	paths map[*message.Message][]pathLoc
+
+	// cand is the precomputed per-(node, destination) routing candidate
+	// table, built whenever the routing function is static over the run
+	// (i.e. no fault schedule). nil means candidates are computed on the
+	// fly (fault runs, where liveness changes them mid-run).
+	cand *candTable
+
+	// pool is the free list of recycled messages: a delivered or dropped
+	// pool-born message is reset and reused, so steady-state traffic
+	// allocates nothing. Messages handed out by Inject are not pooled —
+	// callers may keep pointers to them.
+	pool []*message.Message
 
 	// moves is the per-cycle plan, rebuilt each cycle.
 	moves []move
-	// reqs holds the per-output-port requester lists of the node currently
-	// being switch-allocated (reused across nodes and cycles).
-	reqs [][]int32
-	// inputGranted marks input ports already granted this cycle, per node;
-	// indexed [node][inputPort], where injection channels occupy ports
-	// numPhys..numPhys+InjChannels-1.
-	inputGranted [][]bool
+	// reqsFlat is the switch-allocation scratch of the node currently being
+	// arbitrated (reused across nodes and cycles): the requester list for
+	// output port o occupies reqsFlat[o*agentCount():], with the live
+	// lengths kept in a stack array inside phaseSwitch. One flat array
+	// avoids the per-port slice headers and stamp bookkeeping.
+	reqsFlat []int32
+
+	// emptyArena and fullArena are the dense input-buffer status words of
+	// the whole network: every node's inEmpty/inFull slices are subslices
+	// of them, and a node reaches its *downstream* words by index
+	// (node.downWord) instead of chasing pointers into neighbour structs.
+	emptyArena []uint32
+	fullArena  []uint32
+
+	// portTab maps an agent index to its crossbar input port; vcBit and
+	// vcOf map an input-VC agent to its status-register bit and virtual
+	// channel. Lookup tables replace the divisions the hot phases would
+	// otherwise do per flit.
+	portTab []int32
+	vcBit   []uint32
+	vcOf    []int8
 
 	// genScratch reuses the traffic-generation slice.
 	genScratch []traffic.Generated
@@ -185,10 +281,21 @@ type Engine struct {
 }
 
 // New builds a simulation engine from cfg. It validates the configuration
-// and pre-allocates all routers, channels and statistics state.
+// and pre-allocates all routers, channels and statistics state — including
+// the packed per-(node, destination) candidate table when the routing
+// function is static, and contiguous arenas for the per-virtual-channel hot
+// state.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.VCs > 32 {
+		return nil, fmt.Errorf("sim: at most 32 virtual channels supported (got %d)", cfg.VCs)
+	}
+	// The switch allocator tracks its requested output ports (physical +
+	// ejection) in one 32-bit mask.
+	if out := 2*cfg.N + cfg.EjChannels; out > 32 {
+		return nil, fmt.Errorf("sim: at most 32 output ports supported (got %d)", out)
 	}
 	topo := topology.New(cfg.K, cfg.N)
 	var alg routing.Algorithm
@@ -223,7 +330,6 @@ func New(cfg Config) (*Engine, error) {
 		det:     deadlock.NewDetector(threshold),
 		col:     stats.NewCollector(topo.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles),
 		numPhys: topo.NumPorts(),
-		paths:   make(map[*message.Message][]pathLoc),
 	}
 	if !cfg.Faults.Empty() {
 		e.live = topology.NewLiveness(topo)
@@ -233,24 +339,70 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("sim: routing %q is not fault-aware", cfg.Routing)
 		}
 		fa.SetLiveness(e.live)
+	} else {
+		// The routing function is a pure function of (current, destination)
+		// for the whole run: precompute every candidate set once and turn
+		// the per-header routing call into a packed table lookup.
+		e.cand = buildCandTable(alg, topo.Nodes())
 	}
 
 	nNodes := topo.Nodes()
-	e.nodes = make([]*node, nNodes)
-	e.inputGranted = make([][]bool, nNodes)
+	nVC := e.numPhys * cfg.VCs
+	e.nodes = make([]node, nNodes)
 	numOut := e.numPhys + cfg.EjChannels
-	for i := 0; i < nNodes; i++ {
-		nd := &node{id: topology.NodeID(i)}
-		nd.in = make([][]inVC, e.numPhys)
-		for p := range nd.in {
-			nd.in[p] = make([]inVC, cfg.VCs)
-			for v := range nd.in[p] {
-				nd.in[p][v].buf = router.NewBuffer(cfg.BufDepth)
-			}
+
+	nAgents := e.agentCount()
+	e.portTab = make([]int32, nAgents)
+	e.vcBit = make([]uint32, nVC)
+	e.vcOf = make([]int8, nVC)
+	for a := 0; a < nAgents; a++ {
+		if a < nVC {
+			e.portTab[a] = int32(a / cfg.VCs)
+			e.vcBit[a] = 1 << uint(a%cfg.VCs)
+			e.vcOf[a] = int8(a % cfg.VCs)
+		} else {
+			e.portTab[a] = int32(e.numPhys + (a - nVC))
 		}
-		nd.out = make([]*router.OutPort, e.numPhys)
+	}
+	e.reqsFlat = make([]int32, numOut*nAgents)
+
+	// Contiguous arenas for the hot per-virtual-channel state: input VCs
+	// (with one shared flit arena), output VC ownership, transmission
+	// timestamps and arbiters.
+	inArena := make([]inVC, nNodes*nVC)
+	flitArena := make([]message.Flit, nNodes*nVC*cfg.BufDepth)
+	outArena := make([]router.OutVC, nNodes*nVC)
+	outPortArena := make([]router.OutPort, nNodes*e.numPhys)
+	lastTxArena := make([]int64, nNodes*nVC)
+	arbArena := make([]router.RoundRobin, nNodes*numOut)
+	for i := range lastTxArena {
+		lastTxArena[i] = -1
+	}
+	// The status words of the whole network pack into dense arrays a few
+	// kilobytes each, so the credit checks against *neighbour* words
+	// (indexed through node.downWord) stay cache-resident instead of
+	// chasing into 512 scattered node structs.
+	freeArena := make([]uint32, nNodes*e.numPhys)
+	e.emptyArena = make([]uint32, nNodes*e.numPhys)
+	e.fullArena = make([]uint32, nNodes*e.numPhys)
+	routedArena := make([]uint32, nNodes*e.numPhys)
+	freshArena := make([]uint32, nNodes*e.numPhys)
+	routeArena := make([]routeInfo, nNodes*nVC)
+	swDescArena := make([]uint16, nNodes*nVC)
+
+	for i := 0; i < nNodes; i++ {
+		nd := &e.nodes[i]
+		nd.id = topology.NodeID(i)
+		nd.in = inArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
+		nd.routes = routeArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
+		for c := range nd.in {
+			base := (i*nVC + c) * cfg.BufDepth
+			nd.in[c].buf.InitOver(flitArena[base : base+cfg.BufDepth : base+cfg.BufDepth])
+		}
+		nd.outVCs = outArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
+		nd.out = outPortArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
 		for p := range nd.out {
-			nd.out[p] = router.NewOutPort(cfg.VCs)
+			nd.out[p] = router.OutPortOver(nd.outVCs[p*cfg.VCs : (p+1)*cfg.VCs : (p+1)*cfg.VCs])
 		}
 		nd.inj = make([]injChannel, cfg.InjChannels)
 		nd.ej = make([]ejChannel, cfg.EjChannels)
@@ -262,29 +414,40 @@ func New(cfg Config) (*Engine, error) {
 				cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
 		}
 		nd.limiter = cfg.Limiter(nd.id, topo, cfg.VCs)
-		nd.blocked = deadlock.NewBlockTracker(e.numPhys * cfg.VCs)
-		nd.lastTx = make([]int64, e.numPhys*cfg.VCs)
-		for t := range nd.lastTx {
-			nd.lastTx[t] = -1
-		}
-		nd.outArb = make([]*router.RoundRobin, numOut)
-		for p := range nd.outArb {
-			nd.outArb[p] = router.NewRoundRobin(e.agentCount())
-		}
-		e.nodes[i] = nd
-		e.inputGranted[i] = make([]bool, e.numPhys+cfg.InjChannels)
-	}
-	// Wire the neighbour and downstream-buffer caches once all routers
-	// exist.
-	for _, nd := range e.nodes {
-		nd.nbr = make([]*node, e.numPhys)
-		nd.downBuf = make([][]*router.Buffer, e.numPhys)
+		nd.limObs, _ = nd.limiter.(core.CycleObserver)
+		nd.view = &channelView{e: e, nd: nd}
+		nd.blocked = deadlock.NewBlockTracker(nVC)
+		nd.lastTx = lastTxArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
+		nd.freeMask = freeArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
+		nd.inEmpty = e.emptyArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
+		nd.inFull = e.fullArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
+		nd.routed = routedArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
+		nd.fresh = freshArena[i*e.numPhys : (i+1)*e.numPhys : (i+1)*e.numPhys]
+		nd.swDesc = swDescArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
+		allVCs := uint32(1)<<uint(cfg.VCs) - 1
 		for p := 0; p < e.numPhys; p++ {
-			nb := e.nodes[topo.Neighbor(nd.id, topology.Port(p))]
+			nd.freeMask[p] = allVCs
+			nd.inEmpty[p] = allVCs
+		}
+		nd.outArb = arbArena[i*numOut : (i+1)*numOut : (i+1)*numOut]
+		for p := range nd.outArb {
+			nd.outArb[p].Init(nAgents)
+		}
+	}
+	// Wire the neighbour and downstream caches once all routers exist.
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nd.nbr = make([]*node, e.numPhys)
+		nd.down = make([]*inVC, nVC)
+		nd.downWord = make([]int32, e.numPhys)
+		for p := 0; p < e.numPhys; p++ {
+			nbID := topo.Neighbor(nd.id, topology.Port(p))
+			nb := &e.nodes[nbID]
 			nd.nbr[p] = nb
-			nd.downBuf[p] = make([]*router.Buffer, cfg.VCs)
+			opp := int(topology.Opposite(topology.Port(p)))
+			nd.downWord[p] = int32(int(nbID)*e.numPhys + opp)
 			for v := 0; v < cfg.VCs; v++ {
-				nd.downBuf[p][v] = nb.in[topology.Opposite(topology.Port(p))][v].buf
+				nd.down[p*cfg.VCs+v] = &nb.in[opp*cfg.VCs+v]
 			}
 		}
 	}
@@ -298,6 +461,45 @@ func splitSeed(seed, node uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// candidates returns the admissible output virtual channels of a header at
+// nd addressed to dst, as per-port masks: a packed table lookup on
+// fault-free runs, a routing call (packed into the node's scratch slice)
+// otherwise.
+func (e *Engine) candidates(nd *node, dst topology.NodeID) []portCand {
+	if e.cand != nil {
+		return e.cand.get(nd.id, dst)
+	}
+	nd.scratchCands = e.alg.Candidates(nd.id, dst, nd.scratchCands[:0])
+	nd.scratchPC = packCands(nd.scratchCands, nd.scratchPC[:0])
+	return nd.scratchPC
+}
+
+// newMessage builds a message for traffic generation, recycling a pooled
+// message when one is free.
+func (e *Engine) newMessage(src, dst topology.NodeID, length int) *message.Message {
+	var m *message.Message
+	if n := len(e.pool); n > 0 {
+		m = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		m.Reuse(e.nextID, src, dst, length, e.now)
+	} else {
+		m = message.New(e.nextID, src, dst, length, e.now)
+		m.Pooled = true
+	}
+	e.nextID++
+	e.generated++
+	return m
+}
+
+// releaseMessage returns a finished (delivered or permanently dropped)
+// pool-born message to the free list.
+func (e *Engine) releaseMessage(m *message.Message) {
+	if m.Pooled {
+		e.pool = append(e.pool, m)
+	}
 }
 
 // Now returns the current simulation cycle.
@@ -376,7 +578,8 @@ func (e *Engine) StopSources() { e.sourcesStopped = true }
 // Inject enqueues a message directly into src's source queue, bypassing the
 // traffic source. It is the hook for hand-built scenarios (tests, examples).
 // The message is generated at the current cycle and participates in
-// measurement like any other.
+// measurement like any other. Injected messages are never pooled, so the
+// returned pointer stays valid after delivery.
 func (e *Engine) Inject(src, dst topology.NodeID, length int) *message.Message {
 	if !e.topo.Valid(src) || !e.topo.Valid(dst) {
 		panic(fmt.Sprintf("sim: invalid endpoints %d -> %d", src, dst))
@@ -387,7 +590,7 @@ func (e *Engine) Inject(src, dst topology.NodeID, length int) *message.Message {
 	m := message.New(e.nextID, src, dst, length, e.now)
 	e.nextID++
 	m.Measured = e.col.OnGenerated(e.now)
-	e.nodes[src].queue = append(e.nodes[src].queue, m)
+	e.nodes[src].queue.Push(m)
 	e.generated++
 	return m
 }

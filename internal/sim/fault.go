@@ -17,6 +17,14 @@ import (
 //
 // Everything here runs only when the run has a fault schedule (e.live is
 // non-nil); a fault-free engine never reaches this code.
+//
+// Kill sets are collected from router state rather than a global message
+// index: a message's tracked path lives on the message itself
+// (message.Message.Path), and every in-flight message is reachable from
+// some buffer front, output virtual-channel owner or injection channel —
+// each path entry implies the upstream allocation is still held or the
+// buffer still holds flits. processKills sorts and deduplicates, so the
+// collection order never leaks into simulation state.
 
 // phaseFaults applies every scheduled fault event whose cycle has arrived,
 // then promotes fault retries whose backoff has expired back to the front
@@ -27,7 +35,8 @@ func (e *Engine) phaseFaults() {
 		e.applyFault(e.faultEvents[e.faultIdx])
 		e.faultIdx++
 	}
-	for _, nd := range e.nodes {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
 		if len(nd.retry) > 0 {
 			e.promoteRetries(nd)
 		}
@@ -78,19 +87,23 @@ func (e *Engine) emitFault(kind trace.Kind, node topology.NodeID) {
 // killOnLink kills every in-flight message whose occupied path crosses the
 // now-dead channel (node, port). A wormhole that loses any link of its path
 // is severed: the whole message is torn down and handed back to its source.
+//
+// A message holds the link exactly while its path tracks the downstream
+// input buffer, and for that whole window it either still owns the upstream
+// output virtual channel or still has flits in the buffer (the entry is
+// removed the moment the tail pops). Scanning the link's virtual channels
+// therefore finds exactly the messages the old global path index would.
 func (e *Engine) killOnLink(n topology.NodeID, p topology.Port) {
-	// The channel (n, p) feeds the input buffer (Opposite(p)) of the
-	// neighbouring node; any tracked path containing that buffer (on any
-	// virtual channel) crosses the link.
-	down := e.topo.Neighbor(n, p)
+	src := &e.nodes[n]
+	down := &e.nodes[e.topo.Neighbor(n, p)]
 	inPort := topology.Opposite(p)
 	kills := e.killScratch[:0]
-	for m, path := range e.paths {
-		for _, loc := range path {
-			if loc.node == down && loc.port == inPort {
-				kills = append(kills, m)
-				break
-			}
+	for v := 0; v < e.cfg.VCs; v++ {
+		if m := src.out[p].VCs[v].Owner(); m != nil {
+			kills = append(kills, m)
+		}
+		if m := down.in[int(inPort)*e.cfg.VCs+v].buf.FrontMessage(); m != nil {
+			kills = append(kills, m)
 		}
 	}
 	e.processKills(kills, n)
@@ -103,36 +116,53 @@ func (e *Engine) killOnLink(n topology.NodeID, p topology.Port) {
 // streaming in.
 func (e *Engine) killOnRouter(n topology.NodeID) {
 	kills := e.killScratch[:0]
-	for m, path := range e.paths {
+	hit := func(m *message.Message) {
 		if m.Dst == n {
 			kills = append(kills, m)
-			continue
+			return
 		}
-		for _, loc := range path {
-			if loc.node == n || e.topo.Neighbor(loc.node, loc.port) == n {
+		for _, loc := range m.Path {
+			if loc.Node == n || e.topo.Neighbor(loc.Node, loc.Port) == n {
 				kills = append(kills, m)
-				break
+				return
 			}
 		}
 	}
-	// Messages without tracked paths: unrouted injection channels at n, and
-	// unrouted injection channels anywhere streaming toward n.
-	for _, nd := range e.nodes {
-		for i := range nd.inj {
-			m := nd.inj[i].msg
-			if m != nil && (nd.id == n || m.Dst == n) {
+	// Every in-flight message holds at least one buffer front, output
+	// virtual channel or injection channel somewhere, so this scan
+	// enumerates them all; processKills deduplicates the overlap.
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		for a := range nd.in {
+			if m := nd.in[a].buf.FrontMessage(); m != nil {
+				hit(m)
+			}
+		}
+		for v := range nd.outVCs {
+			if m := nd.outVCs[v].Owner(); m != nil {
+				hit(m)
+			}
+		}
+		for c := range nd.inj {
+			m := nd.inj[c].msg
+			if m == nil {
+				continue
+			}
+			if nd.id == n {
 				kills = append(kills, m)
+			} else {
+				hit(m)
 			}
 		}
 	}
 	e.processKills(kills, n)
 
 	// The dead node's own backlog is lost with it.
-	nd := e.nodes[n]
-	for _, m := range nd.queue {
-		e.drop(m, n, message.DropSourceFailed)
+	nd := &e.nodes[n]
+	for i := 0; i < nd.queue.Len(); i++ {
+		e.drop(nd.queue.At(i), n, message.DropSourceFailed)
 	}
-	nd.queue = nil
+	nd.queue.Clear()
 	for _, pr := range nd.recovery {
 		e.drop(pr.msg, n, message.DropSourceFailed)
 	}
@@ -143,8 +173,8 @@ func (e *Engine) killOnRouter(n topology.NodeID) {
 	nd.retry = nil
 }
 
-// processKills deduplicates the collected messages, orders them by ID (map
-// iteration order must not leak into simulation state) and kills each.
+// processKills deduplicates the collected messages, orders them by ID
+// (collection order must not leak into simulation state) and kills each.
 func (e *Engine) processKills(kills []*message.Message, at topology.NodeID) {
 	sort.Slice(kills, func(i, j int) bool { return kills[i].ID < kills[j].ID })
 	for i, m := range kills {
@@ -181,7 +211,7 @@ func (e *Engine) kill(m *message.Message, at topology.NodeID) {
 func (e *Engine) scheduleRetry(m *message.Message) {
 	m.ResetForRetry(m.Src)
 	delay := e.cfg.Retry.Delay(m.Retries - 1)
-	src := e.nodes[m.Src]
+	src := &e.nodes[m.Src]
 	src.retry = append(src.retry, pendingRetry{msg: m, readyAt: e.now + delay})
 	e.retried++
 	e.col.OnRetried(e.now)
@@ -189,12 +219,14 @@ func (e *Engine) scheduleRetry(m *message.Message) {
 }
 
 // drop permanently removes a message from the workload with the given
-// reason. The caller has already detached it from all network state.
+// reason. The caller has already detached it from all network state, so a
+// pool-born message can be recycled immediately.
 func (e *Engine) drop(m *message.Message, at topology.NodeID, reason message.DropReason) {
 	m.Drop(reason)
 	e.dropped++
 	e.col.OnDropped(e.now)
 	e.emit(trace.KindDropped, m, at)
+	e.releaseMessage(m)
 }
 
 // promoteRetries moves retries whose backoff expired to the front of the
@@ -215,7 +247,5 @@ func (e *Engine) promoteRetries(nd *node) {
 		}
 	}
 	nd.retry = rest
-	if len(ready) > 0 {
-		nd.queue = append(ready, nd.queue...)
-	}
+	nd.queue.PushFront(ready)
 }

@@ -1,0 +1,86 @@
+package sim
+
+import "wormnet/internal/message"
+
+// msgFIFO is the per-node source queue: a FIFO of message pointers with an
+// explicit head index, so popping the front does not re-slice (the old
+// queue[1:] idiom kept the backing array's dead prefix alive and forced a
+// fresh allocation every time the queue refilled). The buffer rewinds
+// whenever the queue empties and compacts when the dead prefix dominates,
+// so steady-state traffic reuses one backing array indefinitely.
+type msgFIFO struct {
+	buf  []*message.Message
+	head int
+}
+
+// Len returns the number of queued messages.
+func (q *msgFIFO) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether the queue holds no messages.
+func (q *msgFIFO) Empty() bool { return q.head == len(q.buf) }
+
+// Front returns the oldest queued message. It panics if the queue is empty.
+func (q *msgFIFO) Front() *message.Message { return q.buf[q.head] }
+
+// At returns the i-th queued message (0 = front).
+func (q *msgFIFO) At(i int) *message.Message { return q.buf[q.head+i] }
+
+// Push appends a message at the back.
+func (q *msgFIFO) Push(m *message.Message) {
+	if q.head == len(q.buf) {
+		// Empty: rewind so the backing array is reused from the start.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && 2*q.head >= len(q.buf) {
+		// The dead prefix dominates: compact in place.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, m)
+}
+
+// PopFront removes and returns the oldest queued message. It panics if the
+// queue is empty.
+func (q *msgFIFO) PopFront() *message.Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// PushFront prepends ms before the current front, preserving ms's order
+// (ms[0] becomes the new front). The retry machinery uses it to give
+// recovered traffic priority over newer messages.
+func (q *msgFIFO) PushFront(ms []*message.Message) {
+	if len(ms) == 0 {
+		return
+	}
+	if len(ms) <= q.head {
+		// Fits in the dead prefix: place in front of head in place.
+		q.head -= len(ms)
+		copy(q.buf[q.head:], ms)
+		return
+	}
+	merged := make([]*message.Message, 0, len(ms)+q.Len())
+	merged = append(merged, ms...)
+	merged = append(merged, q.buf[q.head:]...)
+	q.buf = merged
+	q.head = 0
+}
+
+// Clear drops every queued message reference.
+func (q *msgFIFO) Clear() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"wormnet/internal/baseline"
+)
+
+// TestGoldenDeterminism pins the simulation results of every injection
+// limiter × traffic pattern combination at Quick scale to digests recorded
+// from the engine as of PR 1 (before the hot-path optimisations of PR 2).
+// The digests cover accepted traffic, average latency and the detected
+// deadlock percentage, formatted to 10 significant digits, at an offered
+// load well beyond saturation so that throttling, head-of-line blocking and
+// deadlock recovery are all active.
+//
+// This test is the safety net for engine rewrites: any change to iteration
+// order, arbitration state, or allocation decisions shows up here as a
+// digest mismatch. Performance work must keep it passing bit-for-bit.
+func TestGoldenDeterminism(t *testing.T) {
+	cases := []struct {
+		limiter string
+		pattern string
+		digest  string
+	}{
+		{"none", "uniform", "1.294833333|2203.439873|0.05146680391"},
+		{"none", "complement", "0.8378333333|4033.832432|0"},
+		{"lf", "uniform", "1.297833333|2255.887377|0.03854554799"},
+		{"lf", "complement", "0.8378333333|4033.832432|0"},
+		{"dril", "uniform", "0.8116666667|3493.101397|0"},
+		{"dril", "complement", "0.7608333333|2719.859125|0"},
+		{"alo", "uniform", "1.274666667|2282.33952|0"},
+		{"alo", "complement", "0.8353333333|4062.28637|0"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.limiter+"/"+c.pattern, func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig()
+			cfg.Pattern = c.pattern
+			cfg.Rate = 2.0 // far beyond saturation
+			cfg.Limiter = baseline.Factories()[c.limiter]
+			cfg.LimiterName = c.limiter
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := e.Run()
+			got := fmt.Sprintf("%.10g|%.10g|%.10g", r.Accepted, r.AvgLatency, r.DeadlockPct)
+			if got != c.digest {
+				t.Errorf("result digest changed:\n got  %s\n want %s", got, c.digest)
+			}
+		})
+	}
+}

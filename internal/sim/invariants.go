@@ -15,24 +15,61 @@ import (
 //  1. Flit conservation: for every message with flits in the network, the
 //     flits buffered across all routers equal FlitsSent - FlitsEjected.
 //  2. Buffer exclusivity: a virtual-channel buffer only holds flits of a
-//     single message, in ascending sequence order.
+//     single message, in ascending sequence order, and the buffer's owner
+//     cache names that message.
 //  3. Path tracking: every buffer holding flits of a message appears in the
-//     message's tracked path, and path entries never point at buffers
-//     holding another message's flits.
+//     message's tracked path (message.Message.Path), and path entries never
+//     point at buffers holding another message's flits.
 //  4. Allocation consistency: every allocated output virtual channel is
 //     owned by a live (undelivered) message, and every valid forward route
 //     points at an output virtual channel owned by the routed message.
 //  5. Ejection consistency: a busy ejection channel belongs to exactly one
 //     in-flight message.
-//  6. Fault consistency (only with fault injection active): no flit sits in
+//  6. Active-set counters: each node's occVCs equals its count of non-empty
+//     input virtual-channel buffers and busyInj its count of busy injection
+//     channels (the phase-skipping optimisation depends on these).
+//  7. Fault consistency (only with fault injection active): no flit sits in
 //     a buffer fed by a dead channel or anywhere on a dead router, no
 //     route or sender-side allocation crosses a dead channel, a dead
-//     router holds no queued work, and no tracked message is dropped.
+//     router holds no queued work, and no in-flight message is dropped.
 func (e *Engine) CheckInvariants() error {
-	buffered := make(map[*message.Message]int)
+	// Enumerate every message reachable from network state: buffer fronts,
+	// output virtual-channel owners, injection and ejection channels. Every
+	// in-flight message holds at least one of those. The channel scans also
+	// collect the deferred flit accounting: flits already streamed in (or
+	// consumed) but not yet folded into the message's own counters, which
+	// happens only when the tail passes.
+	inFlight := make(map[*message.Message]bool)
+	pendingSent := make(map[*message.Message]int)
+	pendingEj := make(map[*message.Message]int)
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		for a := range nd.in {
+			if m := nd.in[a].buf.FrontMessage(); m != nil {
+				inFlight[m] = true
+			}
+		}
+		for v := range nd.outVCs {
+			if m := nd.outVCs[v].Owner(); m != nil {
+				inFlight[m] = true
+			}
+		}
+		for c := range nd.inj {
+			if m := nd.inj[c].msg; m != nil {
+				inFlight[m] = true
+				pendingSent[m] += int(nd.inj[c].len - nd.inj[c].left)
+			}
+		}
+		for c := range nd.ej {
+			if m := nd.ej[c].msg; m != nil {
+				inFlight[m] = true
+				pendingEj[m] += int(nd.ej[c].pending)
+			}
+		}
+	}
 	inPath := make(map[pathLoc]*message.Message)
-	for m, path := range e.paths {
-		for _, loc := range path {
+	for m := range inFlight {
+		for _, loc := range m.Path {
 			if prev, dup := inPath[loc]; dup {
 				return fmt.Errorf("path loc %+v tracked for both msg %d and msg %d", loc, prev.ID, m.ID)
 			}
@@ -40,53 +77,96 @@ func (e *Engine) CheckInvariants() error {
 		}
 	}
 
-	for _, nd := range e.nodes {
-		for p := range nd.in {
-			for v := range nd.in[p] {
-				ivc := &nd.in[p][v]
-				loc := pathLoc{node: nd.id, port: topology.Port(p), vc: int8(v)}
-				var owner *message.Message
-				prevSeq := -1
-				for i := 0; i < ivc.buf.Len(); i++ {
-					f := ivc.buf.Pop()
-					ivc.buf.Push(f) // rotate through
-					if owner == nil {
-						owner = f.Msg
-					} else if owner != f.Msg {
-						return fmt.Errorf("node %d in[%d][%d]: flits of msgs %d and %d share a buffer",
-							nd.id, p, v, owner.ID, f.Msg.ID)
-					}
-					if f.Seq <= prevSeq {
-						return fmt.Errorf("node %d in[%d][%d]: flit sequence not ascending", nd.id, p, v)
-					}
-					prevSeq = f.Seq
-					buffered[f.Msg]++
+	buffered := make(map[*message.Message]int)
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		occ := 0
+		for a := range nd.in {
+			ivc := &nd.in[a]
+			p := a / e.cfg.VCs
+			v := a % e.cfg.VCs
+			loc := pathLoc{Node: nd.id, Port: topology.Port(p), VC: int8(v)}
+			var owner *message.Message
+			prevSeq := int32(-1)
+			for j := 0; j < ivc.buf.Len(); j++ {
+				f := ivc.buf.Pop()
+				ivc.buf.Push(f) // rotate through
+				if owner == nil {
+					owner = f.Msg
+				} else if owner != f.Msg {
+					return fmt.Errorf("node %d in[%d][%d]: flits of msgs %d and %d share a buffer",
+						nd.id, p, v, owner.ID, f.Msg.ID)
 				}
-				if owner != nil {
-					if inPath[loc] != owner {
-						return fmt.Errorf("node %d in[%d][%d]: holds msg %d flits but path tracks %v",
-							nd.id, p, v, owner.ID, inPath[loc])
-					}
+				if f.Seq <= prevSeq {
+					return fmt.Errorf("node %d in[%d][%d]: flit sequence not ascending", nd.id, p, v)
 				}
-				if tracked := inPath[loc]; tracked != nil && owner != nil && tracked != owner {
-					return fmt.Errorf("path entry %+v mismatch", loc)
+				prevSeq = f.Seq
+				buffered[f.Msg]++
+			}
+			if owner != nil {
+				occ++
+				if ivc.owner != owner {
+					return fmt.Errorf("node %d in[%d][%d]: owner cache holds msg %v but flits belong to msg %d",
+						nd.id, p, v, ivc.owner, owner.ID)
 				}
-				// A valid forward route must point at a VC owned by the
-				// buffer's message (or the message that just drained it).
-				if ivc.route.valid && !ivc.route.eject && owner != nil {
-					oc := nd.out[ivc.route.outPort].VCs[ivc.route.outVC]
-					if oc.Owner() != owner {
-						return fmt.Errorf("node %d in[%d][%d]: route points at VC owned by %v, buffer holds msg %d",
-							nd.id, p, v, oc.Owner(), owner.ID)
-					}
+				if inPath[loc] != owner {
+					return fmt.Errorf("node %d in[%d][%d]: holds msg %d flits but path tracks %v",
+						nd.id, p, v, owner.ID, inPath[loc])
+				}
+			}
+			// A valid forward route must point at a VC owned by the
+			// buffer's message (or the message that just drained it).
+			if rt := nd.routes[a]; rt.valid && !rt.eject && owner != nil {
+				oc := nd.out[rt.outPort].VCs[rt.outVC]
+				if oc.Owner() != owner {
+					return fmt.Errorf("node %d in[%d][%d]: route points at VC owned by %v, buffer holds msg %d",
+						nd.id, p, v, oc.Owner(), owner.ID)
 				}
 			}
 		}
+		if occ != nd.occVCs {
+			return fmt.Errorf("node %d: occVCs=%d but %d input buffers are non-empty", nd.id, nd.occVCs, occ)
+		}
+		busy := 0
+		for c := range nd.inj {
+			if nd.inj[c].msg != nil {
+				busy++
+			}
+		}
+		if busy != nd.busyInj {
+			return fmt.Errorf("node %d: busyInj=%d but %d injection channels are busy", nd.id, nd.busyInj, busy)
+		}
 		for p := range nd.out {
+			var free, empty, full, routed uint32
 			for v := range nd.out[p].VCs {
 				if m := nd.out[p].VCs[v].Owner(); m != nil && m.State == message.StateDelivered {
 					return fmt.Errorf("node %d out[%d].vc[%d] owned by delivered msg %d", nd.id, p, v, m.ID)
 				}
+				if nd.out[p].VCs[v].Free() {
+					free |= 1 << uint(v)
+				}
+				buf := &nd.in[p*e.cfg.VCs+v].buf
+				if buf.Empty() {
+					empty |= 1 << uint(v)
+				}
+				if buf.Full() {
+					full |= 1 << uint(v)
+				}
+				if nd.routes[p*e.cfg.VCs+v].valid {
+					routed |= 1 << uint(v)
+				}
+			}
+			if free != nd.freeMask[p] {
+				return fmt.Errorf("node %d port %d: freeMask=%#x but owners say %#x", nd.id, p, nd.freeMask[p], free)
+			}
+			if empty != nd.inEmpty[p] {
+				return fmt.Errorf("node %d port %d: inEmpty=%#x but buffers say %#x", nd.id, p, nd.inEmpty[p], empty)
+			}
+			if full != nd.inFull[p] {
+				return fmt.Errorf("node %d port %d: inFull=%#x but buffers say %#x", nd.id, p, nd.inFull[p], full)
+			}
+			if routed != nd.routed[p] {
+				return fmt.Errorf("node %d port %d: routed=%#x but routes say %#x", nd.id, p, nd.routed[p], routed)
 			}
 		}
 		for c := range nd.ej {
@@ -97,39 +177,43 @@ func (e *Engine) CheckInvariants() error {
 	}
 
 	for m, n := range buffered {
-		if want := m.FlitsSent - m.FlitsEjected; n != want {
+		sent := m.FlitsSent + pendingSent[m]
+		ejected := m.FlitsEjected + pendingEj[m]
+		if want := sent - ejected; n != want {
 			return fmt.Errorf("msg %d: %d flits buffered, want sent-ejected=%d-%d=%d",
-				m.ID, n, m.FlitsSent, m.FlitsEjected, want)
+				m.ID, n, sent, ejected, want)
 		}
 		if m.State == message.StateDelivered {
 			return fmt.Errorf("msg %d delivered but still has %d buffered flits", m.ID, n)
 		}
 	}
 	if e.live != nil {
-		return e.checkFaultInvariants()
+		return e.checkFaultInvariants(inFlight)
 	}
 	return nil
 }
 
 // checkFaultInvariants validates the liveness-dependent state: the fault
 // machinery must leave no flit, route, allocation or queued work on dead
-// hardware, and a permanently dropped message must be gone from tracking.
-func (e *Engine) checkFaultInvariants() error {
-	for m := range e.paths {
+// hardware, and a permanently dropped message must be gone from the
+// network.
+func (e *Engine) checkFaultInvariants(inFlight map[*message.Message]bool) error {
+	for m := range inFlight {
 		if m.State == message.StateDropped {
-			return fmt.Errorf("dropped msg %d still tracked in paths", m.ID)
+			return fmt.Errorf("dropped msg %d still holds network state", m.ID)
 		}
 	}
-	for _, nd := range e.nodes {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
 		alive := e.live.RouterAlive(nd.id)
 		if !alive {
-			if len(nd.queue) != 0 || len(nd.recovery) != 0 || len(nd.retry) != 0 {
+			if nd.queue.Len() != 0 || len(nd.recovery) != 0 || len(nd.retry) != 0 {
 				return fmt.Errorf("dead node %d still holds queued work (%d/%d/%d)",
-					nd.id, len(nd.queue), len(nd.recovery), len(nd.retry))
+					nd.id, nd.queue.Len(), len(nd.recovery), len(nd.retry))
 			}
-			for i := range nd.inj {
-				if nd.inj[i].msg != nil {
-					return fmt.Errorf("dead node %d inj[%d] holds msg %d", nd.id, i, nd.inj[i].msg.ID)
+			for c := range nd.inj {
+				if nd.inj[c].msg != nil {
+					return fmt.Errorf("dead node %d inj[%d] holds msg %d", nd.id, c, nd.inj[c].msg.ID)
 				}
 			}
 			for c := range nd.ej {
@@ -138,23 +222,23 @@ func (e *Engine) checkFaultInvariants() error {
 				}
 			}
 		}
-		for p := range nd.in {
+		for a := range nd.in {
+			p := a / e.cfg.VCs
+			v := a % e.cfg.VCs
 			port := topology.Port(p)
-			// The channel feeding nd.in[p][*] leaves the neighbour through
-			// the opposite port.
+			// The channel feeding nd.in[p*VCs+v] leaves the neighbour
+			// through the opposite port.
 			feeder := e.topo.Neighbor(nd.id, port)
 			feederAlive := e.live.LinkAlive(feeder, topology.Opposite(port))
-			for v := range nd.in[p] {
-				ivc := &nd.in[p][v]
-				if (!alive || !feederAlive) && !ivc.buf.Empty() {
-					return fmt.Errorf("node %d in[%d][%d]: %d flits behind a dead channel",
-						nd.id, p, v, ivc.buf.Len())
-				}
-				if ivc.route.valid && !ivc.route.eject &&
-					!e.live.LinkAlive(nd.id, ivc.route.outPort) {
-					return fmt.Errorf("node %d in[%d][%d]: route crosses dead channel (port %d)",
-						nd.id, p, v, ivc.route.outPort)
-				}
+			ivc := &nd.in[a]
+			if (!alive || !feederAlive) && !ivc.buf.Empty() {
+				return fmt.Errorf("node %d in[%d][%d]: %d flits behind a dead channel",
+					nd.id, p, v, ivc.buf.Len())
+			}
+			if rt := nd.routes[a]; rt.valid && !rt.eject &&
+				!e.live.LinkAlive(nd.id, rt.outPort) {
+				return fmt.Errorf("node %d in[%d][%d]: route crosses dead channel (port %d)",
+					nd.id, p, v, rt.outPort)
 			}
 		}
 		for p := range nd.out {
@@ -175,9 +259,9 @@ func (e *Engine) checkFaultInvariants() error {
 // QueueLengths returns the total source-queue and recovery-queue lengths
 // across all nodes (a congestion indicator used by tests and examples).
 func (e *Engine) QueueLengths() (source, recovery int) {
-	for _, nd := range e.nodes {
-		source += len(nd.queue)
-		recovery += len(nd.recovery)
+	for i := range e.nodes {
+		source += e.nodes[i].queue.Len()
+		recovery += len(e.nodes[i].recovery)
 	}
 	return source, recovery
 }

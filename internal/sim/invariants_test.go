@@ -10,14 +10,18 @@ import (
 
 // The invariant checker is itself load-bearing for the test suite, so these
 // tests corrupt engine state deliberately and verify each class of
-// violation is caught.
+// violation is caught. Direct buffer pushes must keep the occVCs active-set
+// counter consistent, or the counter check would mask the targeted one.
 
 func TestInvariantCatchesUntrackedFlit(t *testing.T) {
 	e := idle(t, nil)
 	m := message.New(999, 0, 5, 4, 0)
 	m.FlitsSent = 1
 	// A flit parked in a buffer with no path entry.
-	e.nodes[3].in[0][0].buf.Push(message.MakeFlit(m, 0))
+	e.nodes[3].in[0].buf.Push(message.MakeFlit(m, 0))
+	e.nodes[3].in[0].owner = m
+	e.nodes[3].occVCs++
+	e.nodes[3].inEmpty[0] &^= 1
 	err := e.CheckInvariants()
 	if err == nil {
 		t.Fatal("untracked buffered flit not caught")
@@ -31,11 +35,13 @@ func TestInvariantCatchesMixedBuffer(t *testing.T) {
 	e := idle(t, nil)
 	m1 := message.New(1, 0, 5, 4, 0)
 	m2 := message.New(2, 0, 5, 4, 0)
-	loc := pathLoc{node: 3, port: 0, vc: 0}
-	e.paths[m1] = []pathLoc{loc}
-	buf := e.nodes[3].in[0][0].buf
+	m1.Path = []pathLoc{{Node: 3, Port: 0, VC: 0}}
+	buf := &e.nodes[3].in[0].buf
 	buf.Push(message.MakeFlit(m1, 0))
 	buf.Push(message.MakeFlit(m2, 0))
+	e.nodes[3].in[0].owner = m1
+	e.nodes[3].occVCs++
+	e.nodes[3].inEmpty[0] &^= 1
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "share a buffer") {
 		t.Fatalf("mixed buffer not caught: %v", err)
@@ -46,8 +52,11 @@ func TestInvariantCatchesFlitCountMismatch(t *testing.T) {
 	e := idle(t, nil)
 	m := message.New(1, 0, 5, 4, 0)
 	m.FlitsSent = 3 // three sent, only one buffered
-	e.paths[m] = []pathLoc{{node: 3, port: 0, vc: 0}}
-	e.nodes[3].in[0][0].buf.Push(message.MakeFlit(m, 0))
+	m.Path = []pathLoc{{Node: 3, Port: 0, VC: 0}}
+	e.nodes[3].in[0].buf.Push(message.MakeFlit(m, 0))
+	e.nodes[3].in[0].owner = m
+	e.nodes[3].occVCs++
+	e.nodes[3].inEmpty[0] &^= 1
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "buffered") {
 		t.Fatalf("flit conservation not caught: %v", err)
@@ -58,10 +67,13 @@ func TestInvariantCatchesNonAscendingSeq(t *testing.T) {
 	e := idle(t, nil)
 	m := message.New(1, 0, 5, 8, 0)
 	m.FlitsSent = 2
-	e.paths[m] = []pathLoc{{node: 3, port: 0, vc: 0}}
-	buf := e.nodes[3].in[0][0].buf
+	m.Path = []pathLoc{{Node: 3, Port: 0, VC: 0}}
+	buf := &e.nodes[3].in[0].buf
 	buf.Push(message.MakeFlit(m, 2))
 	buf.Push(message.MakeFlit(m, 1)) // out of order
+	e.nodes[3].in[0].owner = m
+	e.nodes[3].occVCs++
+	e.nodes[3].inEmpty[0] &^= 1
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "ascending") {
 		t.Fatalf("sequence violation not caught: %v", err)
@@ -73,6 +85,7 @@ func TestInvariantCatchesDeliveredOwner(t *testing.T) {
 	m := message.New(1, 0, 5, 4, 0)
 	m.State = message.StateDelivered
 	e.nodes[2].out[1].VCs[0].Allocate(m)
+	e.nodes[2].freeMask[1] &^= 1
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "delivered") {
 		t.Fatalf("stale allocation not caught: %v", err)
@@ -94,9 +107,14 @@ func TestInvariantCatchesDuplicatePathEntry(t *testing.T) {
 	e := idle(t, nil)
 	m1 := message.New(1, 0, 5, 4, 0)
 	m2 := message.New(2, 0, 5, 4, 0)
-	loc := pathLoc{node: 3, port: 0, vc: 0}
-	e.paths[m1] = []pathLoc{loc}
-	e.paths[m2] = []pathLoc{loc}
+	loc := pathLoc{Node: 3, Port: 0, VC: 0}
+	m1.Path = []pathLoc{loc}
+	m2.Path = []pathLoc{loc}
+	// Both messages must be discoverable from network state: give each an
+	// output virtual-channel allocation.
+	e.nodes[0].out[0].VCs[0].Allocate(m1)
+	e.nodes[0].out[0].VCs[1].Allocate(m2)
+	e.nodes[0].freeMask[0] &^= 3
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "both") {
 		t.Fatalf("duplicate path entry not caught: %v", err)
@@ -107,18 +125,35 @@ func TestInvariantCatchesRouteOwnershipMismatch(t *testing.T) {
 	e := idle(t, nil)
 	m1 := message.New(1, 0, 5, 4, 0)
 	m2 := message.New(2, 0, 5, 4, 0)
-	loc := pathLoc{node: 3, port: 0, vc: 0}
-	e.paths[m1] = []pathLoc{loc}
+	m1.Path = []pathLoc{{Node: 3, Port: 0, VC: 0}}
 	m1.FlitsSent = 1
-	nd := e.nodes[3]
-	nd.in[0][0].buf.Push(message.MakeFlit(m1, 0))
+	nd := &e.nodes[3]
+	nd.in[0].buf.Push(message.MakeFlit(m1, 0))
+	nd.in[0].owner = m1
+	nd.occVCs++
+	nd.inEmpty[0] &^= 1
 	// Route on the VC points at an output channel owned by a different
 	// message.
 	nd.out[2].VCs[1].Allocate(m2)
-	nd.in[0][0].route = routeInfo{valid: true, outPort: 2, outVC: 1, assignedAt: 0}
+	nd.freeMask[2] &^= 2
+	nd.routes[0] = routeInfo{valid: true, outPort: 2, outVC: 1}
+	nd.routed[0] |= 1
 	err := e.CheckInvariants()
 	if err == nil || !strings.Contains(err.Error(), "owned by") {
 		t.Fatalf("route ownership mismatch not caught: %v", err)
+	}
+}
+
+func TestInvariantCatchesCounterDrift(t *testing.T) {
+	e := idle(t, nil)
+	e.nodes[5].occVCs = 2 // no buffers hold flits
+	if err := e.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "occVCs") {
+		t.Fatalf("occVCs drift not caught: %v", err)
+	}
+	e.nodes[5].occVCs = 0
+	e.nodes[5].busyInj = 1 // no injection channel is busy
+	if err := e.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "busyInj") {
+		t.Fatalf("busyInj drift not caught: %v", err)
 	}
 }
 
@@ -154,7 +189,7 @@ func TestAllLimitersInsideEngine(t *testing.T) {
 
 func TestChannelViewQueueReporting(t *testing.T) {
 	e := idle(t, nil)
-	nd := e.nodes[0]
+	nd := &e.nodes[0]
 	v := channelView{e: e, nd: nd}
 	if v.QueuedMessages() != 0 || v.HeadWait() != 0 {
 		t.Fatal("empty queue must report zeros")

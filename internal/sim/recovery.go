@@ -31,12 +31,13 @@ func (e *Engine) recover(m *message.Message, at *node) {
 // teardown removes every trace of message m from the network: the
 // injection channel it may still hold, every buffered flit, every route and
 // every virtual channel (sender-side allocations up- and downstream of each
-// buffer) it occupies. The message's own progress counters are untouched;
-// callers reset or drop the message afterwards. Both deadlock recovery and
-// the fault-kill machinery run exactly this teardown.
+// buffer) it occupies, keeping the active-set counters consistent. The
+// message's own progress counters are untouched; callers reset or drop the
+// message afterwards. Both deadlock recovery and the fault-kill machinery
+// run exactly this teardown.
 func (e *Engine) teardown(m *message.Message) {
 	// Free the injection channel if the message is still streaming in.
-	inj := e.nodes[m.Injector]
+	inj := &e.nodes[m.Injector]
 	for i := range inj.inj {
 		ic := &inj.inj[i]
 		if ic.msg != m {
@@ -44,40 +45,64 @@ func (e *Engine) teardown(m *message.Message) {
 		}
 		if ic.route.valid {
 			if ic.route.eject {
-				if inj.ej[ic.route.ejCh].msg == m {
-					inj.ej[ic.route.ejCh].msg = nil
+				if ej := &inj.ej[ic.route.ejCh]; ej.msg == m {
+					m.FlitsEjected += int(ej.pending)
+					ej.pending = 0
+					ej.msg = nil
 				}
-			} else {
-				inj.out[ic.route.outPort].VCs[ic.route.outVC].ReleaseIfOwner(m)
+			} else if inj.out[ic.route.outPort].VCs[ic.route.outVC].ReleaseIfOwner(m) {
+				inj.freeMask[ic.route.outPort] |= 1 << uint(ic.route.outVC)
 			}
 		}
+		// Settle the deferred flit accounting before the channel forgets
+		// how much of the message it had streamed.
+		m.FlitsSent = int(ic.len - ic.left)
 		ic.msg = nil
 		ic.route = routeInfo{}
+		inj.freshInj &^= 1 << uint(i)
+		inj.busyInj--
 	}
 
 	// Tear down the path: remove buffered flits, clear routes, release the
 	// virtual channels feeding and leaving every buffer the message holds.
-	for _, loc := range e.paths[m] {
-		nd := e.nodes[loc.node]
-		ivc := &nd.in[loc.port][loc.vc]
-		ivc.buf.RemoveMessage(m.ID)
+	for _, loc := range m.Path {
+		nd := &e.nodes[loc.Node]
+		a := e.inVCIndex(loc.Port, loc.VC)
+		ivc := &nd.in[a]
+		bit := uint32(1) << uint(loc.VC)
+		if ivc.buf.RemoveMessage(m.ID) > 0 {
+			if ivc.buf.Empty() {
+				nd.occVCs--
+				nd.inEmpty[loc.Port] |= bit
+			}
+			if !ivc.buf.Full() {
+				nd.inFull[loc.Port] &^= bit
+			}
+		}
 		// The buffer held only this message's flits, so a valid route on it
 		// belongs to the message: release the onward channel it claimed.
-		if ivc.route.valid {
-			if ivc.route.eject {
-				if nd.ej[ivc.route.ejCh].msg == m {
-					nd.ej[ivc.route.ejCh].msg = nil
+		if rt := &nd.routes[a]; rt.valid {
+			if rt.eject {
+				if ej := &nd.ej[rt.ejCh]; ej.msg == m {
+					m.FlitsEjected += int(ej.pending)
+					ej.pending = 0
+					ej.msg = nil
 				}
-			} else {
-				nd.out[ivc.route.outPort].VCs[ivc.route.outVC].ReleaseIfOwner(m)
+			} else if nd.out[rt.outPort].VCs[rt.outVC].ReleaseIfOwner(m) {
+				nd.freeMask[rt.outPort] |= 1 << uint(rt.outVC)
 			}
-			ivc.route = routeInfo{}
+			*rt = routeInfo{}
+			nd.routed[loc.Port] &^= bit
+			nd.fresh[loc.Port] &^= bit
 		}
-		nd.blocked.Progress(e.inVCIndex(loc.port, loc.vc))
+		nd.blocked.Progress(a)
 		// Release the upstream allocation feeding this buffer (a no-op when
 		// the tail already passed through it).
-		up := e.nodes[e.topo.Neighbor(loc.node, loc.port)]
-		up.out[topology.Opposite(loc.port)].VCs[loc.vc].ReleaseIfOwner(m)
+		opp := topology.Opposite(loc.Port)
+		up := &e.nodes[e.topo.Neighbor(loc.Node, loc.Port)]
+		if up.out[opp].VCs[loc.VC].ReleaseIfOwner(m) {
+			up.freeMask[opp] |= bit
+		}
 	}
-	delete(e.paths, m)
+	m.Path = m.Path[:0]
 }

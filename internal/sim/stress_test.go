@@ -134,17 +134,16 @@ func TestDrainToQuiescence(t *testing.T) {
 		t.Fatal(err)
 	}
 	// After a full drain every channel must be free and every buffer empty.
-	for _, nd := range e.nodes {
+	for i := range e.nodes {
+		nd := &e.nodes[i]
 		for p := range nd.out {
 			if !nd.out[p].CompletelyFree() {
 				t.Fatalf("node %d out port %d leaked an allocation", nd.id, p)
 			}
 		}
-		for p := range nd.in {
-			for v := range nd.in[p] {
-				if !nd.in[p][v].buf.Empty() {
-					t.Fatalf("node %d in[%d][%d] leaked flits", nd.id, p, v)
-				}
+		for a := range nd.in {
+			if !nd.in[a].buf.Empty() {
+				t.Fatalf("node %d in[%d][%d] leaked flits", nd.id, a/e.cfg.VCs, a%e.cfg.VCs)
 			}
 		}
 		for c := range nd.ej {
@@ -152,9 +151,9 @@ func TestDrainToQuiescence(t *testing.T) {
 				t.Fatalf("node %d leaked ejection channel %d", nd.id, c)
 			}
 		}
-		for i := range nd.inj {
-			if nd.inj[i].msg != nil {
-				t.Fatalf("node %d leaked injection channel %d", nd.id, i)
+		for c := range nd.inj {
+			if nd.inj[c].msg != nil {
+				t.Fatalf("node %d leaked injection channel %d", nd.id, c)
 			}
 		}
 	}

@@ -1,14 +1,15 @@
 package sim
 
 import (
-	"wormnet/internal/routing"
 	"wormnet/internal/topology"
 )
 
 // channelView adapts a node's router state to the core.ChannelView
 // interface consumed by injection limiters: the routing function plus the
 // virtual-channel status register, exactly the information the paper's
-// injection control unit sees.
+// injection control unit sees. Each node caches one *channelView (node.view)
+// so handing it to a limiter converts a pointer to an interface without
+// allocating.
 type channelView struct {
 	e  *Engine
 	nd *node
@@ -16,11 +17,15 @@ type channelView struct {
 
 // UsefulPorts implements core.ChannelView by executing the run's routing
 // function for a locally generated message and collapsing its candidates to
-// distinct physical ports.
+// distinct physical ports. On fault-free runs the candidates come from the
+// precomputed table.
 func (v channelView) UsefulPorts(dst topology.NodeID) []topology.Port {
-	v.nd.scratchCands = v.e.alg.Candidates(v.nd.id, dst, v.nd.scratchCands[:0])
-	v.nd.scratchPorts = routing.Ports(v.nd.scratchCands, v.nd.scratchPorts[:0])
-	return v.nd.scratchPorts
+	ports := v.nd.scratchPorts[:0]
+	for _, pc := range v.e.candidates(v.nd, dst) {
+		ports = append(ports, pc.port)
+	}
+	v.nd.scratchPorts = ports
+	return ports
 }
 
 // FreeVCs implements core.ChannelView.
@@ -33,12 +38,12 @@ func (v channelView) VCs() int { return v.e.cfg.VCs }
 func (v channelView) NumPorts() int { return v.e.numPhys }
 
 // QueuedMessages implements core.ChannelView.
-func (v channelView) QueuedMessages() int { return len(v.nd.queue) }
+func (v channelView) QueuedMessages() int { return v.nd.queue.Len() }
 
 // HeadWait implements core.ChannelView.
 func (v channelView) HeadWait() int64 {
-	if len(v.nd.queue) == 0 {
+	if v.nd.queue.Empty() {
 		return 0
 	}
-	return v.e.now - v.nd.queue[0].GenTime
+	return v.e.now - v.nd.queue.Front().GenTime
 }

@@ -13,6 +13,11 @@ import (
 type Generator interface {
 	// Poll appends all messages generated up to and including cycle now.
 	Poll(now int64, dst []Generated) []Generated
+	// NextAt returns the earliest cycle at which Poll may do anything
+	// (generate a message or advance internal phase state); Poll calls
+	// before that cycle are guaranteed no-ops. The simulation engine uses
+	// it to skip idle sources without touching their state.
+	NextAt() int64
 	// Node returns the node this generator belongs to.
 	Node() topology.NodeID
 }
@@ -171,6 +176,19 @@ func (s *BurstySource) Poll(now int64, dst []Generated) []Generated {
 		}
 		s.next += s.rng.ExpFloat64() * s.peakGap
 	}
+}
+
+// NextAt implements Generator: the next phase boundary, or the next
+// generation event if it comes sooner during an ON period.
+func (s *BurstySource) NextAt() int64 {
+	t := s.phaseEnds
+	if s.on && s.next < t {
+		t = s.next
+	}
+	if math.IsInf(t, 1) {
+		return math.MaxInt64
+	}
+	return int64(math.Ceil(t))
 }
 
 // Compile-time interface checks.

@@ -74,5 +74,14 @@ func (s *Source) Poll(now int64, dst []Generated) []Generated {
 	return dst
 }
 
+// NextAt implements Generator: the first cycle now satisfying
+// s.next <= now.
+func (s *Source) NextAt() int64 {
+	if math.IsInf(s.next, 1) {
+		return math.MaxInt64
+	}
+	return int64(math.Ceil(s.next))
+}
+
 // Node returns the node this source generates for.
 func (s *Source) Node() topology.NodeID { return s.node }
