@@ -277,6 +277,37 @@ func BenchmarkEngineCycles(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkEngineCyclesParallel measures the sharded engine (Config.Workers,
+// see internal/sim/parallel.go) at the same near-saturation operating point,
+// one sub-benchmark per worker count. Every worker count produces
+// bit-identical simulation results; the sub-benchmarks differ only in
+// wall-clock scaling, so cycles/s relative to workers=1 is the speedup.
+func BenchmarkEngineCyclesParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Rate = 0.65
+			cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+			cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 1<<40, 0
+			cfg.Workers = workers
+			e, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			for i := 0; i < 2000; i++ {
+				e.Step() // reach saturated steady state before timing
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
 // BenchmarkEngineRun measures a short whole run — construction, warm-up and
 // all — so regressions in engine setup cost stay visible alongside the
 // steady-state figure above.

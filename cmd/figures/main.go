@@ -18,12 +18,15 @@ import (
 	"time"
 
 	"wormnet/internal/experiments"
+	"wormnet/internal/sim"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, or all")
 	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
 	csvPath := flag.String("csv", "", "also append CSV rows to this file")
+	workers := flag.Int("workers", 1,
+		"engine worker goroutines per run (results are identical for any count; the runner already parallelises across runs, so raise this only when single runs dominate)")
 	flag.Parse()
 
 	scale := experiments.Full()
@@ -58,11 +61,28 @@ func main() {
 		csv = f
 	}
 
+	// A multi-worker executor shards each engine; simulation results stay
+	// bit-identical to serial, only wall-clock changes.
+	var exec experiments.Executor
+	if *workers > 1 {
+		w := *workers
+		exec = func(cfg sim.Config) *sim.Engine {
+			cfg.Workers = w
+			e, err := sim.New(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("figures: bad config: %v", err))
+			}
+			e.Run()
+			e.Close()
+			return e
+		}
+	}
+
 	fmt.Printf("scale: %s (%d-ary %d-cube), windows %d/%d/%d\n\n",
 		scale.Name, scale.K, scale.N, scale.Warmup, scale.Measure, scale.Drain)
 	for _, ex := range exps {
 		start := time.Now()
-		rep := ex.Run(scale, nil)
+		rep := ex.Run(scale, exec)
 		fmt.Print(rep.Render())
 		fmt.Printf("(%s completed in %v)\n\n", ex.ID, time.Since(start).Round(time.Second))
 		if csv != nil {

@@ -40,6 +40,8 @@ func main() {
 	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement cycles")
 	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.Workers, "workers", 1,
+		"engine worker goroutines per run (results are identical for any count; keep 1 unless a single run dominates)")
 	faults := flag.Float64("faults", 0, "fraction of channels to fail in every run [0,1]")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault planner seed")
 	flag.Parse()
@@ -94,6 +96,7 @@ func main() {
 		e, err := sim.New(run)
 		must(err)
 		r := e.Run()
+		e.Close()
 		fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f,%d,%d,%d\n",
 			raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
 			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev,

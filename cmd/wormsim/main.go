@@ -49,6 +49,8 @@ func main() {
 	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement window (cycles)")
 	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles after measurement")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.Workers, "workers", sim.DefaultWorkers(),
+		"engine worker goroutines (results are identical for any count; 1 = serial)")
 	prof := fault.Profile{}
 	flag.Float64Var(&prof.LinkFraction, "faults", 0, "fraction of channels to fail [0,1]")
 	flag.Float64Var(&prof.RouterFraction, "fault-routers", 0, "fraction of routers to fail [0,1]")
@@ -89,6 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	defer e.Close()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -54,6 +54,14 @@ func (d Detector) Deadlocked(blockedCycles int32, anyUsefulVCFree bool) bool {
 // The simulation engine indexes it by a dense input-virtual-channel index.
 type BlockTracker struct {
 	counters []int32
+
+	// watermark, when positive, maintains hot: the number of counters at or
+	// above the watermark. The parallel engine sets it to Threshold-1 and
+	// polls Hot to decide whether a recovery could fire in the upcoming
+	// allocation phase — a counter can only reach Threshold this cycle if it
+	// already stood at Threshold-1, since Blocked advances by one per cycle.
+	watermark int32
+	hot       int32
 }
 
 // NewBlockTracker returns a tracker for n input virtual channels.
@@ -61,16 +69,33 @@ func NewBlockTracker(n int) *BlockTracker {
 	return &BlockTracker{counters: make([]int32, n)}
 }
 
+// SetWatermark arms hot-counter tracking at the given level (<= 0 disables).
+// Call before any counter is non-zero.
+func (t *BlockTracker) SetWatermark(w int32) { t.watermark = w }
+
+// Hot returns the number of counters at or above the watermark (0 when
+// tracking is disabled).
+func (t *BlockTracker) Hot() int32 { return t.hot }
+
 // Blocked records one more blocked cycle for channel i and returns the new
 // consecutive count.
 func (t *BlockTracker) Blocked(i int) int32 {
 	t.counters[i]++
-	return t.counters[i]
+	c := t.counters[i]
+	if c == t.watermark {
+		t.hot++
+	}
+	return c
 }
 
 // Progress resets channel i's counter; call it whenever the header makes
 // any forward progress (allocation or flit movement).
-func (t *BlockTracker) Progress(i int) { t.counters[i] = 0 }
+func (t *BlockTracker) Progress(i int) {
+	if t.watermark > 0 && t.counters[i] >= t.watermark {
+		t.hot--
+	}
+	t.counters[i] = 0
+}
 
 // Count returns channel i's current consecutive-blockage count.
 func (t *BlockTracker) Count(i int) int32 { return t.counters[i] }

@@ -171,6 +171,28 @@ func runAll(cfgs []sim.Config, exec Executor) []*sim.Engine {
 	return engines
 }
 
+// fairnessReplicas is how many seed-shifted replicas the fairness figure
+// pools; per-node injection counts need more messages per node than one
+// latency-figure window provides.
+const fairnessReplicas = 3
+
+// replicate runs cfg under replicas consecutive seeds through exec and
+// returns the pooled collector: stats.Collector.Merge pools latency samples
+// and per-node counters and averages the per-cycle rates over the runs.
+func replicate(cfg sim.Config, replicas int, exec Executor) *stats.Collector {
+	cfgs := make([]sim.Config, replicas)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + uint64(i)
+	}
+	engines := runAll(cfgs, exec)
+	col := engines[0].Collector()
+	for _, e := range engines[1:] {
+		col.Merge(e.Collector())
+	}
+	return col
+}
+
 // sweep runs one mechanism over a rate grid and returns its series.
 func sweep(base sim.Config, name string, f core.Factory, rates []float64, exec Executor) Series {
 	cfgs := make([]sim.Config, len(rates))
@@ -351,22 +373,22 @@ func Fig4() Experiment {
 		run: func(s Scale, exec Executor) Report {
 			base := s.baseConfig()
 			base.Pattern, base.MsgLen = "uniform", 64
-			// Per-node fairness needs more messages per node than the
-			// latency figures: triple the measurement window.
-			base.MeasureCycles *= 3
 			rep := Report{ID: "fig4", Title: "Figure 4"}
 			for _, m := range mechanisms() {
 				if m.name == "none" {
 					continue // the paper compares the three limiters
 				}
+				// Per-node fairness needs more messages per node than the
+				// latency figures: pool seed-shifted replicas instead of
+				// stretching one measurement window.
 				cfg := base.WithLimiter(m.name, m.f).WithRate(s.FairRate)
-				e := exec(cfg)
+				col := replicate(cfg, fairnessReplicas, exec)
 				rep.Series = append(rep.Series, Series{
 					Name: m.name,
 					Points: []Point{{
 						Offered:    s.FairRate,
-						Result:     e.Collector().Result(),
-						Deviations: e.Collector().Fairness().SortedDeviations(),
+						Result:     col.Result(),
+						Deviations: col.Fairness().SortedDeviations(),
 					}},
 				})
 			}

@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+// checkCandidates asserts the invariants every routing engine must uphold
+// for a candidate set computed at cur toward dst under liveness mask live
+// (nil = all alive): every routed port is minimal (crossing it decreases
+// the torus distance by exactly one) and live, virtual channels are in
+// range with no duplicate (port, vc) pair, same-port candidates are
+// contiguous (the Ports contract), and cur == dst yields no candidates.
+func checkCandidates(t *testing.T, tp *topology.Torus, live *topology.Liveness,
+	cur, dst topology.NodeID, vcs int, cands []Candidate) {
+	t.Helper()
+	if cur == dst {
+		if len(cands) != 0 {
+			t.Fatalf("cur==dst=%d: %d candidates", cur, len(cands))
+		}
+		return
+	}
+	dist := tp.Distance(cur, dst)
+	type pv struct {
+		p topology.Port
+		v int8
+	}
+	seen := make(map[pv]bool, len(cands))
+	lastPortAt := make(map[topology.Port]int, len(cands))
+	for i, c := range cands {
+		if c.VC < 0 || int(c.VC) >= vcs {
+			t.Fatalf("cur=%d dst=%d: candidate %d vc %d out of range [0,%d)", cur, dst, i, c.VC, vcs)
+		}
+		if int(c.Port) < 0 || int(c.Port) >= tp.NumPorts() {
+			t.Fatalf("cur=%d dst=%d: candidate %d port %d out of range", cur, dst, i, c.Port)
+		}
+		if tp.Distance(tp.Neighbor(cur, c.Port), dst) != dist-1 {
+			t.Fatalf("cur=%d dst=%d: routed port %d is not minimal (dist=%d)", cur, dst, c.Port, dist)
+		}
+		if live != nil && !live.LinkAlive(cur, c.Port) {
+			t.Fatalf("cur=%d dst=%d: routed port %d crosses a dead channel", cur, dst, c.Port)
+		}
+		if k := (pv{c.Port, c.VC}); seen[k] {
+			t.Fatalf("cur=%d dst=%d: duplicate candidate (port %d, vc %d)", cur, dst, c.Port, c.VC)
+		} else {
+			seen[k] = true
+		}
+		if at, ok := lastPortAt[c.Port]; ok && at != i-1 {
+			t.Fatalf("cur=%d dst=%d: candidates of port %d not contiguous", cur, dst, c.Port)
+		}
+		lastPortAt[c.Port] = i
+	}
+}
+
+// FuzzRoute fuzzes all three routing engines over arbitrary geometries,
+// node pairs and liveness masks: the candidate invariants above must hold
+// with no mask, under fuzzed link failures, and after the mask is restored.
+// Engine-specific shape properties (TFAR's full fan-out, DOR's single
+// prescribed candidate) are asserted on the fault-free pass.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(0), uint16(0), uint16(5), uint64(0))
+	f.Add(uint8(8), uint8(3), uint8(0), uint16(1), uint16(100), uint64(0xF00F))
+	f.Add(uint8(4), uint8(2), uint8(1), uint16(3), uint16(12), uint64(0xDEAD))
+	f.Add(uint8(6), uint8(1), uint8(2), uint16(0), uint16(3), uint64(1))
+	f.Add(uint8(2), uint8(3), uint8(0), uint16(7), uint16(0), uint64(0xFFFF_FFFF))
+	f.Add(uint8(8), uint8(1), uint8(1), uint16(0), uint16(4), uint64(0)) // half-way tie
+	f.Fuzz(func(t *testing.T, kRaw, nRaw, algRaw uint8, srcRaw, dstRaw uint16, mask uint64) {
+		k := 2 + int(kRaw)%7 // 2..8
+		n := 1 + int(nRaw)%3 // 1..3
+		tp := topology.New(k, n)
+		const vcs = 3
+		var alg Algorithm
+		switch algRaw % 3 {
+		case 0:
+			alg = NewTFAR(tp, vcs)
+		case 1:
+			alg = NewDOR(tp, vcs)
+		default:
+			alg = NewDuato(tp, vcs)
+		}
+		src := topology.NodeID(int(srcRaw) % tp.Nodes())
+		dst := topology.NodeID(int(dstRaw) % tp.Nodes())
+
+		cands := alg.Candidates(src, dst, nil)
+		checkCandidates(t, tp, nil, src, dst, vcs, cands)
+		if src != dst {
+			useful := tp.UsefulPorts(src, dst, nil)
+			switch alg.(type) {
+			case *TFAR:
+				if len(cands) != len(useful)*vcs {
+					t.Fatalf("tfar src=%d dst=%d: %d candidates, want %d useful ports x %d VCs",
+						src, dst, len(cands), len(useful), vcs)
+				}
+			case *DOR:
+				if len(cands) != 1 {
+					t.Fatalf("dor src=%d dst=%d: %d candidates, want exactly 1", src, dst, len(cands))
+				}
+			}
+		}
+
+		// Kill a fuzzed set of links (each mask bit maps to one directed
+		// channel of the torus) and require the reduced candidate sets to
+		// stay minimal, live and well-formed.
+		live := topology.NewLiveness(tp)
+		channels := tp.Nodes() * tp.NumPorts()
+		for b := 0; b < 64; b++ {
+			if mask&(1<<uint(b)) == 0 {
+				continue
+			}
+			ch := (b * 2654435761) % channels // spread the low bits over the torus
+			live.SetLink(topology.NodeID(ch/tp.NumPorts()), topology.Port(ch%tp.NumPorts()), false)
+		}
+		alg.(FaultAware).SetLiveness(live)
+		checkCandidates(t, tp, live, src, dst, vcs, alg.Candidates(src, dst, nil))
+
+		// Restoring every link must restore the fault-free candidate set.
+		for nd := 0; nd < tp.Nodes(); nd++ {
+			for p := 0; p < tp.NumPorts(); p++ {
+				live.SetLink(topology.NodeID(nd), topology.Port(p), true)
+			}
+		}
+		restored := alg.Candidates(src, dst, nil)
+		if len(restored) != len(cands) {
+			t.Fatalf("src=%d dst=%d: %d candidates after repair, want %d", src, dst, len(restored), len(cands))
+		}
+		for i := range restored {
+			if restored[i] != cands[i] {
+				t.Fatalf("src=%d dst=%d: candidate %d changed after repair: %+v vs %+v",
+					src, dst, i, restored[i], cands[i])
+			}
+		}
+	})
+}

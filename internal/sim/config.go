@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
@@ -93,6 +94,15 @@ type Config struct {
 
 	// Seed drives all of the run's (deterministic) randomness.
 	Seed uint64
+
+	// Workers is the number of goroutines the engine shards each cycle
+	// across. 0 and 1 select the serial path; higher values partition the
+	// node arenas into Workers contiguous shards and run the engine phases
+	// shard-parallel with barriers in between. Results are bit-identical to
+	// serial for any worker count (see TestGoldenParallelEquivalence); an
+	// engine with Workers > 1 owns background goroutines and should be
+	// released with Engine.Close when the run is done.
+	Workers int
 }
 
 // DefaultConfig returns the paper's standard configuration: an 8-ary 3-cube
@@ -146,6 +156,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: negative warmup or drain")
 	case c.RecoveryDelay < 0:
 		return fmt.Errorf("sim: negative recovery delay")
+	case c.Workers < 0:
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
 	}
 	if c.Routing == "" {
 		c.Routing = "tfar"
@@ -196,6 +208,21 @@ func (c *Config) validate() error {
 // TotalCycles returns the full run length.
 func (c Config) TotalCycles() int64 {
 	return c.WarmupCycles + c.MeasureCycles + c.DrainCycles
+}
+
+// DefaultWorkers returns a reasonable Workers value for running one engine
+// on the current machine: the CPU count, capped at 8 (the phase barriers
+// outgrow the per-shard work beyond that on the paper's network sizes).
+// Callers running many engines concurrently (sweeps) should stay at 1.
+func DefaultWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // WithLimiter returns a copy of the config using the named limiter factory.

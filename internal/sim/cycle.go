@@ -22,6 +22,10 @@ import (
 // have changed any state, including arbiter pointers — so results are
 // bit-for-bit identical to exhaustive iteration (see TestGoldenDeterminism).
 func (e *Engine) Step() {
+	if e.par != nil {
+		e.stepParallel()
+		return
+	}
 	if e.live != nil {
 		e.phaseFaults()
 	}
@@ -143,6 +147,17 @@ func (e *Engine) phaseInject() {
 // cycle regardless of activity, so it always equalled now % nAgents —
 // deriving it makes skipping idle nodes free of state drift.
 func (e *Engine) phaseAllocate() {
+	e.allocRange(0, len(e.nodes))
+}
+
+// allocRange runs the allocation phase for nodes [lo, hi). It is the whole
+// phase on the serial path and one shard's slice of it on the parallel path:
+// every read outside the node itself — neighbour empty-status words, the
+// candidate table — is stable for the duration of the phase, and every write
+// lands on the node's own state, so disjoint ranges commute (see
+// parallel.go for the full argument, including why recovery and fault kills
+// never run inside a parallel allocation phase).
+func (e *Engine) allocRange(lo, hi int) {
 	nVC := e.numPhys * e.cfg.VCs
 	start := int(e.now % int64(nVC))
 	// The rotating agent order start, start+1, …, nVC-1, 0, …, start-1 is
@@ -152,21 +167,21 @@ func (e *Engine) phaseAllocate() {
 	// word, so empty channels are never touched.
 	ps := start / e.cfg.VCs
 	vcsMask := uint32(1)<<uint(e.cfg.VCs) - 1
-	hi := vcsMask &^ (uint32(1)<<uint(start%e.cfg.VCs) - 1)
-	for i := range e.nodes {
+	hiMask := vcsMask &^ (uint32(1)<<uint(start%e.cfg.VCs) - 1)
+	for i := lo; i < hi; i++ {
 		nd := &e.nodes[i]
 		if nd.occVCs == 0 && nd.busyInj == 0 {
 			continue
 		}
 		if nd.occVCs > 0 {
-			e.allocWalk(nd, ps, hi)
+			e.allocWalk(nd, ps, hiMask)
 			for p := ps + 1; p < e.numPhys; p++ {
 				e.allocWalk(nd, p, vcsMask)
 			}
 			for p := 0; p < ps; p++ {
 				e.allocWalk(nd, p, vcsMask)
 			}
-			e.allocWalk(nd, ps, vcsMask&^hi)
+			e.allocWalk(nd, ps, vcsMask&^hiMask)
 		}
 		// Injection channels route after the network traffic.
 		if nd.busyInj > 0 {
@@ -369,6 +384,16 @@ func (e *Engine) allocate(nd *node, m *message.Message, dst topology.NodeID) (ro
 // stages — and plans the cycle's flit moves against start-of-cycle buffer
 // state.
 func (e *Engine) phaseSwitch() {
+	e.moves = e.switchRange(0, len(e.nodes), e.reqsFlat, e.moves[:0])
+}
+
+// switchRange runs switch allocation for nodes [lo, hi), appending the
+// planned moves to moves and returning it. reqsFlat is the caller's request
+// scratch (the engine's own on the serial path, per-shard on the parallel
+// path, where concurrent shards must not share it). Arbiters and status
+// words are all per-node state; the only outside reads are the downstream
+// full-status words, which no one writes during the phase.
+func (e *Engine) switchRange(lo, hi int, reqsFlat []int32, moves []move) []move {
 	// Hot engine state hoisted into locals: the loop bodies below call no
 	// function that could change any of it, and keeping the values out of
 	// pointer-chased fields lets the compiler hold them in registers.
@@ -377,8 +402,6 @@ func (e *Engine) phaseSwitch() {
 	nVC := numPhys * vcs
 	nAgents := e.agentCount()
 	fullArena := e.fullArena
-	reqsFlat := e.reqsFlat
-	moves := e.moves[:0]
 	// reqLen[o] counts the requests collected for output port o of the node
 	// currently under allocation; the requests themselves sit in the flat
 	// per-engine scratch at reqsFlat[o*nAgents:], each packed as
@@ -388,7 +411,7 @@ func (e *Engine) phaseSwitch() {
 	// candidate. Re-zeroing a 32-entry stack array per active node
 	// replaces the stamped-slice bookkeeping.
 	var reqLen [32]uint16
-	for ni := range e.nodes {
+	for ni := lo; ni < hi; ni++ {
 		nd := &e.nodes[ni]
 		if nd.occVCs == 0 && nd.busyInj == 0 {
 			continue // no flit anywhere: no requests, no arbiter movement
@@ -495,7 +518,7 @@ func (e *Engine) phaseSwitch() {
 			moves = append(moves, mv)
 		}
 	}
-	e.moves = moves
+	return moves
 }
 
 // The credit condition for a forward move is that the receiving

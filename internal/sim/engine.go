@@ -249,6 +249,10 @@ type Engine struct {
 	// genScratch reuses the traffic-generation slice.
 	genScratch []traffic.Generated
 
+	// par is the sharded parallel runtime (see parallel.go); nil selects
+	// the serial path. Parallel and serial execution are bit-identical.
+	par *parRuntime
+
 	// sourcesStopped suppresses traffic generation (see StopSources).
 	sourcesStopped bool
 
@@ -450,6 +454,9 @@ func New(cfg Config) (*Engine, error) {
 				nd.down[p*cfg.VCs+v] = &nb.in[opp*cfg.VCs+v]
 			}
 		}
+	}
+	if cfg.Workers > 1 {
+		e.par = newParRuntime(e, cfg.Workers)
 	}
 	return e, nil
 }

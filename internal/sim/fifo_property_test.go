@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"wormnet/internal/message"
+)
+
+// TestFIFOPropertyNeverReorders drives msgFIFO with random operation
+// sequences against a plain-slice reference model and asserts after every
+// operation that the queue holds exactly the model's messages in the
+// model's order. The FIFO's rewind and compaction heuristics make its
+// internal layout depend on the operation history; this test pins that none
+// of that ever reorders or loses a pending message — the paper's injection
+// policy (older messages first, retries ahead of fresh traffic) depends
+// on it.
+func TestFIFOPropertyNeverReorders(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 99))
+	var q msgFIFO
+	var model []*message.Message
+	nextID := message.ID(0)
+	mk := func() *message.Message {
+		m := message.New(nextID, 0, 1, 1, 0)
+		nextID++
+		return m
+	}
+	check := func(op string) {
+		t.Helper()
+		if q.Len() != len(model) {
+			t.Fatalf("after %s: Len=%d model=%d", op, q.Len(), len(model))
+		}
+		if q.Empty() != (len(model) == 0) {
+			t.Fatalf("after %s: Empty=%v model=%d", op, q.Empty(), len(model))
+		}
+		for i := range model {
+			if q.At(i) != model[i] {
+				t.Fatalf("after %s: At(%d)=msg %d, model has msg %d",
+					op, i, q.At(i).ID, model[i].ID)
+			}
+		}
+		if len(model) > 0 && q.Front() != model[0] {
+			t.Fatalf("after %s: Front=msg %d, model front is msg %d", op, q.Front().ID, model[0].ID)
+		}
+	}
+	for op := 0; op < 50000; op++ {
+		switch r := rng.IntN(100); {
+		case r < 45: // push a fresh message at the back
+			m := mk()
+			q.Push(m)
+			model = append(model, m)
+			check("Push")
+		case r < 85: // pop the front
+			if len(model) == 0 {
+				continue
+			}
+			got := q.PopFront()
+			want := model[0]
+			model = model[1:]
+			if got != want {
+				t.Fatalf("op %d: PopFront=msg %d, model front was msg %d", op, got.ID, want.ID)
+			}
+			check("PopFront")
+		case r < 97: // prepend a retry batch, order preserved
+			batch := make([]*message.Message, rng.IntN(4))
+			for i := range batch {
+				batch[i] = mk()
+			}
+			q.PushFront(batch)
+			model = append(append([]*message.Message{}, batch...), model...)
+			check("PushFront")
+		default:
+			q.Clear()
+			model = model[:0]
+			check("Clear")
+		}
+	}
+}

@@ -187,6 +187,26 @@ func (e *Engine) CheckInvariants() error {
 			return fmt.Errorf("msg %d delivered but still has %d buffered flits", m.ID, n)
 		}
 	}
+	if p := e.par; p != nil {
+		// Between cycles every parallel deferral buffer must be drained:
+		// generation records and globally-ordered events are committed
+		// within the cycle that produced them, and every planned cross-shard
+		// push is applied by the destination shard before the cycle ends.
+		for i := range p.shards {
+			sh := &p.shards[i]
+			if len(sh.gen) != 0 {
+				return fmt.Errorf("shard %d: %d uncommitted generation records", i, len(sh.gen))
+			}
+			if len(sh.events) != 0 {
+				return fmt.Errorf("shard %d: %d uncommitted deferred events", i, len(sh.events))
+			}
+			for d := range sh.out {
+				if len(sh.out[d]) != 0 {
+					return fmt.Errorf("shard %d: %d unapplied pushes for shard %d", i, len(sh.out[d]), d)
+				}
+			}
+		}
+	}
 	if e.live != nil {
 		return e.checkFaultInvariants(inFlight)
 	}

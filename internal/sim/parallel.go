@@ -1,0 +1,576 @@
+package sim
+
+// Deterministic sharded parallel execution of the cycle engine.
+//
+// The node arena is partitioned into Config.Workers contiguous shards, one
+// goroutine each, and every engine phase runs shard-parallel with barriers
+// in between. Results are bit-identical to the serial path for any worker
+// count. The scheme rests on three rules:
+//
+//  1. Own-node writes only. Inside a parallel section a shard writes nothing
+//     but the state of its own nodes. The one phase that naturally crosses
+//     shards — flit movement into a neighbour's input buffer — is split into
+//     two passes around a barrier: the source pass pops flits and records
+//     planned pushes into per-(source,destination)-shard buckets, the push
+//     pass applies each destination node's pushes on the destination node's
+//     own shard. A buffer sees at most one pop and one push per cycle (one
+//     upstream sender, one grant per output port), and pop-then-push leaves
+//     the ring, the empty/full status bits and the active-set counters in
+//     exactly the state any serial interleaving would.
+//
+//  2. Phase-stable cross-shard reads. The only remote state a parallel
+//     section reads — the downstream empty words during allocation, the
+//     downstream full words during switch allocation, the liveness mask —
+//     is written by no one during that section, so no double-buffering is
+//     needed: the words *are* the previous phase's values. (An earlier
+//     design copied the credit words per phase; the phase split already
+//     guarantees stability, so the copy would buy nothing.)
+//
+//  3. Serial commits in node order. Everything globally ordered — message
+//     id assignment and pooling, collector hooks, trace emission, drop
+//     accounting — is deferred into per-shard buffers during the parallel
+//     sections and committed by the coordinator between barriers, walking
+//     shards in order. Shards are contiguous ascending node ranges, so the
+//     commit order equals the serial engine's node/move order and the
+//     event stream, the RNG-independent counters and the message pool all
+//     evolve identically to serial. Per-node RNG streams (splitSeed) make
+//     generation itself partition-independent.
+//
+// Deadlock recovery and fault kills tear state out of arbitrary nodes, so
+// they never run inside a parallel section. Fault runs (e.live != nil)
+// always allocate serially; fault-free runs with detection enabled fall
+// back to a serial allocation phase exactly on the cycles where a recovery
+// could fire — some blockage counter stands at Threshold-1 (counters grow
+// by at most one per cycle, so this is a precise, conservative gate; see
+// deadlock.BlockTracker.SetWatermark). Everything else in those cycles
+// still runs parallel.
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"wormnet/internal/message"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
+)
+
+// genRec is one deferred traffic-generation event: the message is created
+// (id assignment, pooling, collector hook) at commit time, in node order.
+type genRec struct {
+	node   topology.NodeID
+	dst    topology.NodeID
+	length int32
+}
+
+// deferredEvent is one globally-ordered side effect recorded during a
+// parallel section and committed serially.
+type deferredEvent struct {
+	kind   uint8
+	reason message.DropReason
+	node   topology.NodeID
+	m      *message.Message
+}
+
+const (
+	evDrop      uint8 = iota // unreachable-destination drop (inject phase)
+	evThrottle               // limiter denial (inject phase, listener only)
+	evInjected               // head flit entered the network (move phase)
+	evDelivered              // tail flit consumed at destination (move phase)
+)
+
+// outFlit is one planned cross-shard flit push: everything the destination
+// shard needs to apply it without touching the source node.
+type outFlit struct {
+	dvc  *inVC
+	nbr  *node
+	word int32
+	bit  uint32
+	flit message.Flit
+}
+
+// parShard is one worker's slice of the network plus its private scratch
+// and deferral buffers.
+type parShard struct {
+	lo, hi   int    // node range [lo, hi)
+	localGen uint32 // barriers passed so far
+
+	genScratch []traffic.Generated
+	gen        []genRec
+	events     []deferredEvent
+	moves      []move
+	reqsFlat   []int32
+	out        [][]outFlit // planned pushes, indexed by destination shard
+}
+
+// phaseBarrier is a reusable centralized barrier. Waiters spin briefly and
+// then yield, so it parks gracefully when the machine has fewer cores than
+// the engine has shards.
+type phaseBarrier struct {
+	n     int32
+	spin  int
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+// await blocks until all n participants have arrived, then returns the new
+// barrier generation. localGen is the caller's count of barriers passed.
+// gen can never advance past localGen+1 while this caller still waits (the
+// next barrier needs this caller's arrival to complete), so the equality
+// spin is safe, including across uint32 wraparound.
+func (b *phaseBarrier) await(localGen uint32) uint32 {
+	target := localGen + 1
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Store(target)
+		return target
+	}
+	for i := 0; b.gen.Load() != target; i++ {
+		if i >= b.spin {
+			runtime.Gosched()
+		}
+	}
+	return target
+}
+
+// parRuntime is the parallel mode of one engine: the shard partition and
+// the worker pool. It exists only when Config.Workers > 1 resolves to at
+// least two shards.
+type parRuntime struct {
+	shards  []parShard
+	shardOf []int32 // node -> shard index
+	bar     phaseBarrier
+	wake    []chan struct{} // one per non-coordinator worker, buffered
+
+	// serialAlloc, decided by the coordinator each cycle before the
+	// allocation barrier, routes the allocation phase through the exact
+	// serial code when a recovery or fault kill could fire.
+	serialAlloc bool
+	// alwaysSerialAlloc forces that fallback for configurations whose
+	// detection threshold is too low for the watermark gate (< 2).
+	alwaysSerialAlloc bool
+}
+
+// newParRuntime partitions the engine into at most workers shards and
+// starts the worker goroutines. It returns nil when the partition would
+// leave fewer than two shards (the serial path is then used).
+func newParRuntime(e *Engine, workers int) *parRuntime {
+	n := len(e.nodes)
+	s := workers
+	if s > n {
+		s = n
+	}
+	if s < 2 {
+		return nil
+	}
+	p := &parRuntime{
+		shards:  make([]parShard, s),
+		shardOf: make([]int32, n),
+	}
+	p.bar.n = int32(s)
+	if runtime.GOMAXPROCS(0) > 1 {
+		p.bar.spin = 200
+	}
+	numOut := e.numPhys + e.cfg.EjChannels
+	nAgents := e.agentCount()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.lo = i * n / s
+		sh.hi = (i + 1) * n / s
+		sh.reqsFlat = make([]int32, numOut*nAgents)
+		sh.out = make([][]outFlit, s)
+		for j := sh.lo; j < sh.hi; j++ {
+			p.shardOf[j] = int32(i)
+		}
+	}
+	p.alwaysSerialAlloc = e.det.Enabled() && e.det.Threshold < 2
+	if e.det.Enabled() && e.det.Threshold >= 2 {
+		for i := range e.nodes {
+			e.nodes[i].blocked.SetWatermark(e.det.Threshold - 1)
+		}
+	}
+	p.wake = make([]chan struct{}, s-1)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go e.parWorker(p, i+1)
+	}
+	return p
+}
+
+// Close releases the engine's worker goroutines (a no-op on serial
+// engines). The engine stays usable afterwards: the state between cycles is
+// identical to serial, so further Steps simply run the serial path.
+func (e *Engine) Close() {
+	if e.par == nil {
+		return
+	}
+	for _, ch := range e.par.wake {
+		close(ch)
+	}
+	e.par = nil
+}
+
+// parWorker is the body of one non-coordinator worker: run the shard's
+// slice of each cycle whenever woken, exit when the engine closes.
+// The runtime is passed in rather than read from e.par, which New has not
+// assigned yet when the workers start.
+func (e *Engine) parWorker(p *parRuntime, id int) {
+	for range p.wake[id-1] {
+		e.cycleShard(p, id)
+	}
+}
+
+// stepParallel is the parallel Step: the fault phase (rare, inherently
+// global) runs serially up front, then all shards — the caller acting as
+// shard 0 — execute the cycle in lockstep. The final barrier inside
+// cycleShard doubles as the completion signal.
+func (e *Engine) stepParallel() {
+	if e.live != nil {
+		e.phaseFaults()
+	}
+	p := e.par
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	e.cycleShard(p, 0)
+	e.now++
+}
+
+// cycleShard runs one shard's slice of a cycle. Every shard executes the
+// same barrier sequence; the coordinator (id 0) additionally performs the
+// serial commits between barriers while the other shards wait.
+func (e *Engine) cycleShard(p *parRuntime, id int) {
+	sh := &p.shards[id]
+	gen := sh.localGen
+
+	// Generation: poll the per-node sources in parallel (per-node RNG
+	// streams), create the messages serially in node order.
+	if !e.sourcesStopped {
+		e.pollRange(sh)
+	}
+	gen = p.bar.await(gen)
+	if id == 0 {
+		e.commitGenerate(p)
+	}
+	gen = p.bar.await(gen)
+
+	// Injection: pure own-node work; unreachable-destination drops and
+	// throttle traces are deferred.
+	e.injectRange(sh)
+	gen = p.bar.await(gen)
+	if id == 0 {
+		e.commitEvents(p)
+		p.serialAlloc = e.needSerialAlloc()
+		if p.serialAlloc {
+			e.phaseAllocate()
+		}
+	}
+	gen = p.bar.await(gen)
+
+	// Allocation (unless the serial fallback just ran) and switch
+	// allocation. Fusing them into one section is safe: switch reads only
+	// its own nodes' routes/status plus downstream full words, none of
+	// which allocation writes.
+	if !p.serialAlloc {
+		e.allocRange(sh.lo, sh.hi)
+	}
+	sh.moves = e.switchRange(sh.lo, sh.hi, sh.reqsFlat, sh.moves[:0])
+	gen = p.bar.await(gen)
+
+	// Movement, pass 1: pops, ejection, source-side bookkeeping; forward
+	// flits land in per-destination-shard buckets. Deliveries and
+	// injection-head accounting are deferred and committed in shard order,
+	// which equals the serial engine's move order.
+	e.moveSourceRange(p, sh)
+	gen = p.bar.await(gen)
+	if id == 0 {
+		e.commitEvents(p)
+	}
+	gen = p.bar.await(gen)
+
+	// Movement, pass 2: each shard applies the pushes addressed to its own
+	// nodes, walking source shards in order.
+	e.movePushRange(p, id)
+	gen = p.bar.await(gen)
+
+	sh.localGen = gen
+}
+
+// pollRange is the parallel half of phaseGenerate: drain each source's due
+// events into the shard's buffer. Message creation waits for the commit —
+// ids, the pool and the collector are global.
+func (e *Engine) pollRange(sh *parShard) {
+	for i := sh.lo; i < sh.hi; i++ {
+		nd := &e.nodes[i]
+		if e.now < nd.nextGen {
+			continue // Poll is guaranteed a no-op before nextGen
+		}
+		if e.live != nil && !e.live.RouterAlive(nd.id) {
+			continue // a dead router generates nothing
+		}
+		sh.genScratch = nd.src.Poll(e.now, sh.genScratch[:0])
+		nd.nextGen = nd.src.NextAt()
+		for _, g := range sh.genScratch {
+			sh.gen = append(sh.gen, genRec{node: nd.id, dst: g.Dst, length: int32(g.Length)})
+		}
+	}
+}
+
+// commitGenerate creates the polled messages in node order — bit-identical
+// to phaseGenerate's serial loop.
+func (e *Engine) commitGenerate(p *parRuntime) {
+	for si := range p.shards {
+		sh := &p.shards[si]
+		for _, g := range sh.gen {
+			nd := &e.nodes[g.node]
+			m := e.newMessage(nd.id, g.dst, int(g.length))
+			m.Measured = e.col.OnGenerated(e.now)
+			nd.queue.Push(m)
+			e.emit(trace.KindGenerated, m, nd.id)
+		}
+		sh.gen = sh.gen[:0]
+	}
+}
+
+// injectRange is the parallel variant of phaseInject over the shard's
+// nodes. It mirrors the serial body exactly, except that drops and
+// throttle traces are deferred (their accounting is global); the queue and
+// recovery-list pops themselves happen inline, so the injection decisions
+// are identical.
+func (e *Engine) injectRange(sh *parShard) {
+	for i := sh.lo; i < sh.hi; i++ {
+		nd := &e.nodes[i]
+		if e.live != nil {
+			if !e.live.RouterAlive(nd.id) {
+				continue // a dead router injects nothing
+			}
+			for len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now &&
+				!e.live.RouterAlive(nd.recovery[0].msg.Dst) {
+				m := nd.recovery[0].msg
+				nd.recovery[0] = pendingRecovery{}
+				nd.recovery = nd.recovery[1:]
+				sh.events = append(sh.events, deferredEvent{
+					kind: evDrop, reason: message.DropUnreachable, node: nd.id, m: m,
+				})
+			}
+			for !nd.queue.Empty() && !e.live.RouterAlive(nd.queue.Front().Dst) {
+				sh.events = append(sh.events, deferredEvent{
+					kind: evDrop, reason: message.DropUnreachable, node: nd.id,
+					m: nd.queue.PopFront(),
+				})
+			}
+		}
+		if nd.limObs == nil && nd.queue.Empty() && len(nd.recovery) == 0 {
+			continue
+		}
+		if nd.limObs != nil {
+			nd.limObs.Tick(nd.view, e.now)
+		}
+		for c := range nd.inj {
+			ic := &nd.inj[c]
+			if ic.msg != nil {
+				continue
+			}
+			if len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now {
+				ic.msg = nd.recovery[0].msg
+				nd.recovery[0] = pendingRecovery{}
+				nd.recovery = nd.recovery[1:]
+				ic.msg.State = message.StateInjecting
+				ic.route = routeInfo{}
+				ic.left = int32(ic.msg.Length)
+				ic.len = ic.left
+				ic.dst = ic.msg.Dst
+				nd.busyInj++
+				continue
+			}
+			if nd.queue.Empty() {
+				continue
+			}
+			m := nd.queue.Front()
+			if !nd.limiter.Allow(nd.view, m.Dst) {
+				if e.listener != nil {
+					sh.events = append(sh.events, deferredEvent{
+						kind: evThrottle, node: nd.id, m: m,
+					})
+				}
+				break // FIFO: do not bypass a throttled queue head
+			}
+			nd.queue.PopFront()
+			ic.msg = m
+			ic.route = routeInfo{}
+			ic.left = int32(m.Length)
+			ic.len = ic.left
+			ic.dst = m.Dst
+			nd.busyInj++
+			m.State = message.StateInjecting
+		}
+	}
+}
+
+// needSerialAlloc reports whether the upcoming allocation phase could
+// trigger a recovery or a fault kill, both of which mutate state across
+// shards and therefore force the exact serial allocation path this cycle.
+func (e *Engine) needSerialAlloc() bool {
+	if e.live != nil {
+		return true // fault kills can fire on any unroutable header
+	}
+	if !e.det.Enabled() {
+		return false
+	}
+	if e.par.alwaysSerialAlloc {
+		return true
+	}
+	for i := range e.nodes {
+		if e.nodes[i].blocked.Hot() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// moveSourceRange is pass 1 of the parallel move phase over the shard's own
+// moves: identical to phaseMove except that forward pushes are recorded
+// instead of applied, and delivery/injection accounting is deferred.
+func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard) {
+	vcs := e.cfg.VCs
+	nVC := e.numPhys * vcs
+	now := e.now
+	portTab := e.portTab
+	vcBit := e.vcBit
+	vcOf := e.vcOf
+	for _, mv := range sh.moves {
+		nd := &e.nodes[mv.node]
+		var flit message.Flit
+
+		if a := int(mv.agent); a < nVC {
+			ivc := &nd.in[a]
+			flit = ivc.buf.Pop()
+			pp := portTab[a]
+			bit := vcBit[a]
+			nd.inFull[pp] &^= bit
+			if ivc.buf.Empty() {
+				nd.inEmpty[pp] |= bit
+				nd.occVCs--
+			}
+			if flit.Tail {
+				nd.routes[a] = routeInfo{}
+				nd.routed[pp] &^= bit
+				nd.blocked.Progress(a)
+				e.removePathLoc(flit.Msg, pathLoc{
+					Node: nd.id, Port: topology.Port(pp), VC: vcOf[a],
+				})
+			}
+		} else {
+			ic := &nd.inj[a-nVC]
+			m := ic.msg
+			seq := ic.len - ic.left
+			flit = message.Flit{Msg: m, Seq: seq, Head: seq == 0, Tail: ic.left == 1}
+			ic.left--
+			if flit.Head && m.InjectTime < 0 {
+				m.InjectTime = now
+				sh.events = append(sh.events, deferredEvent{
+					kind: evInjected, node: nd.id, m: m,
+				})
+			}
+			if flit.Tail {
+				m.FlitsSent = int(ic.len)
+				ic.msg = nil
+				ic.route = routeInfo{}
+				nd.busyInj--
+				m.State = message.StateInNetwork
+			}
+		}
+
+		m := flit.Msg
+		if mv.eject {
+			ej := &nd.ej[mv.ejCh]
+			if !flit.Tail {
+				ej.pending++
+				continue
+			}
+			m.FlitsEjected += int(ej.pending) + 1
+			ej.pending = 0
+			ej.msg = nil
+			m.State = message.StateDelivered
+			m.DeliverTime = now
+			m.Path = m.Path[:0]
+			sh.events = append(sh.events, deferredEvent{
+				kind: evDelivered, node: nd.id, m: m,
+			})
+			continue
+		}
+
+		nd.lastTx[int(mv.outPort)*vcs+int(mv.outVC)] = now
+		bit := uint32(1) << uint(mv.outVC)
+		if flit.Tail && nd.out[mv.outPort].VCs[mv.outVC].ReleaseIfOwner(m) {
+			nd.freeMask[mv.outPort] |= bit
+		}
+		nb := nd.nbr[mv.outPort]
+		d := p.shardOf[nb.id]
+		sh.out[d] = append(sh.out[d], outFlit{
+			dvc:  nd.down[int(mv.outPort)*vcs+int(mv.outVC)],
+			nbr:  nb,
+			word: nd.downWord[mv.outPort],
+			bit:  bit,
+			flit: flit,
+		})
+	}
+}
+
+// movePushRange is pass 2 of the parallel move phase: apply every push
+// addressed to shard id's nodes, walking source shards in ascending order.
+// All pops already happened, and pop-then-push leaves a buffer in the same
+// state as any serial interleaving (the push was planned against
+// start-of-cycle credit, so it fits either way).
+func (e *Engine) movePushRange(p *parRuntime, id int) {
+	emptyArena := e.emptyArena
+	fullArena := e.fullArena
+	for s := range p.shards {
+		bucket := p.shards[s].out[id]
+		for i := range bucket {
+			rec := &bucket[i]
+			dvc := rec.dvc
+			if dvc.buf.Empty() {
+				rec.nbr.occVCs++
+				emptyArena[rec.word] &^= rec.bit
+			}
+			if rec.flit.Head {
+				dvc.owner = rec.flit.Msg
+				dvc.dst = rec.flit.Msg.Dst
+			}
+			dvc.buf.Push(rec.flit)
+			if dvc.buf.Full() {
+				fullArena[rec.word] |= rec.bit
+			}
+		}
+		p.shards[s].out[id] = bucket[:0]
+	}
+}
+
+// commitEvents applies the deferred side effects of the last parallel
+// section in shard order — equal to the serial engine's node (inject
+// phase) or move (move phase) order.
+func (e *Engine) commitEvents(p *parRuntime) {
+	for si := range p.shards {
+		sh := &p.shards[si]
+		for i := range sh.events {
+			ev := &sh.events[i]
+			switch ev.kind {
+			case evDrop:
+				e.drop(ev.m, ev.node, ev.reason)
+			case evThrottle:
+				e.emit(trace.KindThrottled, ev.m, ev.node)
+			case evInjected:
+				e.col.OnInjected(int(ev.node), e.now)
+				e.emit(trace.KindInjected, ev.m, ev.node)
+			case evDelivered:
+				e.delivered++
+				e.col.OnDelivered(e.now, ev.m.GenTime, ev.m.InjectTime, ev.m.Length, ev.m.Measured)
+				e.emit(trace.KindDelivered, ev.m, ev.node)
+				e.releaseMessage(ev.m)
+			}
+			ev.m = nil
+		}
+		sh.events = sh.events[:0]
+	}
+}

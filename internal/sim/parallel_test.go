@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/baseline"
+	"wormnet/internal/fault"
+	"wormnet/internal/stats"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
+)
+
+// eventTap records every lifecycle event in order. Unlike trace.Recorder it
+// keeps the full stream, so two runs can be compared event by event.
+type eventTap struct {
+	events []trace.Event
+}
+
+func (l *eventTap) Emit(ev trace.Event) { l.events = append(l.events, ev) }
+
+// runTraced runs cfg to completion at the given worker count and returns the
+// summary, the full event stream, and the engine's all-time counters.
+func runTraced(t *testing.T, cfg Config, workers int) (stats.Result, []trace.Event, [6]int64) {
+	t.Helper()
+	cfg.Workers = workers
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tap := &eventTap{}
+	e.SetListener(tap)
+	r := e.Run()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("workers=%d: invariants violated at end of run: %v", workers, err)
+	}
+	counters := [6]int64{
+		e.Generated(), e.Delivered(), e.Recovered(),
+		e.Aborted(), e.Retried(), e.Dropped(),
+	}
+	return r, tap.events, counters
+}
+
+// equivalenceConfigs returns the seeded scenarios the serial↔parallel
+// equivalence suite runs: saturated uniform traffic with active deadlock
+// recovery, bursty traffic under the ALO limiter, and a fault schedule
+// exercising kills, retries, unreachable drops and repair.
+func equivalenceConfigs() map[string]Config {
+	// Saturated uniform, no limiter: past saturation TFAR deadlocks and
+	// recoveries fire (the golden digest pins DeadlockPct > 0 here).
+	saturated := QuickConfig()
+	saturated.Rate = 2.0
+	saturated.Limiter = baseline.Factories()["none"]
+	saturated.LimiterName = "none"
+
+	bursty := QuickConfig()
+	bursty.Rate = 1.2
+	bursty.Burst = traffic.BurstProfile{OnMean: 200, OffMean: 400}
+
+	up := topology.PortFor(0, topology.Plus)
+	faulty := QuickConfig()
+	faulty.Rate = 0.8
+	faulty.Faults = (&fault.Schedule{}).
+		FailLink(2200, 1, up).RestoreLink(4800, 1, up).
+		FailRouter(3000, 5).RestoreRouter(6500, 5)
+
+	return map[string]Config{
+		"saturated-recovery": saturated,
+		"bursty-alo":         bursty,
+		"faults-retry":       faulty,
+	}
+}
+
+// TestGoldenParallelEquivalence is the determinism contract of the sharded
+// parallel engine: for every scenario, every worker count must reproduce the
+// serial run bit for bit — the same summary statistics, the same all-time
+// counters, and the *same trace event stream*, event by event in the same
+// order. The event stream is the strongest practical probe of message-level
+// equality: it pins the id, source, destination, cycle and location of every
+// generation, injection, throttle, deadlock, recovery, fault kill, retry,
+// drop and delivery of the run.
+func TestGoldenParallelEquivalence(t *testing.T) {
+	for name, cfg := range equivalenceConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			if len(baseEvents) == 0 {
+				t.Fatal("serial run emitted no events; scenario is vacuous")
+			}
+			for _, workers := range []int{2, 4, 7} {
+				res, events, counters := runTraced(t, cfg, workers)
+				if res != baseRes {
+					t.Errorf("workers=%d: result diverged:\n got  %+v\n want %+v", workers, res, baseRes)
+				}
+				if counters != baseCounters {
+					t.Errorf("workers=%d: counters diverged: got %v want %v", workers, counters, baseCounters)
+				}
+				if len(events) != len(baseEvents) {
+					t.Errorf("workers=%d: %d events, serial emitted %d", workers, len(events), len(baseEvents))
+					continue
+				}
+				for i := range events {
+					if events[i] != baseEvents[i] {
+						t.Errorf("workers=%d: event %d diverged:\n got  %+v\n want %+v",
+							workers, i, events[i], baseEvents[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelInvariants interleaves parallel Steps with the full invariant
+// checker, including a drain phase. The checker also validates that the
+// parallel runtime's deferral buffers are empty between cycles.
+func TestParallelInvariants(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rate = 1.5
+	cfg.Limiter = baseline.Factories()["none"]
+	cfg.LimiterName = "none"
+	cfg.Workers = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for c := 0; c < 2000; c++ {
+		e.Step()
+		if c%250 == 0 {
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", e.Now(), err)
+			}
+		}
+	}
+	e.StopSources()
+	for c := 0; c < 4000 && e.InFlight() > 0; c++ {
+		e.Step()
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	if fl := e.InFlight(); fl != 0 {
+		t.Fatalf("%d messages stuck after drain", fl)
+	}
+}
+
+// TestParallelWorkerClamp checks the degenerate partitions: more workers
+// than nodes clamps to one shard per node, and a single-node-per-shard
+// engine still reproduces serial results.
+func TestParallelWorkerClamp(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rate = 0.6
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 200, 1000, 200
+	base, _, _ := runTraced(t, cfg, 1)
+	over, _, _ := runTraced(t, cfg, 1000) // 16 nodes: clamps to 16 shards
+	if over != base {
+		t.Errorf("overclamped run diverged:\n got  %+v\n want %+v", over, base)
+	}
+}
+
+// TestParallelCloseMidRun closes the worker pool halfway through a run and
+// finishes on the serial path: between cycles the parallel engine's state is
+// exactly the serial engine's state, so the mixed run must reproduce the
+// all-serial result bit for bit.
+func TestParallelCloseMidRun(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rate = 2.0
+	cfg.Limiter = baseline.Factories()["none"]
+	cfg.LimiterName = "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 2000, 500
+
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Run()
+
+	cfg.Workers = 4
+	mixed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cfg.TotalCycles() / 2
+	for mixed.Now() < half {
+		mixed.Step()
+	}
+	mixed.Close()
+	var got stats.Result
+	for mixed.Now() < cfg.TotalCycles() {
+		mixed.Step()
+	}
+	got = mixed.Collector().Result()
+	if got != want {
+		t.Errorf("serial continuation after Close diverged:\n got  %+v\n want %+v", got, want)
+	}
+	mixed.Close() // second Close is a no-op
+}

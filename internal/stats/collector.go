@@ -40,6 +40,11 @@ type Collector struct {
 
 	fairness *Fairness
 
+	// runs counts the measurement windows folded into this collector (one
+	// for a plain run, more after Merge). Per-cycle normalisations divide
+	// by it so merged replicas report averages, not sums.
+	runs int64
+
 	// deliveredSeries, when enabled, tracks flits delivered per interval
 	// over the whole run (not just the window).
 	deliveredSeries *TimeSeries
@@ -57,8 +62,42 @@ func NewCollector(nodes int, winStart, winEnd int64) *Collector {
 		winEnd:   winEnd,
 		Hist:     NewHistogram(50, 200), // 50-cycle buckets up to 10k cycles
 		fairness: NewFairness(nodes),
+		runs:     1,
 	}
 }
+
+// Merge folds other — a collector from a replica run over the same network
+// and measurement window — into c. Latency statistics and histograms pool
+// the samples, counters and per-node fairness counts accumulate, and
+// per-cycle rates (accepted traffic) average over the merged runs. Both
+// collectors must have identical geometry (nodes and window); Merge panics
+// otherwise. The delivery time series is merged only when both sides
+// recorded one.
+func (c *Collector) Merge(other *Collector) {
+	if c.nodes != other.nodes || c.winStart != other.winStart || c.winEnd != other.winEnd {
+		panic("stats: merging collectors of different geometry")
+	}
+	c.Latency.Merge(&other.Latency)
+	c.NetLatency.Merge(&other.NetLatency)
+	c.Hist.Merge(other.Hist)
+	c.generatedMsgs += other.generatedMsgs
+	c.deliveredMsgs += other.deliveredMsgs
+	c.deliveredFlits += other.deliveredFlits
+	c.injectedMsgs += other.injectedMsgs
+	c.deadlocks += other.deadlocks
+	c.faultEvents += other.faultEvents
+	c.abortedMsgs += other.abortedMsgs
+	c.retriedMsgs += other.retriedMsgs
+	c.droppedMsgs += other.droppedMsgs
+	c.fairness.Merge(other.fairness)
+	c.runs += other.runs
+	if c.deliveredSeries != nil && other.deliveredSeries != nil {
+		c.deliveredSeries.Merge(other.deliveredSeries)
+	}
+}
+
+// Runs returns the number of measurement windows folded into this collector.
+func (c *Collector) Runs() int64 { return c.runs }
 
 // InWindow reports whether cycle t falls inside the measurement window.
 func (c *Collector) InWindow(t int64) bool { return t >= c.winStart && t < c.winEnd }
@@ -145,9 +184,9 @@ func (c *Collector) OnDropped(t int64) {
 }
 
 // AcceptedTraffic returns the measured accepted traffic in
-// flits/node/cycle.
+// flits/node/cycle, averaged over all merged runs.
 func (c *Collector) AcceptedTraffic() float64 {
-	cycles := c.winEnd - c.winStart
+	cycles := (c.winEnd - c.winStart) * c.runs
 	return float64(c.deliveredFlits) / float64(c.nodes) / float64(cycles)
 }
 

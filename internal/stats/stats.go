@@ -135,6 +135,20 @@ func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 // Overflow returns the overflow count.
 func (h *Histogram) Overflow() int64 { return h.over }
 
+// Merge folds other into h. Both histograms must have identical geometry
+// (bucket width and count); Merge panics otherwise.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.width != other.width || len(h.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("stats: merging histograms of different geometry (%vx%d vs %vx%d)",
+			h.width, len(h.buckets), other.width, len(other.buckets)))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.over += other.over
+	h.total += other.total
+}
+
 // Quantile returns an upper bound for the q-quantile (0<=q<=1) based on
 // bucket boundaries; it returns +Inf if the quantile lies in the overflow
 // bucket and 0 with no samples.
@@ -172,6 +186,18 @@ func (f *Fairness) Inc(i int) { f.counts[i]++ }
 
 // Count returns node i's sent-message count.
 func (f *Fairness) Count(i int) int64 { return f.counts[i] }
+
+// Merge folds other's per-node counts into f. Both trackers must cover the
+// same number of nodes; Merge panics otherwise.
+func (f *Fairness) Merge(other *Fairness) {
+	if len(f.counts) != len(other.counts) {
+		panic(fmt.Sprintf("stats: merging fairness trackers of %d and %d nodes",
+			len(f.counts), len(other.counts)))
+	}
+	for i, c := range other.counts {
+		f.counts[i] += c
+	}
+}
 
 // Mean returns the mean sent-message count over all nodes.
 func (f *Fairness) Mean() float64 {

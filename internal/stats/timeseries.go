@@ -33,6 +33,18 @@ func (ts *TimeSeries) Add(t int64, v float64) {
 	ts.buckets[i] += v
 }
 
+// Merge accumulates other's buckets into ts. Both series must have
+// identical geometry (interval and bucket count); Merge panics otherwise.
+func (ts *TimeSeries) Merge(other *TimeSeries) {
+	if ts.interval != other.interval || len(ts.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("stats: merging time series of different geometry (%dx%d vs %dx%d)",
+			ts.interval, len(ts.buckets), other.interval, len(other.buckets)))
+	}
+	for i, v := range other.buckets {
+		ts.buckets[i] += v
+	}
+}
+
 // Interval returns the bucket width in cycles.
 func (ts *TimeSeries) Interval() int64 { return ts.interval }
 

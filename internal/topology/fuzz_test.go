@@ -1,0 +1,78 @@
+package topology
+
+import "testing"
+
+// FuzzMinimalDirections fuzzes the coordinate/port algebra the routing
+// engines are built on. For arbitrary torus geometries and node pairs it
+// checks that MinimalDirs agrees with ring distances (including the k-even
+// half-way tie, where both directions must be reported), that stepping in a
+// reported direction shortens the ring distance by exactly one, that the
+// port algebra round-trips, and that UsefulPorts is exactly the set of
+// ports whose crossing decreases the torus distance.
+func FuzzMinimalDirections(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(0), uint16(5))
+	f.Add(uint8(8), uint8(3), uint16(1), uint16(321))
+	f.Add(uint8(4), uint8(1), uint16(0), uint16(2)) // even k, half-way tie
+	f.Add(uint8(6), uint8(2), uint16(3), uint16(21))
+	f.Add(uint8(2), uint8(4), uint16(0), uint16(15))
+	f.Add(uint8(5), uint8(2), uint16(7), uint16(24))
+	f.Fuzz(func(t *testing.T, kRaw, nRaw uint8, srcRaw, dstRaw uint16) {
+		k := 2 + int(kRaw)%15 // 2..16
+		n := 1 + int(nRaw)%4  // 1..4
+		tp := New(k, n)
+		src := NodeID(int(srcRaw) % tp.Nodes())
+		dst := NodeID(int(dstRaw) % tp.Nodes())
+
+		for dim := 0; dim < n; dim++ {
+			a, b := tp.Coord(src, dim), tp.Coord(dst, dim)
+			plus, minus := tp.MinimalDirs(a, b)
+			d := tp.RingDist(a, b)
+			if (a == b) != (!plus && !minus) {
+				t.Fatalf("k=%d a=%d b=%d: dirs (%v,%v), equality says %v", k, a, b, plus, minus, a == b)
+			}
+			if tie := k%2 == 0 && d == k/2; (plus && minus) != tie {
+				t.Fatalf("k=%d a=%d b=%d d=%d: both-dirs=%v, half-way tie=%v", k, a, b, d, plus && minus, tie)
+			}
+			if plus && tp.RingDist((a+1)%k, b) != d-1 {
+				t.Fatalf("k=%d a=%d b=%d: Plus reported but a+1 does not shorten (d=%d)", k, a, b, d)
+			}
+			if minus && tp.RingDist((a-1+k)%k, b) != d-1 {
+				t.Fatalf("k=%d a=%d b=%d: Minus reported but a-1 does not shorten (d=%d)", k, a, b, d)
+			}
+		}
+
+		for p := 0; p < tp.NumPorts(); p++ {
+			port := Port(p)
+			if PortFor(PortDim(port), PortDir(port)) != port {
+				t.Fatalf("port %d: PortFor(PortDim, PortDir) does not round-trip", p)
+			}
+			if Opposite(Opposite(port)) != port || PortDim(Opposite(port)) != PortDim(port) {
+				t.Fatalf("port %d: Opposite algebra broken", p)
+			}
+			nb := tp.Neighbor(src, port)
+			if tp.Neighbor(nb, Opposite(port)) != src {
+				t.Fatalf("node %d port %d: Neighbor/Opposite does not return", src, p)
+			}
+		}
+
+		dist := tp.Distance(src, dst)
+		ports := tp.UsefulPorts(src, dst, nil)
+		if (src == dst) != (len(ports) == 0) {
+			t.Fatalf("src=%d dst=%d: %d useful ports", src, dst, len(ports))
+		}
+		useful := make(map[Port]bool, len(ports))
+		for _, p := range ports {
+			if useful[p] {
+				t.Fatalf("src=%d dst=%d: duplicate useful port %d", src, dst, p)
+			}
+			useful[p] = true
+		}
+		for p := 0; p < tp.NumPorts(); p++ {
+			decreases := tp.Distance(tp.Neighbor(src, Port(p)), dst) == dist-1
+			if decreases != useful[Port(p)] {
+				t.Fatalf("src=%d dst=%d port %d: decreases=%v useful=%v (dist=%d)",
+					src, dst, p, decreases, useful[Port(p)], dist)
+			}
+		}
+	})
+}
