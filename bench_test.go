@@ -23,6 +23,7 @@ import (
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
 	"wormnet/internal/experiments"
+	"wormnet/internal/metrics"
 	"wormnet/internal/sim"
 )
 
@@ -266,6 +267,33 @@ func BenchmarkEngineCycles(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	for i := 0; i < 2000; i++ {
+		e.Step() // reach saturated steady state before timing
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkEngineCyclesMetrics measures the same steady-state hot path with
+// the full metrics instrumentation attached (registry, deny classification,
+// periodic gauge sampling at the default cadence). The delta against
+// BenchmarkEngineCycles is the observability overhead budget DESIGN.md
+// commits to; allocs/op must stay 0 — all metric storage is allocated at
+// registration, so the instrumented steady state allocates nothing either.
+func BenchmarkEngineCyclesMetrics(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Rate = 0.65
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 1<<40, 0
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.EnableMetrics(metrics.NewRegistry(), sim.DefaultMetricsSampleEvery)
 	for i := 0; i < 2000; i++ {
 		e.Step() // reach saturated steady state before timing
 	}

@@ -8,6 +8,7 @@
 //	figures -fig faults     # degradation under link failures (not in -fig all)
 //	figures -quick          # reduced 4-ary 2-cube scale
 //	figures -csv out.csv    # additionally dump CSV rows for plotting
+//	figures -jsonl out.jsonl# additionally stream structured per-point records
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"wormnet/internal/experiments"
+	"wormnet/internal/obs"
 	"wormnet/internal/sim"
 )
 
@@ -25,6 +27,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, or all")
 	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
 	csvPath := flag.String("csv", "", "also append CSV rows to this file")
+	jsonlPath := flag.String("jsonl", "", "also stream a manifest plus one record per measured point (JSONL) to this file")
 	workers := flag.Int("workers", 1,
 		"engine worker goroutines per run (results are identical for any count; the runner already parallelises across runs, so raise this only when single runs dominate)")
 	flag.Parse()
@@ -61,6 +64,31 @@ func main() {
 		csv = f
 	}
 
+	var jsonl *obs.JSONLWriter
+	if *jsonlPath != "" {
+		w, err := obs.CreateJSONL(*jsonlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "jsonl:", err)
+				os.Exit(1)
+			}
+		}()
+		man := obs.NewManifest("figures", scale.Seed, map[string]any{
+			"scale": scale.Name, "k": scale.K, "n": scale.N,
+			"warmup": scale.Warmup, "measure": scale.Measure, "drain": scale.Drain,
+			"fig": *fig,
+		})
+		if err := w.Write(man); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		jsonl = w
+	}
+
 	// A multi-worker executor shards each engine; simulation results stay
 	// bit-identical to serial, only wall-clock changes.
 	var exec experiments.Executor
@@ -89,6 +117,27 @@ func main() {
 			if _, err := csv.WriteString(rep.CSV()); err != nil {
 				fmt.Fprintln(os.Stderr, "csv:", err)
 				os.Exit(1)
+			}
+		}
+		if jsonl != nil {
+			for _, s := range rep.Series {
+				for _, p := range s.Points {
+					rec := map[string]any{
+						"t": "result", "fig": rep.ID, "series": s.Name,
+						"offered": p.Offered, "result": p.Result,
+					}
+					if p.Probe != nil {
+						rec["probe"] = map[string]float64{
+							"pct_rule_a": p.Probe.PercentA(),
+							"pct_rule_b": p.Probe.PercentB(),
+							"pct_either": p.Probe.PercentEither(),
+						}
+					}
+					if err := jsonl.Write(rec); err != nil {
+						fmt.Fprintln(os.Stderr, "jsonl:", err)
+						os.Exit(1)
+					}
+				}
 			}
 		}
 	}

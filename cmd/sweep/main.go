@@ -1,6 +1,9 @@
 // Command sweep runs parameter sweeps beyond the paper's figures — offered
 // load, virtual-channel count, buffer depth or detection threshold — and
 // prints one CSV row per run. It is the ablation companion to cmd/figures.
+// With -jsonl the same data streams to a file as structured records (a run
+// manifest followed by one result record per point), ready for downstream
+// analysis without CSV parsing.
 //
 // Examples:
 //
@@ -21,6 +24,7 @@ import (
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
 	"wormnet/internal/fault"
+	"wormnet/internal/obs"
 	"wormnet/internal/sim"
 	"wormnet/internal/topology"
 )
@@ -44,6 +48,7 @@ func main() {
 		"engine worker goroutines per run (results are identical for any count; keep 1 unless a single run dominates)")
 	faults := flag.Float64("faults", 0, "fraction of channels to fail in every run [0,1]")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault planner seed")
+	jsonlPath := flag.String("jsonl", "", "also stream a run manifest plus one result record per point (JSONL) to this file")
 	flag.Parse()
 
 	f, err := limiterByName(*limiter)
@@ -52,6 +57,17 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Limiter, cfg.LimiterName = f, *limiter
+
+	var jsonl *obs.JSONLWriter
+	if *jsonlPath != "" {
+		w, err := obs.CreateJSONL(*jsonlPath)
+		must(err)
+		defer func() { must(w.Close()) }()
+		base := cfg.Manifest()
+		base["vary"], base["values"] = *vary, *values
+		must(w.Write(obs.NewManifest("sweep", cfg.Seed, base)))
+		jsonl = w
+	}
 
 	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev,aborted,retried,dropped\n", *vary)
 	for _, raw := range strings.Split(*values, ",") {
@@ -101,6 +117,11 @@ func main() {
 			raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
 			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev,
 			r.Aborted, r.Retried, r.Dropped)
+		if jsonl != nil {
+			must(jsonl.Write(map[string]any{
+				"t": "result", *vary: raw, "result": r,
+			}))
+		}
 	}
 }
 

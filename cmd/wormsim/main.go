@@ -10,6 +10,17 @@
 // With fault injection (5% of channels fail at cycle 0):
 //
 //	wormsim -rate 0.3 -limiter alo -faults 0.05 -fault-seed 7
+//
+// Live observability: -http serves Prometheus metrics, a JSON snapshot and
+// pprof while the run is in flight; -metrics-out streams periodic metric
+// snapshots (with a run manifest header) to a JSONL file; -trace-out streams
+// every lifecycle event; -flight-out arms a flight recorder that dumps the
+// recent event window when deadlock/drop activity bursts:
+//
+//	wormsim -rate 0.6 -http :8080 -metrics-out run.jsonl -flight-out flight.jsonl
+//
+// None of these change simulation results — instrumented and plain runs are
+// bit-identical (the sim package's TestMetricsDeterminism pins this).
 package main
 
 import (
@@ -18,13 +29,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
 	"wormnet/internal/fault"
+	"wormnet/internal/metrics"
+	"wormnet/internal/obs"
 	"wormnet/internal/sim"
 	"wormnet/internal/topology"
+	"wormnet/internal/trace"
 )
 
 func main() {
@@ -64,6 +79,12 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-node fairness summary")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	httpAddr := flag.String("http", "", "serve /metrics, /snapshot, /healthz and /debug/pprof on this address (e.g. :8080)")
+	metricsOut := flag.String("metrics-out", "", "stream periodic metric snapshots (JSONL, with run manifest) to this file")
+	metricsEvery := flag.Int64("metrics-every", sim.DefaultMetricsSampleEvery,
+		"metric sampling period in cycles (gauges, per-phase timing, JSONL snapshots)")
+	traceOut := flag.String("trace-out", "", "stream every message lifecycle event (JSONL) to this file")
+	flightOut := flag.String("flight-out", "", "dump the recent event window (JSONL) when deadlock/drop activity bursts")
 	flag.Parse()
 	cfg.DetectionThreshold = int32(threshold)
 
@@ -93,6 +114,91 @@ func main() {
 	}
 	defer e.Close()
 
+	// Observability stack. Everything here only reads the simulation, so
+	// results are identical with or without it.
+	var (
+		reg       *metrics.Registry
+		mwriter   *obs.JSONLWriter
+		mlog      *obs.MetricsLogger
+		lastCycle atomic.Int64
+		listeners trace.Multi
+	)
+	if *httpAddr != "" || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		e.EnableMetrics(reg, *metricsEvery)
+	}
+	manifest := obs.NewManifest("wormsim", cfg.Seed, cfg.Manifest())
+	if *metricsOut != "" {
+		w, err := obs.CreateJSONL(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer w.Close()
+		if err := w.Write(manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mwriter = w
+		mlog = obs.NewMetricsLogger(w, reg)
+	}
+	if reg != nil {
+		// The sample hook runs on the simulation goroutine every
+		// -metrics-every cycles: publish the cycle for /healthz and append a
+		// JSONL snapshot when -metrics-out is set.
+		e.SetSampleHook(func(cycle int64) {
+			lastCycle.Store(cycle)
+			if mlog != nil {
+				mlog.Snapshot(cycle)
+			}
+		})
+	}
+	if *httpAddr != "" {
+		mon := obs.NewMonitor(reg, manifest, lastCycle.Load)
+		if err := mon.Serve(*httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer mon.Close()
+		fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/metrics /snapshot /healthz /debug/pprof)\n", mon.Addr())
+	}
+	if *traceOut != "" {
+		w, err := obs.CreateJSONL(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer w.Close()
+		if err := w.Write(manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		listeners = append(listeners, obs.NewTraceSink(w))
+	}
+	var flight *obs.FlightRecorder
+	if *flightOut != "" {
+		w, err := obs.CreateJSONL(*flightOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer w.Close()
+		if err := w.Write(manifest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		flight = obs.NewFlightRecorder(w, reg, obs.DefaultFlightCapacity,
+			obs.DefaultFlightWindow, obs.DefaultFlightThreshold)
+		listeners = append(listeners, flight)
+	}
+	switch len(listeners) {
+	case 0:
+	case 1:
+		e.SetListener(listeners[0])
+	default:
+		e.SetListener(listeners)
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -110,6 +216,13 @@ func main() {
 	start := time.Now()
 	r := e.Run()
 	elapsed := time.Since(start)
+
+	if mwriter != nil {
+		if err := obs.WriteResult(mwriter, e.Now(), r); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -148,6 +261,10 @@ func main() {
 			l.DownLinks(), l.DownRouters())
 		fmt.Printf("fault recovery : %d aborted, %d retried, %d dropped (whole run)\n",
 			e.Aborted(), e.Retried(), e.Dropped())
+	}
+	if flight != nil {
+		fmt.Printf("flight dumps   : %d burst dump(s) written to %s\n",
+			flight.Dumps(), *flightOut)
 	}
 	fmt.Printf("simulated      : %d cycles in %v (%.0f cycles/s)\n",
 		cfg.TotalCycles(), elapsed.Round(time.Millisecond),

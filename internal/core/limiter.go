@@ -72,6 +72,37 @@ type CycleObserver interface {
 // vcs is the number of virtual channels per physical channel.
 type Factory func(node topology.NodeID, t *topology.Torus, vcs int) Limiter
 
+// RuleClassifier is implemented by limiters whose decision decomposes into
+// the paper's two rules. The engine's metrics layer uses it to attribute a
+// denial to the rule(s) that failed — rule (a): some useful channel has no
+// free virtual channel; rule (b): no useful channel is completely free —
+// without re-deciding or altering the injection outcome.
+type RuleClassifier interface {
+	// ClassifyRules reports whether rule (a) and rule (b) hold for a
+	// message addressed to dst, over the channel set the limiter inspects.
+	ClassifyRules(v ChannelView, dst topology.NodeID) (ruleA, ruleB bool)
+}
+
+// EvalRules evaluates both ALO rules over the useful channels: ruleA is
+// "every useful physical channel has at least one free virtual channel",
+// ruleB "at least one useful physical channel is completely free". It is
+// the shared classification behind the ALO-family RuleClassifier
+// implementations and the Figure-2 probe.
+func EvalRules(v ChannelView, dst topology.NodeID) (ruleA, ruleB bool) {
+	vcs := v.VCs()
+	ruleA = true
+	for _, p := range v.UsefulPorts(dst) {
+		free := v.FreeVCs(p)
+		if free == 0 {
+			ruleA = false
+		}
+		if free == vcs {
+			ruleB = true
+		}
+	}
+	return ruleA, ruleB
+}
+
 // ALO is the paper's At-Least-One injection limitation mechanism.
 // The zero value is ready to use; ALO is stateless.
 type ALO struct{}
@@ -100,6 +131,11 @@ func (ALO) Allow(v ChannelView, dst topology.NodeID) bool {
 // Name implements Limiter.
 func (ALO) Name() string { return "alo" }
 
+// ClassifyRules implements RuleClassifier.
+func (ALO) ClassifyRules(v ChannelView, dst topology.NodeID) (bool, bool) {
+	return EvalRules(v, dst)
+}
+
 // RuleAOnly is the ablation variant that applies only ALO's first rule:
 // inject iff every useful physical channel has at least one free virtual
 // channel. The paper's Figure 2 shows this alone is a good but occasionally
@@ -124,6 +160,11 @@ func (RuleAOnly) Allow(v ChannelView, dst topology.NodeID) bool {
 // Name implements Limiter.
 func (RuleAOnly) Name() string { return "alo-rule-a" }
 
+// ClassifyRules implements RuleClassifier.
+func (RuleAOnly) ClassifyRules(v ChannelView, dst topology.NodeID) (bool, bool) {
+	return EvalRules(v, dst)
+}
+
 // RuleBOnly is the ablation variant that applies only ALO's second rule:
 // inject iff at least one useful physical channel is completely free. The
 // paper's Figure 2 shows this alone is a poor congestion indicator.
@@ -147,6 +188,11 @@ func (RuleBOnly) Allow(v ChannelView, dst topology.NodeID) bool {
 
 // Name implements Limiter.
 func (RuleBOnly) Name() string { return "alo-rule-b" }
+
+// ClassifyRules implements RuleClassifier.
+func (RuleBOnly) ClassifyRules(v ChannelView, dst topology.NodeID) (bool, bool) {
+	return EvalRules(v, dst)
+}
 
 // AllChannels is the ablation variant that evaluates the ALO predicate over
 // every physical channel of the node instead of only the useful ones. It
@@ -178,3 +224,20 @@ func (AllChannels) Allow(v ChannelView, _ topology.NodeID) bool {
 
 // Name implements Limiter.
 func (AllChannels) Name() string { return "alo-all-channels" }
+
+// ClassifyRules implements RuleClassifier over all physical channels (the
+// set this ablation actually inspects).
+func (AllChannels) ClassifyRules(v ChannelView, _ topology.NodeID) (bool, bool) {
+	vcs := v.VCs()
+	ruleA, ruleB := true, false
+	for p := 0; p < v.NumPorts(); p++ {
+		free := v.FreeVCs(topology.Port(p))
+		if free == 0 {
+			ruleA = false
+		}
+		if free == vcs {
+			ruleB = true
+		}
+	}
+	return ruleA, ruleB
+}

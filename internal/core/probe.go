@@ -60,17 +60,7 @@ func WrapProbe(inner Factory) (Factory, *ProbeStats) {
 
 // Allow implements Limiter.
 func (p *probe) Allow(v ChannelView, dst topology.NodeID) bool {
-	vcs := v.VCs()
-	a, b := true, false
-	for _, port := range v.UsefulPorts(dst) {
-		free := v.FreeVCs(port)
-		if free == 0 {
-			a = false
-		}
-		if free == vcs {
-			b = true
-		}
-	}
+	a, b := EvalRules(v, dst)
 	p.stats.total.Add(1)
 	if a {
 		p.stats.condA.Add(1)

@@ -1,0 +1,358 @@
+// Package metrics is the simulator's live-instrumentation substrate: a
+// registry of named counters, gauges and fixed-bucket histograms that the
+// engine updates from its hot path and the export layer (internal/obs)
+// reads concurrently.
+//
+// Design constraints, in order:
+//
+//   - Zero allocation on the update path. Counter.Inc, Gauge.Set and
+//     Histogram.Observe are single atomic operations (a short CAS loop for
+//     histogram sums) on memory allocated at registration time.
+//   - Nil-guarded. Every update method is safe on a nil receiver and does
+//     nothing, so a disabled engine carries nil metric pointers and pays one
+//     predictable branch per instrumentation site — no interface calls, no
+//     no-op objects.
+//   - Concurrent-read safe. Exporters may Snapshot a registry while the
+//     simulation mutates it; values are read atomically (a snapshot is
+//     per-metric consistent, not cross-metric consistent, which is the
+//     usual Prometheus contract).
+//   - Mergeable. Registries from replica runs (or sharded collectors) fold
+//     together with Merge: counters and histograms accumulate, gauges —
+//     instantaneous readings — keep the receiver's value.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types in snapshots.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value is usable;
+// all methods are safe on a nil receiver (no-ops reading zero).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 to keep the counter monotone; negative n is
+// ignored).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Set overwrites the counter's value. It exists for mirroring an external
+// monotone total (e.g. the engine's delivered-message count) into the
+// registry at sampling points; the caller is responsible for monotonicity.
+func (c *Counter) Set(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 reading. The zero value is usable; all
+// methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetInt overwrites the gauge with an integer reading.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current reading (zero on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: bounds are the ascending
+// inclusive upper bounds, with an implicit +Inf bucket at the end. All
+// storage is allocated at construction; Observe is allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; counts[i] <= bounds[i], last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (~10) and usually hit early, so
+	// this beats a branchy binary search on the hot path.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Sample is one metric's state in a Snapshot: scalar metrics fill Value,
+// histograms fill Bounds/Counts (per-bucket, not cumulative) plus Sum and
+// Count.
+type Sample struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value float64   // counter or gauge reading
+	Bound []float64 // histogram upper bounds (implicit +Inf appended)
+	Count []int64   // per-bucket observation counts, len(Bound)+1
+	Sum   float64   // histogram sum of observations
+	N     int64     // histogram observation count
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Registration (the New*
+// methods) happens at setup time under a lock; the returned metric pointers
+// are then updated lock-free. A nil *Registry is valid everywhere and
+// returns nil metrics, so "observability off" needs no special casing.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// register adds e or returns the existing entry of the same name and kind.
+func (r *Registry) register(name, help string, kind Kind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as %v (was %v)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// NewCounter registers (or returns the existing) counter under name. Nil
+// registry: returns nil, which is a valid no-op counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.register(name, help, KindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.register(name, help, KindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// NewHistogram registers (or returns the existing) histogram under name
+// with the given ascending upper bounds. Re-registration ignores the new
+// bounds and returns the original histogram.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.register(name, help, KindHistogram)
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// Snapshot returns the current value of every registered metric, in
+// registration order. It is safe to call while the metrics are being
+// updated.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.entries[name]
+		s := Sample{Name: e.name, Help: e.help, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.c.Value())
+		case KindGauge:
+			s.Value = e.g.Value()
+		case KindHistogram:
+			s.Bound = append([]float64(nil), e.h.bounds...)
+			s.Count = make([]int64, len(e.h.counts))
+			for i := range e.h.counts {
+				s.Count[i] = e.h.counts[i].Load()
+			}
+			s.Sum = e.h.Sum()
+			s.N = e.h.Count()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Merge folds other into r: counters and histogram buckets/sums accumulate;
+// gauges (instantaneous readings) keep r's value. Metrics present only in
+// other are created in r. Histograms merge bucket-by-bucket and require
+// identical bounds (mismatched bounds panic — they indicate a programming
+// error, not a runtime condition).
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for _, s := range other.Snapshot() {
+		switch s.Kind {
+		case KindCounter:
+			r.NewCounter(s.Name, s.Help).Add(int64(s.Value))
+		case KindGauge:
+			// A gauge r has never written adopts other's reading; an
+			// existing reading wins (it is the receiver's latest sample).
+			if g := r.NewGauge(s.Name, s.Help); g.bits.Load() == 0 {
+				g.Set(s.Value)
+			}
+		case KindHistogram:
+			h := r.NewHistogram(s.Name, s.Help, s.Bound)
+			if len(h.bounds) != len(s.Bound) {
+				panic(fmt.Sprintf("metrics: merging histogram %q with different bounds", s.Name))
+			}
+			for i, b := range h.bounds {
+				if b != s.Bound[i] {
+					panic(fmt.Sprintf("metrics: merging histogram %q with different bounds", s.Name))
+				}
+			}
+			for i, n := range s.Count {
+				h.counts[i].Add(n)
+			}
+			h.count.Add(s.N)
+			for {
+				old := h.sum.Load()
+				neu := math.Float64bits(math.Float64frombits(old) + s.Sum)
+				if h.sum.CompareAndSwap(old, neu) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Names returns the registered metric names, sorted. Mostly a test helper.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

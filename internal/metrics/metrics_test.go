@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{1})
+	c.Inc()
+	c.Add(5)
+	c.Set(9)
+	g.Set(1.5)
+	g.SetInt(2)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry must snapshot empty")
+	}
+	r.Merge(NewRegistry()) // must not panic
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("worms_total", "help text")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Set(17)
+	if got := c.Value(); got != 17 {
+		t.Fatalf("counter after Set = %d, want 17", got)
+	}
+	g := r.NewGauge("depth", "")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	// Re-registration returns the same instances.
+	if r.NewCounter("worms_total", "") != c || r.NewGauge("depth", "") != g {
+		t.Fatal("re-registration must return the existing metric")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1556.5 {
+		t.Fatalf("sum = %v, want 1556.5", h.Sum())
+	}
+	s := snap(t, r, "lat")
+	want := []int64{2, 1, 1, 2} // <=1, <=10, <=100, +Inf
+	for i, n := range want {
+		if s.Count[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Count[i], n, s.Count)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on non-ascending bounds")
+		}
+	}()
+	NewRegistry().NewHistogram("h", "", []float64{1, 1})
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on kind mismatch")
+		}
+	}()
+	r.NewGauge("x", "")
+}
+
+func TestSnapshotOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b", "")
+	r.NewGauge("a", "")
+	r.NewHistogram("c", "", []float64{1})
+	s := r.Snapshot()
+	if len(s) != 3 || s[0].Name != "b" || s[1].Name != "a" || s[2].Name != "c" {
+		t.Fatalf("snapshot must preserve registration order, got %+v", s)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names must sort, got %v", names)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.NewCounter("n", "").Add(3)
+	b.NewCounter("n", "").Add(4)
+	a.NewGauge("g", "").Set(1)
+	b.NewGauge("g", "").Set(9)
+	b.NewGauge("only_b", "").Set(7)
+	ha := a.NewHistogram("h", "", []float64{10})
+	hb := b.NewHistogram("h", "", []float64{10})
+	ha.Observe(5)
+	hb.Observe(50)
+
+	a.Merge(b)
+	if got := a.NewCounter("n", "").Value(); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := a.NewGauge("g", "").Value(); got != 1 {
+		t.Fatalf("merged gauge = %v, want receiver's 1", got)
+	}
+	if got := a.NewGauge("only_b", "").Value(); got != 7 {
+		t.Fatalf("adopted gauge = %v, want 7", got)
+	}
+	s := snap(t, a, "h")
+	if s.N != 2 || s.Sum != 55 || s.Count[0] != 1 || s.Count[1] != 1 {
+		t.Fatalf("merged histogram wrong: %+v", s)
+	}
+}
+
+func TestMergeBoundsMismatchPanics(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.NewHistogram("h", "", []float64{1})
+	b.NewHistogram("h", "", []float64{2}).Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched bounds")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestConcurrentUpdates exercises the atomic paths under the race detector:
+// writers hammer every metric type while a reader snapshots.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{1, 2, 3})
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetInt(int64(i))
+				h.Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != writers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), writers*per)
+	}
+	if h.Count() != writers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*per)
+	}
+}
+
+// snap returns the named sample from a fresh snapshot.
+func snap(t *testing.T, r *Registry, name string) Sample {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return Sample{}
+}

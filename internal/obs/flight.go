@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+
+	"wormnet/internal/metrics"
+	"wormnet/internal/trace"
+)
+
+// FlightRecorder is a trace.Listener that keeps the most recent events in a
+// ring and, when deadlock/drop activity bursts — at least Threshold
+// deadlock-or-drop events within a Window of cycles — dumps the retained
+// window (plus a metrics snapshot, when a registry is attached) to a JSONL
+// sink. The dump answers "what led up to this?" without paying for full
+// event logging on healthy runs.
+//
+// Dumps are rate-limited: after firing, the recorder stays quiet for
+// Cooldown cycles so a sustained collapse produces a bounded number of
+// dumps rather than one per event.
+type FlightRecorder struct {
+	ring *trace.Recorder
+	w    *JSONLWriter
+	reg  *metrics.Registry // optional; attaches a snapshot to each dump
+
+	// Window is the burst-detection window in cycles, Threshold the number
+	// of deadlock/drop events within it that triggers a dump, Cooldown the
+	// minimum number of cycles between dumps.
+	Window    int64
+	Threshold int
+	Cooldown  int64
+
+	mu       sync.Mutex
+	times    []int64 // emission cycles of recent deadlock/drop events (ring)
+	next     int
+	lastDump int64
+	dumps    int
+}
+
+// Default flight-recorder tuning, used by the CLI: retain the last 4096
+// events and dump when 8 deadlock/drop events land within 1024 cycles.
+// Healthy runs (sporadic recoveries) never trigger; a saturation collapse
+// or a fault-driven drop storm does.
+const (
+	DefaultFlightCapacity  = 4096
+	DefaultFlightWindow    = 1024
+	DefaultFlightThreshold = 8
+)
+
+// NewFlightRecorder returns a recorder retaining the latest capacity events
+// with the given burst window and threshold. reg may be nil.
+func NewFlightRecorder(w *JSONLWriter, reg *metrics.Registry, capacity int, window int64, threshold int) *FlightRecorder {
+	if threshold < 1 {
+		panic("obs: flight-recorder threshold must be positive")
+	}
+	return &FlightRecorder{
+		ring:      trace.NewRecorder(capacity),
+		w:         w,
+		reg:       reg,
+		Window:    window,
+		Threshold: threshold,
+		Cooldown:  window,
+		times:     make([]int64, threshold-1),
+		lastDump:  -1 << 62,
+	}
+}
+
+// flightRecord is one dump in a JSONL stream.
+type flightRecord struct {
+	Record  string         `json:"t"` // "flight"
+	Cycle   int64          `json:"cycle"`
+	Window  int64          `json:"window"`
+	Bursts  int            `json:"burst_events"` // deadlock/drop events in the window
+	Events  []eventRecord  `json:"events"`
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// Emit implements trace.Listener.
+func (f *FlightRecorder) Emit(ev trace.Event) {
+	f.ring.Emit(ev)
+	if ev.Kind != trace.KindDeadlock && ev.Kind != trace.KindDropped {
+		return
+	}
+	f.mu.Lock()
+	// times is a (Threshold-1)-sized ring of the burst-relevant event
+	// cycles: the slot about to be overwritten holds the cycle of the event
+	// Threshold-1 occurrences ago, so "burst" is exactly "Threshold such
+	// events, this one included, within Window cycles". Threshold 1 (empty
+	// ring) fires on every deadlock/drop, rate-limited by the cooldown.
+	burst := true
+	if len(f.times) > 0 {
+		oldest := f.times[f.next]
+		f.times[f.next] = ev.Cycle + 1 // +1 keeps cycle 0 distinct from empty slots
+		f.next = (f.next + 1) % len(f.times)
+		burst = oldest > 0 && ev.Cycle+1-oldest <= f.Window
+	}
+	fire := burst && ev.Cycle-f.lastDump >= f.Cooldown
+	if fire {
+		f.lastDump = ev.Cycle
+		f.dumps++
+	}
+	f.mu.Unlock()
+	if fire {
+		f.dump(ev.Cycle)
+	}
+}
+
+// dump writes the retained window.
+func (f *FlightRecorder) dump(cycle int64) {
+	evs := f.ring.Events()
+	recs := make([]eventRecord, len(evs))
+	for i, ev := range evs {
+		recs[i] = newEventRecord(ev)
+	}
+	rec := flightRecord{
+		Record: "flight",
+		Cycle:  cycle,
+		Window: f.Window,
+		Bursts: f.Threshold,
+		Events: recs,
+	}
+	if f.reg != nil {
+		rec.Metrics = MetricsMap(f.reg)
+	}
+	f.w.Write(rec) //nolint:errcheck // sticky error surfaces at Close
+	f.w.Flush()    //nolint:errcheck // a flight dump should hit disk now
+}
+
+// Dumps returns how many dumps have fired.
+func (f *FlightRecorder) Dumps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// Recorder exposes the underlying ring, e.g. to print the tail after a run.
+func (f *FlightRecorder) Recorder() *trace.Recorder { return f.ring }

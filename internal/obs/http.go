@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"wormnet/internal/metrics"
+)
+
+// Monitor is the live HTTP view of a running simulation:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot       JSON: manifest + current cycle + flattened metrics
+//	/healthz        200 "ok cycle=N" once the engine has sampled
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The handlers read only the registry's atomics (plus the caller-supplied
+// cycle function, which should itself read an atomic), so serving requests
+// races with nothing in the engine.
+type Monitor struct {
+	reg      *metrics.Registry
+	manifest Manifest
+	cycle    func() int64
+	srv      *http.Server
+	ln       net.Listener
+}
+
+// NewMonitor builds a monitor for the registry. cycle reports the engine's
+// most recently sampled cycle (may be nil: /healthz then only reports
+// liveness of the process). Call Serve to bind it to an address.
+func NewMonitor(reg *metrics.Registry, manifest Manifest, cycle func() int64) *Monitor {
+	return &Monitor{reg: reg, manifest: manifest, cycle: cycle}
+}
+
+// Handler returns the monitor's route table; exposed separately so tests
+// (and embedders) can serve it without binding a socket.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/snapshot", m.handleSnapshot)
+	mux.HandleFunc("/healthz", m.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the monitor
+// in a background goroutine until Close.
+func (m *Monitor) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	m.ln = ln
+	m.srv = &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go m.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return nil
+}
+
+// Addr returns the bound address ("" before Serve). Useful with ":0".
+func (m *Monitor) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the server. Safe to call on a monitor that never served.
+func (m *Monitor) Close() error {
+	if m.srv == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, m.reg) //nolint:errcheck // client went away
+}
+
+func (m *Monitor) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	var cycle int64
+	if m.cycle != nil {
+		cycle = m.cycle()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // client went away
+		"manifest": m.manifest,
+		"cycle":    cycle,
+		"metrics":  MetricsMap(m.reg),
+	})
+}
+
+func (m *Monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if m.cycle != nil {
+		fmt.Fprintf(w, "ok cycle=%d\n", m.cycle())
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"wormnet/internal/metrics"
+	"wormnet/internal/trace"
+)
+
+// JSONLWriter streams records as JSON Lines through a buffered writer. It
+// is safe for concurrent use (the engine thread writes snapshots while a
+// trace listener writes events). Errors are sticky: the first write error
+// is kept and every later call becomes a no-op returning it, so callers may
+// write unchecked and inspect Close's result once.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer // closed by Close when the sink owns the stream
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL sink. The caller keeps
+// ownership of w; Close flushes but does not close it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// CreateJSONL creates (truncating) the file at path and returns a sink that
+// owns it: Close flushes and closes the file.
+func CreateJSONL(path string) (*JSONLWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := NewJSONLWriter(f)
+	w.c = f
+	return w, nil
+}
+
+// Write appends one record as a JSON line.
+func (w *JSONLWriter) Write(v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.enc.Encode(v) // Encode appends the newline
+	return w.err
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *JSONLWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Close flushes and, when the sink owns the underlying file, closes it. It
+// returns the first error the sink encountered.
+func (w *JSONLWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ferr := w.bw.Flush(); w.err == nil {
+		w.err = ferr
+	}
+	if w.c != nil {
+		if cerr := w.c.Close(); w.err == nil {
+			w.err = cerr
+		}
+		w.c = nil
+	}
+	return w.err
+}
+
+// snapshotRecord is one periodic metrics sample in a JSONL stream.
+type snapshotRecord struct {
+	Record  string         `json:"t"` // "snapshot"
+	Cycle   int64          `json:"cycle"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+// histogramJSON is the JSON shape of a histogram sample.
+type histogramJSON struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket, last is +Inf
+}
+
+// MetricsMap flattens a registry snapshot into a JSON-friendly map:
+// counters and gauges become numbers, histograms become
+// {count, sum, bounds, counts} objects.
+func MetricsMap(reg *metrics.Registry) map[string]any {
+	snap := reg.Snapshot()
+	out := make(map[string]any, len(snap))
+	for _, s := range snap {
+		switch s.Kind {
+		case metrics.KindHistogram:
+			out[s.Name] = histogramJSON{Count: s.N, Sum: s.Sum, Bounds: s.Bound, Counts: s.Count}
+		default:
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}
+
+// MetricsLogger writes periodic registry snapshots to a JSONL sink. Drive
+// it from the engine's sample hook so snapshot cycles are deterministic.
+type MetricsLogger struct {
+	w   *JSONLWriter
+	reg *metrics.Registry
+}
+
+// NewMetricsLogger returns a logger snapshotting reg into w.
+func NewMetricsLogger(w *JSONLWriter, reg *metrics.Registry) *MetricsLogger {
+	return &MetricsLogger{w: w, reg: reg}
+}
+
+// Snapshot appends one snapshot record for the given cycle.
+func (l *MetricsLogger) Snapshot(cycle int64) {
+	l.w.Write(snapshotRecord{Record: "snapshot", Cycle: cycle, Metrics: MetricsMap(l.reg)})
+}
+
+// eventRecord is one trace event in a JSONL stream.
+type eventRecord struct {
+	Record string `json:"t"` // "event"
+	Cycle  int64  `json:"cycle"`
+	Kind   string `json:"kind"`
+	Msg    int64  `json:"msg"`
+	Src    int64  `json:"src"`
+	Dst    int64  `json:"dst"`
+	Node   int64  `json:"node"`
+}
+
+// newEventRecord converts a trace event.
+func newEventRecord(ev trace.Event) eventRecord {
+	return eventRecord{
+		Record: "event",
+		Cycle:  ev.Cycle,
+		Kind:   ev.Kind.String(),
+		Msg:    ev.Msg,
+		Src:    int64(ev.Src),
+		Dst:    int64(ev.Dst),
+		Node:   int64(ev.Node),
+	}
+}
+
+// TraceSink is a trace.Listener streaming every event to a JSONL sink. The
+// engine emits synchronously, so attach it only when the serialization cost
+// is acceptable (it is the -trace-out path, not the default).
+type TraceSink struct {
+	w *JSONLWriter
+}
+
+// NewTraceSink returns a listener writing events to w.
+func NewTraceSink(w *JSONLWriter) *TraceSink { return &TraceSink{w: w} }
+
+// Emit implements trace.Listener.
+func (s *TraceSink) Emit(ev trace.Event) { s.w.Write(newEventRecord(ev)) }
+
+// ResultRecord is the closing record of a run's JSONL stream: the run's
+// final summary plus any fields the caller wants alongside it.
+type ResultRecord struct {
+	Record string `json:"t"` // "result"
+	Cycle  int64  `json:"cycle"`
+	Result any    `json:"result"`
+}
+
+// WriteResult appends the final result record.
+func WriteResult(w *JSONLWriter, cycle int64, result any) error {
+	return w.Write(ResultRecord{Record: "result", Cycle: cycle, Result: result})
+}

@@ -1,0 +1,67 @@
+// Package obs is the run-telemetry export layer on top of
+// internal/metrics and internal/trace: it turns the registry the engine
+// feeds into things an operator can consume while (or after) a run.
+//
+//   - Prometheus text-format exposition (WritePrometheus),
+//   - a buffered streaming JSONL sink (JSONLWriter) with typed records: a
+//     run-manifest header, periodic metric snapshots (MetricsLogger), trace
+//     events (TraceSink) and final results,
+//   - an HTTP monitor (Monitor) serving /metrics, /snapshot, /healthz and
+//     /debug/pprof/*,
+//   - a flight recorder (FlightRecorder) that keeps the recent trace-event
+//     window and dumps it when deadlock/drop activity bursts.
+//
+// Everything here observes the simulation without touching it: the engine's
+// results are bit-identical with and without the export layer attached (see
+// internal/sim's TestMetricsDeterminism).
+package obs
+
+import (
+	"bytes"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest identifies a run: what binary produced the stream, when, from
+// which source revision, and with which configuration. It is the first
+// record of every JSONL stream and part of every /snapshot response, so a
+// result file is self-describing.
+type Manifest struct {
+	Record  string         `json:"t"` // always "manifest"
+	Tool    string         `json:"tool"`
+	Started string         `json:"started"` // RFC3339, wall clock
+	Git     string         `json:"git,omitempty"`
+	Go      string         `json:"go"`
+	Seed    uint64         `json:"seed"`
+	Config  map[string]any `json:"config,omitempty"`
+}
+
+// NewManifest builds a manifest for the named tool. config is typically
+// sim.Config.Manifest(); git revision and timestamps are filled here.
+func NewManifest(tool string, seed uint64, config map[string]any) Manifest {
+	return Manifest{
+		Record:  "manifest",
+		Tool:    tool,
+		Started: time.Now().Format(time.RFC3339),
+		Git:     GitDescribe(),
+		Go:      runtime.Version(),
+		Seed:    seed,
+		Config:  config,
+	}
+}
+
+// GitDescribe returns `git describe --always --dirty` of the working tree,
+// or "" when git (or a repository) is unavailable. Best effort only — a
+// missing revision never fails a run.
+func GitDescribe() string {
+	ctxArgs := []string{"describe", "--always", "--dirty", "--tags"}
+	cmd := exec.Command("git", ctxArgs...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return ""
+	}
+	return strings.TrimSpace(out.String())
+}

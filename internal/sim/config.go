@@ -210,6 +210,35 @@ func (c Config) TotalCycles() int64 {
 	return c.WarmupCycles + c.MeasureCycles + c.DrainCycles
 }
 
+// Manifest returns the configuration as a flat, JSON-marshalable map for
+// run manifests (obs.NewManifest). Func-typed fields (the limiter factory)
+// are represented by their name; the fault schedule by its event count.
+func (c Config) Manifest() map[string]any {
+	m := map[string]any{
+		"k": c.K, "n": c.N,
+		"vcs": c.VCs, "buf_depth": c.BufDepth,
+		"inj_channels": c.InjChannels, "ej_channels": c.EjChannels,
+		"routing": c.Routing,
+		"pattern": c.Pattern, "msg_len": c.MsgLen, "rate": c.Rate,
+		"limiter":             c.LimiterName,
+		"detection_threshold": c.DetectionThreshold,
+		"recovery_delay":      c.RecoveryDelay,
+		"lenient_detection":   c.LenientDetection,
+		"warmup_cycles":       c.WarmupCycles,
+		"measure_cycles":      c.MeasureCycles,
+		"drain_cycles":        c.DrainCycles,
+		"seed":                c.Seed,
+		"workers":             c.Workers,
+	}
+	if c.Burst.Enabled() {
+		m["burst_on"], m["burst_off"] = c.Burst.OnMean, c.Burst.OffMean
+	}
+	if !c.Faults.Empty() {
+		m["fault_events"] = len(c.Faults.Events())
+	}
+	return m
+}
+
 // DefaultWorkers returns a reasonable Workers value for running one engine
 // on the current machine: the CPU count, capped at 8 (the phase barriers
 // outgrow the per-shard work beyond that on the paper's network sizes).

@@ -26,6 +26,13 @@ func (e *Engine) Step() {
 		e.stepParallel()
 		return
 	}
+	if e.metricsSampled() {
+		// Sampling cycles run the identical phases with per-phase timers
+		// and a gauge sample appended (metrics.go); results are unchanged.
+		e.stepSerialSampled()
+		e.now++
+		return
+	}
 	if e.live != nil {
 		e.phaseFaults()
 	}
@@ -34,6 +41,9 @@ func (e *Engine) Step() {
 	e.phaseAllocate()
 	e.phaseSwitch()
 	e.phaseMove()
+	if e.met != nil {
+		e.met.flits.Add(int64(len(e.moves)))
+	}
 	e.now++
 }
 
@@ -121,8 +131,14 @@ func (e *Engine) phaseInject() {
 			}
 			m := nd.queue.Front()
 			if !nd.limiter.Allow(nd.view, m.Dst) {
+				if e.met != nil {
+					e.noteDeny(nd, m.Dst)
+				}
 				e.emit(trace.KindThrottled, m, nd.id)
 				break // FIFO: do not bypass a throttled queue head
+			}
+			if e.met != nil {
+				e.met.admitted.Inc()
 			}
 			nd.queue.PopFront()
 			ic.msg = m

@@ -116,9 +116,11 @@ type node struct {
 	// limObs caches the limiter's CycleObserver assertion (nil when the
 	// limiter has no per-cycle hook) and view the node's preallocated
 	// ChannelView, so the injection phase performs no per-cycle interface
-	// conversions.
-	limObs core.CycleObserver
-	view   *channelView
+	// conversions. limClass likewise caches the RuleClassifier assertion;
+	// the metrics layer consults it to attribute denials to rule (a)/(b).
+	limObs   core.CycleObserver
+	limClass core.RuleClassifier
+	view     *channelView
 
 	// blocked tracks consecutive cycles each input VC's header failed to
 	// obtain an output virtual channel (deadlock detection input).
@@ -270,6 +272,13 @@ type Engine struct {
 	// listener, when non-nil, receives message lifecycle events.
 	listener trace.Listener
 
+	// met, when non-nil, is the live-metrics instrumentation (metrics.go);
+	// metEvery is its gauge-sampling period and onSample the optional
+	// post-sample hook. Disabled instrumentation is one nil check per site.
+	met      *engineMetrics
+	metEvery int64
+	onSample func(cycle int64)
+
 	// delivered counts all-time delivered messages (not just in-window).
 	delivered int64
 	// generated counts all-time generated messages.
@@ -419,6 +428,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		nd.limiter = cfg.Limiter(nd.id, topo, cfg.VCs)
 		nd.limObs, _ = nd.limiter.(core.CycleObserver)
+		nd.limClass, _ = nd.limiter.(core.RuleClassifier)
 		nd.view = &channelView{e: e, nd: nd}
 		nd.blocked = deadlock.NewBlockTracker(nVC)
 		nd.lastTx = lastTxArena[i*nVC : (i+1)*nVC : (i+1)*nVC]
@@ -548,11 +558,14 @@ func (e *Engine) Delivered() int64 { return e.delivered }
 func (e *Engine) Generated() int64 { return e.generated }
 
 // Run executes the configured number of cycles and returns the summary.
+// With metrics enabled, a final gauge sample runs after the last cycle so
+// the exported series end on the run's exact final state.
 func (e *Engine) Run() stats.Result {
 	total := e.cfg.TotalCycles()
 	for e.now < total {
 		e.Step()
 	}
+	e.FlushMetrics()
 	return e.col.Result()
 }
 

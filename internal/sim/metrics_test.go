@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/metrics"
+	"wormnet/internal/stats"
+	"wormnet/internal/trace"
+)
+
+// runObserved runs cfg to completion with the full observability stack
+// attached — metrics registry, dense sampling, sample hook, trace listener —
+// and returns the summary, event stream and counters exactly like runTraced,
+// plus the registry for inspection.
+func runObserved(t *testing.T, cfg Config, workers int) (stats.Result, []trace.Event, [6]int64, *metrics.Registry) {
+	t.Helper()
+	cfg.Workers = workers
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	reg := metrics.NewRegistry()
+	e.EnableMetrics(reg, 64)
+	samples := 0
+	e.SetSampleHook(func(int64) { samples++ })
+	tap := &eventTap{}
+	e.SetListener(tap)
+	r := e.Run()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("workers=%d: invariants violated at end of run: %v", workers, err)
+	}
+	if samples == 0 {
+		t.Fatal("sample hook never fired")
+	}
+	counters := [6]int64{
+		e.Generated(), e.Delivered(), e.Recovered(),
+		e.Aborted(), e.Retried(), e.Dropped(),
+	}
+	return r, tap.events, counters, reg
+}
+
+// TestMetricsDeterminism is the observability layer's core contract: a run
+// with metrics, sampling and export hooks enabled produces bit-identical
+// results — summary statistics, all-time counters, and the full trace event
+// stream — to the same run without any of it, on the serial path and on the
+// sharded parallel path alike. The metrics layer may read the simulation;
+// it must never steer it.
+func TestMetricsDeterminism(t *testing.T) {
+	for name, cfg := range equivalenceConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			for _, workers := range []int{1, 4} {
+				res, events, counters, _ := runObserved(t, cfg, workers)
+				if res != baseRes {
+					t.Errorf("workers=%d observed: result diverged:\n got  %+v\n want %+v",
+						workers, res, baseRes)
+				}
+				if counters != baseCounters {
+					t.Errorf("workers=%d observed: counters diverged: got %v want %v",
+						workers, counters, baseCounters)
+				}
+				if len(events) != len(baseEvents) {
+					t.Errorf("workers=%d observed: %d events, plain run emitted %d",
+						workers, len(events), len(baseEvents))
+					continue
+				}
+				for i := range events {
+					if events[i] != baseEvents[i] {
+						t.Errorf("workers=%d observed: event %d diverged:\n got  %+v\n want %+v",
+							workers, i, events[i], baseEvents[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// metricValue returns the sampled value of a metric by name.
+func metricValue(t *testing.T, reg *metrics.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			if s.Kind == metrics.KindHistogram {
+				return float64(s.N)
+			}
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+// TestMetricsPopulated checks the registered series carry real data after a
+// saturated ALO run: mirrored totals match the engine counters, the limiter
+// denial counters fire (with ALO a denial means both rules failed, so the
+// per-rule counters equal the total), and the sampled gauges and timing
+// histograms are non-trivial.
+func TestMetricsPopulated(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Rate = 1.5 // past saturation: ALO must throttle
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 2000, 200
+	_, _, counters, reg := runObserved(t, cfg, 1)
+
+	if got := metricValue(t, reg, "sim_messages_generated_total"); int64(got) != counters[0] {
+		t.Errorf("generated mirror = %v, engine counter %d", got, counters[0])
+	}
+	if got := metricValue(t, reg, "sim_messages_delivered_total"); int64(got) != counters[1] {
+		t.Errorf("delivered mirror = %v, engine counter %d", got, counters[1])
+	}
+	denied := metricValue(t, reg, "sim_injection_denied_total")
+	if denied == 0 {
+		t.Fatal("saturated ALO run recorded no denials")
+	}
+	if a := metricValue(t, reg, "sim_injection_deny_rule_a_total"); a != denied {
+		t.Errorf("ALO denial implies rule (a) failed: ruleA=%v denied=%v", a, denied)
+	}
+	if b := metricValue(t, reg, "sim_injection_deny_rule_b_total"); b != denied {
+		t.Errorf("ALO denial implies rule (b) failed: ruleB=%v denied=%v", b, denied)
+	}
+	if adm := metricValue(t, reg, "sim_injection_admitted_total"); adm == 0 {
+		t.Error("no admissions recorded")
+	}
+	if fl := metricValue(t, reg, "sim_flits_moved_total"); fl == 0 {
+		t.Error("no flit movement recorded")
+	}
+	if occ := metricValue(t, reg, "sim_input_vc_occupancy_ratio"); occ < 0 || occ > 1 {
+		t.Errorf("occupancy ratio %v outside [0,1]", occ)
+	}
+	if n := metricValue(t, reg, "sim_phase_inject_ns"); n == 0 {
+		t.Error("per-phase timing histogram empty on a serial run")
+	}
+	if n := metricValue(t, reg, "sim_node_queue_depth"); n == 0 {
+		t.Error("per-node queue-depth histogram empty")
+	}
+}
+
+// TestMetricsParallelCycleTiming checks the parallel path records whole-cycle
+// wall time (it has no serial phase boundaries to time individually).
+func TestMetricsParallelCycleTiming(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 200, 800, 100
+	_, _, _, reg := runObserved(t, cfg, 4)
+	if n := metricValue(t, reg, "sim_cycle_ns"); n == 0 {
+		t.Error("parallel run recorded no cycle timing samples")
+	}
+	if fl := metricValue(t, reg, "sim_flits_moved_total"); fl == 0 {
+		t.Error("parallel run recorded no flit movement")
+	}
+}
+
+// TestMetricsSampleHook pins the sampling cadence: the hook fires exactly on
+// the cycles where now % every == 0, in order, on the simulation goroutine.
+func TestMetricsSampleHook(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 256, 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableMetrics(metrics.NewRegistry(), 100)
+	var fired []int64
+	e.SetSampleHook(func(cycle int64) { fired = append(fired, cycle) })
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	want := []int64{0, 100, 200}
+	if len(fired) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hook fired at %v, want %v", fired, want)
+		}
+	}
+	// Detaching the registry silences both sampling and the hook.
+	e.EnableMetrics(nil, 0)
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	if len(fired) != len(want) {
+		t.Errorf("hook fired after detach: %v", fired)
+	}
+}

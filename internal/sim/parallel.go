@@ -48,6 +48,7 @@ package sim
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"wormnet/internal/message"
 	"wormnet/internal/topology"
@@ -225,6 +226,11 @@ func (e *Engine) parWorker(p *parRuntime, id int) {
 // shard 0 — execute the cycle in lockstep. The final barrier inside
 // cycleShard doubles as the completion signal.
 func (e *Engine) stepParallel() {
+	sampled := e.metricsSampled()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	if e.live != nil {
 		e.phaseFaults()
 	}
@@ -233,6 +239,22 @@ func (e *Engine) stepParallel() {
 		ch <- struct{}{}
 	}
 	e.cycleShard(p, 0)
+	if e.met != nil {
+		// The shards' move plans survive until next cycle's reslice, so the
+		// coordinator can total them here, after all workers are done.
+		var flits int64
+		for i := range p.shards {
+			flits += int64(len(p.shards[i].moves))
+		}
+		e.met.flits.Add(flits)
+		if sampled {
+			// The lockstep cycle has no serial per-phase boundaries to time,
+			// so parallel runs record whole-cycle wall time only.
+			e.met.cycleTime.Observe(float64(time.Since(t0).Nanoseconds()))
+			e.met.flitsSampled.SetInt(flits)
+			e.sampleMetrics()
+		}
+	}
 	e.now++
 }
 
@@ -388,12 +410,20 @@ func (e *Engine) injectRange(sh *parShard) {
 			}
 			m := nd.queue.Front()
 			if !nd.limiter.Allow(nd.view, m.Dst) {
+				// Deny metrics update inline: the counters are commutative
+				// atomics, so the totals are worker-order-independent.
+				if e.met != nil {
+					e.noteDeny(nd, m.Dst)
+				}
 				if e.listener != nil {
 					sh.events = append(sh.events, deferredEvent{
 						kind: evThrottle, node: nd.id, m: m,
 					})
 				}
 				break // FIFO: do not bypass a throttled queue head
+			}
+			if e.met != nil {
+				e.met.admitted.Inc()
 			}
 			nd.queue.PopFront()
 			ic.msg = m

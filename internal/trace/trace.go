@@ -6,6 +6,22 @@
 // The events cover the message lifecycle the paper's metrics are built
 // from (generation, injection, delivery, deadlock detection/recovery), so
 // a Recorder can replay exactly why a run behaved the way it did.
+//
+// # Decorators
+//
+// Listeners compose. Filter wraps another Listener and forwards a subset of
+// kinds (a nil Kinds set forwards everything, so the zero-value restriction
+// is "no restriction"); Multi fans one event out to several listeners in
+// order; Func adapts a plain function. The decorators hold no state of
+// their own and add no synchronization — concurrency safety is wherever
+// the terminal listener provides it (Recorder locks; a Func is whatever the
+// function is). A typical stack:
+//
+//	rec := trace.NewRecorder(1024)
+//	eng.SetListener(trace.Multi{
+//		rec,
+//		trace.Filter{Next: sink, Kinds: map[trace.Kind]bool{trace.KindDeadlock: true}},
+//	})
 package trace
 
 import (
@@ -179,7 +195,9 @@ func (r *Recorder) Dump() string {
 	return b.String()
 }
 
-// Filter is a Listener decorator that forwards only selected kinds.
+// Filter is a Listener decorator that forwards only selected kinds. A nil
+// Kinds set means no filtering: every event passes. (An empty-but-non-nil
+// set still blocks everything — build the map only when restricting.)
 type Filter struct {
 	Next  Listener
 	Kinds map[Kind]bool
@@ -187,7 +205,7 @@ type Filter struct {
 
 // Emit implements Listener.
 func (f Filter) Emit(ev Event) {
-	if f.Kinds[ev.Kind] {
+	if f.Kinds == nil || f.Kinds[ev.Kind] {
 		f.Next.Emit(ev)
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -130,5 +131,98 @@ func TestMultiAndFunc(t *testing.T) {
 	m.Emit(ev(1, KindInjected, 1))
 	if r1.Len() != 1 || r2.Len() != 1 || calls != 1 {
 		t.Error("multi fan-out broken")
+	}
+}
+
+// TestFilterNilKinds pins the zero-value semantics: a Filter with no Kinds
+// set forwards everything (a zero-value Filter once dropped every event,
+// which silently disabled whole listener stacks).
+func TestFilterNilKinds(t *testing.T) {
+	r := NewRecorder(8)
+	f := Filter{Next: r}
+	f.Emit(ev(1, KindGenerated, 1))
+	f.Emit(ev(2, KindDeadlock, 1))
+	f.Emit(ev(3, KindDropped, 1))
+	if r.Len() != 3 {
+		t.Fatalf("nil Kinds must pass all events, got %d of 3", r.Len())
+	}
+	// An empty-but-non-nil set is an explicit "nothing".
+	f = Filter{Next: r, Kinds: map[Kind]bool{}}
+	f.Emit(ev(4, KindGenerated, 1))
+	if r.Len() != 3 {
+		t.Error("empty non-nil Kinds must block all events")
+	}
+}
+
+// TestDecoratorComposition stacks Multi, Filter and Func the way the CLI
+// composes them: one fan-out feeding a filtered sink and an unfiltered one.
+func TestDecoratorComposition(t *testing.T) {
+	all := NewRecorder(16)
+	var deadlocks []Event
+	stack := Multi{
+		all,
+		Filter{
+			Next:  Func(func(e Event) { deadlocks = append(deadlocks, e) }),
+			Kinds: map[Kind]bool{KindDeadlock: true, KindDropped: true},
+		},
+	}
+	for i := int64(0); i < 6; i++ {
+		stack.Emit(ev(i, KindInjected, i))
+	}
+	stack.Emit(ev(6, KindDeadlock, 3))
+	stack.Emit(ev(7, KindDropped, 4))
+	if all.Len() != 8 {
+		t.Errorf("unfiltered sink got %d of 8", all.Len())
+	}
+	if len(deadlocks) != 2 || deadlocks[0].Kind != KindDeadlock || deadlocks[1].Kind != KindDropped {
+		t.Errorf("filtered sink got %v", deadlocks)
+	}
+}
+
+// TestRecorderConcurrent hammers one Recorder from several emitters while a
+// reader drains Events/Len/Count/MessageHistory. Run under -race it proves
+// the locking covers every accessor; the final counts check that no event
+// was lost.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		emitters = 4
+		perEmit  = 2000
+	)
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Events()
+			_ = r.Len()
+			_ = r.Count(KindInjected)
+			_ = r.MessageHistory(1)
+		}
+	}()
+	var ewg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		ewg.Add(1)
+		go func(g int) {
+			defer ewg.Done()
+			for i := 0; i < perEmit; i++ {
+				r.Emit(ev(int64(i), KindInjected, int64(g)))
+			}
+		}(g)
+	}
+	ewg.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Count(KindInjected); got != emitters*perEmit {
+		t.Errorf("lost events: counted %d, emitted %d", got, emitters*perEmit)
+	}
+	if r.Len() != 64 {
+		t.Errorf("ring should be full: Len=%d", r.Len())
 	}
 }
