@@ -9,13 +9,19 @@
 //	figures -quick          # reduced 4-ary 2-cube scale
 //	figures -csv out.csv    # additionally dump CSV rows for plotting
 //	figures -jsonl out.jsonl# additionally stream structured per-point records
+//
+// SIGINT/SIGTERM stop the run at the next figure boundary: finished figures
+// are already printed (and flushed to -csv/-jsonl), the rest are skipped and
+// the process exits 130.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"wormnet/internal/experiments"
@@ -24,6 +30,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, or all")
 	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
 	csvPath := flag.String("csv", "", "also append CSV rows to this file")
@@ -31,6 +41,11 @@ func main() {
 	workers := flag.Int("workers", 1,
 		"engine worker goroutines per run (results are identical for any count; the runner already parallelises across runs, so raise this only when single runs dominate)")
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	scale := experiments.Full()
 	if *quick {
@@ -47,8 +62,7 @@ func main() {
 		}
 		ex, err := experiments.ByID(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		exps = []experiments.Experiment{ex}
 	}
@@ -57,8 +71,7 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer f.Close()
 		csv = f
@@ -68,13 +81,14 @@ func main() {
 	if *jsonlPath != "" {
 		w, err := obs.CreateJSONL(*jsonlPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer func() {
 			if err := w.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "jsonl:", err)
-				os.Exit(1)
+				if code == 0 {
+					code = 1
+				}
 			}
 		}()
 		man := obs.NewManifest("figures", scale.Seed, map[string]any{
@@ -83,8 +97,7 @@ func main() {
 			"fig": *fig,
 		})
 		if err := w.Write(man); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		jsonl = w
 	}
@@ -106,9 +119,22 @@ func main() {
 		}
 	}
 
+	// Figures run minutes at full scale: let ^C land between them instead of
+	// tearing the table mid-print.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	fmt.Printf("scale: %s (%d-ary %d-cube), windows %d/%d/%d\n\n",
 		scale.Name, scale.K, scale.N, scale.Warmup, scale.Measure, scale.Drain)
-	for _, ex := range exps {
+	for i, ex := range exps {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "figures: %v: stopping after %d of %d figure(s); finished output is flushed\n",
+				sig, i, len(exps))
+			return 130
+		default:
+		}
 		start := time.Now()
 		rep := ex.Run(scale, exec)
 		fmt.Print(rep.Render())
@@ -116,7 +142,7 @@ func main() {
 		if csv != nil {
 			if _, err := csv.WriteString(rep.CSV()); err != nil {
 				fmt.Fprintln(os.Stderr, "csv:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if jsonl != nil {
@@ -135,10 +161,11 @@ func main() {
 					}
 					if err := jsonl.Write(rec); err != nil {
 						fmt.Fprintln(os.Stderr, "jsonl:", err)
-						os.Exit(1)
+						return 1
 					}
 				}
 			}
 		}
 	}
+	return 0
 }

@@ -5,31 +5,48 @@
 // manifest followed by one result record per point), ready for downstream
 // analysis without CSV parsing.
 //
+// Sweeps are crash-resumable: with -out the sweep journals every point's
+// status to <dir>/manifest.json (atomic writes) and flushes periodic engine
+// checkpoints, so a killed or crashed campaign restarts with -resume —
+// completed points are skipped and interrupted points continue from their
+// last checkpoint, bit-identical to a never-interrupted run. Each point runs
+// under a supervisor with optional wall/stall budgets and capped-backoff
+// retries; SIGINT/SIGTERM flush a final checkpoint before exit.
+//
 // Examples:
 //
 //	sweep -vary rate -values 0.1,0.2,0.3,0.4,0.5,0.6,0.7 -limiter alo
 //	sweep -vary vcs -values 1,2,3 -rate 0.5
-//	sweep -vary threshold -values 8,16,32,64 -rate 0.7 -limiter none
-//	sweep -vary buf -values 2,4,8 -rate 0.5
-//	sweep -vary faults -values 0,0.02,0.05,0.1 -rate 0.3 -limiter alo
+//	sweep -vary rate -values 0.3,0.6,0.9 -out campaign/ -checkpoint-every 2000
+//	sweep -vary rate -values 0.3,0.6,0.9 -out campaign/ -resume
+//	sweep -vary rate -values 0.5,2.0 -chaos      # crash-recovery self-test
+//
+// Exit codes: 0 all points completed; 1 some point failed or stalled (a
+// status table lands on stderr); 130 interrupted by signal; 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"wormnet/internal/baseline"
 	"wormnet/internal/core"
 	"wormnet/internal/fault"
 	"wormnet/internal/obs"
 	"wormnet/internal/sim"
-	"wormnet/internal/topology"
+	"wormnet/internal/stats"
+	"wormnet/internal/supervisor"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	cfg := sim.DefaultConfig()
 	vary := flag.String("vary", "rate", "parameter to sweep: rate, vcs, buf, threshold, msglen, faults")
 	values := flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
@@ -49,86 +66,189 @@ func main() {
 	faults := flag.Float64("faults", 0, "fraction of channels to fail in every run [0,1]")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault planner seed")
 	jsonlPath := flag.String("jsonl", "", "also stream a run manifest plus one result record per point (JSONL) to this file")
+
+	out := flag.String("out", "", "campaign directory: journal point statuses to manifest.json and flush engine checkpoints there")
+	resume := flag.Bool("resume", false, "resume the campaign in -out: skip completed points, restore mid-point checkpoints")
+	ckptEvery := flag.Int64("checkpoint-every", 2000, "cycles between periodic checkpoints of the running point (0 = final-only; needs -out)")
+	pointWall := flag.Duration("point-wall", 0, "wall-clock budget per point (0 = unlimited)")
+	stallWindow := flag.Int64("stall-window", 0, "declare a point stalled after this many cycles without progress (0 = off)")
+	retries := flag.Int("point-retries", 2, "retry attempts for a crashed or stalled point (capped exponential backoff)")
+	chaos := flag.Bool("chaos", false, "run the crash-recovery self-test instead of the sweep: kill each point mid-run, resume from its checkpoint, verify bit-identical results")
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	f, err := limiterByName(*limiter)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fail(err)
 	}
 	cfg.Limiter, cfg.LimiterName = f, *limiter
+
+	vals := strings.Split(*values, ",")
+	for i := range vals {
+		vals[i] = strings.TrimSpace(vals[i])
+	}
+	points, err := buildPoints(cfg, *vary, vals, *faults, *faultSeed)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *chaos {
+		return chaosSelfTest(points, cfg.Workers)
+	}
+	if *resume && *out == "" {
+		return fail(fmt.Errorf("sweep: -resume needs -out"))
+	}
+
+	opts := &sweepOpts{
+		dir:             *out,
+		resume:          *resume,
+		checkpointEvery: *ckptEvery,
+		pointWall:       *pointWall,
+		stallWindow:     *stallWindow,
+		retry:           fault.RetryPolicy{MaxRetries: *retries, BackoffBase: 250, BackoffCap: 4000},
+		signals:         []os.Signal{os.Interrupt, syscall.SIGTERM},
+	}
+
+	// The campaign journal.
+	var manifest *campaignManifest
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fail(err)
+		}
+		if *resume {
+			manifest, err = loadManifest(*out)
+			if err != nil {
+				return fail(err)
+			}
+			if err := manifest.compatible(*vary, cfg.Seed, *limiter, vals); err != nil {
+				return fail(err)
+			}
+		} else {
+			manifest = newManifest(*vary, cfg.Seed, *limiter, cfg.Manifest(), vals)
+			if err := manifest.save(*out); err != nil {
+				return fail(err)
+			}
+		}
+	} else {
+		manifest = newManifest(*vary, cfg.Seed, *limiter, cfg.Manifest(), vals)
+	}
+	journal := func() int {
+		if *out == "" {
+			return 0
+		}
+		if err := manifest.save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 
 	var jsonl *obs.JSONLWriter
 	if *jsonlPath != "" {
 		w, err := obs.CreateJSONL(*jsonlPath)
-		must(err)
-		defer func() { must(w.Close()) }()
+		if err != nil {
+			return fail(err)
+		}
+		defer func() { w.Close() }() //nolint:errcheck // stream already flushed per record
 		base := cfg.Manifest()
 		base["vary"], base["values"] = *vary, *values
-		must(w.Write(obs.NewManifest("sweep", cfg.Seed, base)))
+		if err := w.Write(obs.NewManifest("sweep", cfg.Seed, base)); err != nil {
+			return fail(err)
+		}
 		jsonl = w
 	}
 
+	// A signal between points (the supervisor only watches during one) still
+	// ends the sweep cleanly.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, opts.signals...)
+	defer signal.Stop(sigCh)
+
+	emit := func(raw string, r any) int {
+		if jsonl == nil {
+			return 0
+		}
+		if err := jsonl.Write(map[string]any{"t": "result", *vary: raw, "result": r}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
 	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev,aborted,retried,dropped\n", *vary)
-	for _, raw := range strings.Split(*values, ",") {
-		raw = strings.TrimSpace(raw)
-		run := cfg
-		frac := *faults
-		switch *vary {
-		case "rate":
-			v, err := strconv.ParseFloat(raw, 64)
-			must(err)
-			run.Rate = v
-		case "vcs":
-			v, err := strconv.Atoi(raw)
-			must(err)
-			run.VCs = v
-		case "buf":
-			v, err := strconv.Atoi(raw)
-			must(err)
-			run.BufDepth = v
-		case "threshold":
-			v, err := strconv.Atoi(raw)
-			must(err)
-			run.DetectionThreshold = int32(v)
-		case "msglen":
-			v, err := strconv.Atoi(raw)
-			must(err)
-			run.MsgLen = v
-		case "faults":
-			v, err := strconv.ParseFloat(raw, 64)
-			must(err)
-			frac = v
+	interrupted := false
+	for i := range points {
+		pt, rec := points[i], &manifest.Points[i]
+		if *resume && rec.Status == statusCompleted && rec.Result != nil {
+			printRow(pt.raw, *rec.Result)
+			if rc := emit(pt.raw, *rec.Result); rc != 0 {
+				return rc
+			}
+			continue
+		}
+		select {
+		case <-sigCh:
+			interrupted = true
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -vary %q\n", *vary)
-			os.Exit(2)
 		}
-		if frac > 0 {
-			sched, err := fault.Plan(topology.New(run.K, run.N),
-				fault.Profile{LinkFraction: frac, Seed: *faultSeed})
-			must(err)
-			run.Faults = sched
+		if interrupted {
+			break
 		}
-		e, err := sim.New(run)
-		must(err)
-		r := e.Run()
-		e.Close()
-		fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f,%d,%d,%d\n",
-			raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
-			r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev,
-			r.Aborted, r.Retried, r.Dropped)
-		if jsonl != nil {
-			must(jsonl.Write(map[string]any{
-				"t": "result", *vary: raw, "result": r,
-			}))
+
+		rec.Status = statusRunning
+		if rc := journal(); rc != 0 {
+			return rc
+		}
+		rep := executePoint(pt, rec, opts)
+		if rc := journal(); rc != 0 {
+			return rc
+		}
+		if rep.Outcome == supervisor.Interrupted {
+			interrupted = true
+			break
+		}
+		if rec.Status == statusCompleted {
+			printRow(pt.raw, rep.Result)
+			if rc := emit(pt.raw, rep.Result); rc != 0 {
+				return rc
+			}
 		}
 	}
+
+	printStatusTable(manifest)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; rerun with -resume to continue")
+		return 130
+	}
+	for _, rec := range manifest.Points {
+		if rec.Status != statusCompleted {
+			return 1
+		}
+	}
+	return 0
 }
 
-func must(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+// printRow prints one CSV result row.
+func printRow(raw string, r stats.Result) {
+	fmt.Printf("%s,%.5f,%.2f,%.2f,%.2f,%.4f,%.1f,%.1f,%d,%d,%d\n",
+		raw, r.Accepted, r.AvgLatency, r.StdLatency, r.AvgNetLatency,
+		r.DeadlockPct, r.WorstNodeDev, r.BestNodeDev,
+		r.Aborted, r.Retried, r.Dropped)
+}
+
+// printStatusTable summarises every point's terminal status on stderr.
+func printStatusTable(m *campaignManifest) {
+	fmt.Fprintf(os.Stderr, "\n%-6s %-12s %-12s %-9s %s\n", "point", "value", "status", "attempts", "detail")
+	for _, rec := range m.Points {
+		detail := rec.Outcome
+		if rec.Error != "" {
+			detail = rec.Error
+		}
+		fmt.Fprintf(os.Stderr, "%-6d %-12s %-12s %-9d %s\n",
+			rec.Index, rec.Value, rec.Status, rec.Attempts, detail)
 	}
 }
 

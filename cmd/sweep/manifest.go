@@ -1,0 +1,132 @@
+package main
+
+// The durable campaign journal. A sweep with -out writes manifest.json after
+// every point-status transition, atomically (temp file + rename), so a
+// crashed or killed sweep can be resumed with -resume: completed points are
+// skipped, and a point that left a mid-run checkpoint restarts from it
+// instead of from cycle zero.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wormnet/internal/stats"
+)
+
+// pointStatus is the lifecycle of one sweep point in the journal.
+type pointStatus string
+
+// Point statuses. running in a *loaded* manifest means the process died
+// mid-point; resume treats it like pending (restoring its checkpoint if one
+// was flushed).
+const (
+	statusPending     pointStatus = "pending"
+	statusRunning     pointStatus = "running"
+	statusCompleted   pointStatus = "completed"
+	statusFailed      pointStatus = "failed"
+	statusStalled     pointStatus = "stalled"
+	statusInterrupted pointStatus = "interrupted"
+)
+
+// pointRecord is one sweep point's journal entry.
+type pointRecord struct {
+	Index    int         `json:"index"`
+	Value    string      `json:"value"`
+	Status   pointStatus `json:"status"`
+	Attempts int         `json:"attempts,omitempty"`
+	Outcome  string      `json:"outcome,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	// Checkpoint is the point's snapshot file (relative to the campaign
+	// directory); present while a resumable mid-run state exists.
+	Checkpoint string        `json:"checkpoint,omitempty"`
+	Result     *stats.Result `json:"result,omitempty"`
+}
+
+// campaignManifest is the journal's root document.
+type campaignManifest struct {
+	Tool    string         `json:"tool"`
+	Vary    string         `json:"vary"`
+	Seed    uint64         `json:"seed"`
+	Limiter string         `json:"limiter"`
+	Config  map[string]any `json:"config"`
+	Points  []pointRecord  `json:"points"`
+}
+
+// manifestName is the journal file inside the campaign directory.
+const manifestName = "manifest.json"
+
+// newManifest seeds a journal with every point pending.
+func newManifest(vary string, seed uint64, limiter string, config map[string]any, values []string) *campaignManifest {
+	m := &campaignManifest{Tool: "sweep", Vary: vary, Seed: seed, Limiter: limiter, Config: config}
+	for i, v := range values {
+		m.Points = append(m.Points, pointRecord{Index: i, Value: v, Status: statusPending})
+	}
+	return m
+}
+
+// save writes the journal atomically: a torn write can never destroy the
+// previous good journal.
+func (m *campaignManifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort; gone after rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: write manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: sync manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads the journal from a campaign directory.
+func loadManifest(dir string) (*campaignManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	var m campaignManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sweep: parse %s: %w", manifestName, err)
+	}
+	return &m, nil
+}
+
+// compatible verifies a loaded journal describes the same campaign as the
+// current invocation: same swept parameter, same seed, same limiter, same
+// point values in the same order. (Per-point engine configs are additionally
+// guarded by the checkpoint layer's config digest at restore time.)
+func (m *campaignManifest) compatible(vary string, seed uint64, limiter string, values []string) error {
+	switch {
+	case m.Vary != vary:
+		return fmt.Errorf("sweep: resuming -vary %s campaign with -vary %s", m.Vary, vary)
+	case m.Seed != seed:
+		return fmt.Errorf("sweep: resuming seed %d campaign with seed %d", m.Seed, seed)
+	case m.Limiter != limiter:
+		return fmt.Errorf("sweep: resuming -limiter %s campaign with -limiter %s", m.Limiter, limiter)
+	case len(m.Points) != len(values):
+		return fmt.Errorf("sweep: resuming %d-point campaign with %d values", len(m.Points), len(values))
+	}
+	for i, v := range values {
+		if m.Points[i].Value != v {
+			return fmt.Errorf("sweep: point %d is %q in the journal but %q now", i, m.Points[i].Value, v)
+		}
+	}
+	return nil
+}

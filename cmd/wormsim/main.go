@@ -21,6 +21,18 @@
 //
 // None of these change simulation results — instrumented and plain runs are
 // bit-identical (the sim package's TestMetricsDeterminism pins this).
+//
+// Long runs are crash-resumable and watchdog-supervised: -checkpoint flushes
+// periodic engine snapshots (atomic replace), -resume continues from one
+// bit-identically (at any -workers count; the other config flags must match
+// the original run), and -wall-budget/-cycle-budget/-stall-window bound the
+// run. SIGINT/SIGTERM flush a final checkpoint before exiting 130:
+//
+//	wormsim -rate 0.4 -measure 10000000 -checkpoint run.wncp -checkpoint-every 100000
+//	wormsim -rate 0.4 -measure 10000000 -resume run.wncp   # after a crash or ^C
+//
+// Exit codes: 0 completed; 1 stalled, over budget or crashed; 130
+// interrupted by signal; 2 usage or configuration error.
 package main
 
 import (
@@ -30,19 +42,26 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"wormnet/internal/baseline"
+	"wormnet/internal/checkpoint"
 	"wormnet/internal/core"
 	"wormnet/internal/fault"
 	"wormnet/internal/metrics"
 	"wormnet/internal/obs"
 	"wormnet/internal/sim"
+	"wormnet/internal/supervisor"
 	"wormnet/internal/topology"
 	"wormnet/internal/trace"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	cfg := sim.DefaultConfig()
 	var limiterName string
 	flag.IntVar(&cfg.K, "k", cfg.K, "torus radix (nodes per ring)")
@@ -85,15 +104,25 @@ func main() {
 		"metric sampling period in cycles (gauges, per-phase timing, JSONL snapshots)")
 	traceOut := flag.String("trace-out", "", "stream every message lifecycle event (JSONL) to this file")
 	flightOut := flag.String("flight-out", "", "dump the recent event window (JSONL) when deadlock/drop activity bursts")
+	ckptPath := flag.String("checkpoint", "", "flush periodic engine checkpoints to this file (atomic replace; resume with -resume)")
+	ckptEvery := flag.Int64("checkpoint-every", 100000, "cycles between periodic checkpoints (needs -checkpoint)")
+	resumePath := flag.String("resume", "", "resume bit-identically from this checkpoint file (config flags must match the original run; -workers may differ)")
+	wallBudget := flag.Duration("wall-budget", 0, "abort the run after this much wall-clock time (0 = unlimited)")
+	cycleBudget := flag.Int64("cycle-budget", 0, "max cycles this invocation may execute (0 = unlimited; a resumed run gets a fresh budget)")
+	stallWindow := flag.Int64("stall-window", 0, "declare a livelock after this many cycles without a delivery or drop while messages are in flight (0 = off)")
 	flag.Parse()
 	cfg.DetectionThreshold = int32(threshold)
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	faulty := prof.LinkFraction > 0 || prof.RouterFraction > 0
 	if faulty {
 		sched, err := fault.Plan(topology.New(cfg.K, cfg.N), prof)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		cfg.Faults = sched
 		cfg.Retry = fault.DefaultRetryPolicy()
@@ -102,15 +131,27 @@ func main() {
 
 	f, err := limiterByName(limiterName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fail(err)
 	}
 	cfg.Limiter, cfg.LimiterName = f, limiterName
 
-	e, err := sim.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	// The engine: restored from a checkpoint (bit-identical continuation)
+	// or built fresh. The snapshot is kept around so a metrics-enabled
+	// resume can also restore the registry.
+	var snap *sim.Snapshot
+	var e *sim.Engine
+	if *resumePath != "" {
+		snap, err = checkpoint.ReadFile(*resumePath)
+		if err != nil {
+			return fail(err)
+		}
+		e, err = sim.RestoreEngine(cfg, snap)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wormsim: resuming from %s at cycle %d\n", *resumePath, e.Now())
+	} else if e, err = sim.New(cfg); err != nil {
+		return fail(err)
 	}
 	defer e.Close()
 
@@ -126,18 +167,22 @@ func main() {
 	if *httpAddr != "" || *metricsOut != "" {
 		reg = metrics.NewRegistry()
 		e.EnableMetrics(reg, *metricsEvery)
+		if snap != nil {
+			// Continue the metric series where the dead run left off.
+			if err := reg.Restore(snap.Metrics); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	manifest := obs.NewManifest("wormsim", cfg.Seed, cfg.Manifest())
 	if *metricsOut != "" {
 		w, err := obs.CreateJSONL(*metricsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer w.Close()
 		if err := w.Write(manifest); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		mwriter = w
 		mlog = obs.NewMetricsLogger(w, reg)
@@ -153,25 +198,30 @@ func main() {
 			}
 		})
 	}
+
+	// The supervisor's lifecycle state, published to /healthz.
+	var supState atomic.Int32
 	if *httpAddr != "" {
 		mon := obs.NewMonitor(reg, manifest, lastCycle.Load)
+		mon.SetStatus(func() string { return supervisor.State(supState.Load()).StateName() })
 		if err := mon.Serve(*httpAddr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
-		defer mon.Close()
+		defer func() {
+			if err := mon.Shutdown(2 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "monitor shutdown:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/metrics /snapshot /healthz /debug/pprof)\n", mon.Addr())
 	}
 	if *traceOut != "" {
 		w, err := obs.CreateJSONL(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer w.Close()
 		if err := w.Write(manifest); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		listeners = append(listeners, obs.NewTraceSink(w))
 	}
@@ -179,13 +229,11 @@ func main() {
 	if *flightOut != "" {
 		w, err := obs.CreateJSONL(*flightOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer w.Close()
 		if err := w.Write(manifest); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		flight = obs.NewFlightRecorder(w, reg, obs.DefaultFlightCapacity,
 			obs.DefaultFlightWindow, obs.DefaultFlightThreshold)
@@ -202,38 +250,86 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	start := time.Now()
-	r := e.Run()
-	elapsed := time.Since(start)
+	// The supervised run: budgets, stall detection, panic containment and
+	// graceful SIGINT/SIGTERM (both flush a final checkpoint when
+	// -checkpoint is set, so the run is resumable from where it died).
+	opts := supervisor.Options{
+		WallBudget:  *wallBudget,
+		CycleBudget: *cycleBudget,
+		StallWindow: *stallWindow,
+		Signals:     []os.Signal{os.Interrupt, syscall.SIGTERM},
+		OnState:     func(s supervisor.State) { supState.Store(int32(s)) },
+	}
+	if *ckptPath != "" {
+		opts.CheckpointEvery = *ckptEvery
+		opts.Checkpoint = func(e *sim.Engine) error {
+			s, err := e.Snapshot()
+			if err != nil {
+				return err
+			}
+			return checkpoint.WriteFile(*ckptPath, s)
+		}
+	}
+	rep := supervisor.Run(e, opts)
+	elapsed := rep.Wall
+	ran := rep.EndCycle - rep.StartCycle
+	if rep.CheckpointErr != nil {
+		fmt.Fprintln(os.Stderr, "wormsim: final checkpoint failed:", rep.CheckpointErr)
+	}
+
+	if rep.Outcome != supervisor.Completed {
+		// Partial runs still leave a structured trail: the JSONL stream gets
+		// a terminal record, stderr gets the story and the resume hint.
+		if mwriter != nil {
+			rec := map[string]any{
+				"t": "aborted", "outcome": rep.Outcome.String(), "cycle": e.Now(),
+			}
+			if rep.Err != nil {
+				rec["error"] = rep.Err.Error()
+			}
+			if err := mwriter.Write(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wormsim: run %s at cycle %d (%d cycles in %v)\n",
+			rep.Outcome, e.Now(), ran, elapsed.Round(time.Millisecond))
+		if rep.Err != nil {
+			fmt.Fprintln(os.Stderr, "wormsim:", rep.Err)
+		}
+		if *ckptPath != "" && rep.CheckpointErr == nil && rep.Outcome != supervisor.Crashed {
+			fmt.Fprintf(os.Stderr, "wormsim: resume with -resume %s\n", *ckptPath)
+		}
+		if rep.Outcome == supervisor.Interrupted {
+			return 130
+		}
+		return 1
+	}
+	r := rep.Result
 
 	if mwriter != nil {
 		if err := obs.WriteResult(mwriter, e.Now(), r); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics-out:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		runtime.GC() // settle the heap so the profile shows live state
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		f.Close()
 	}
@@ -267,8 +363,8 @@ func main() {
 			flight.Dumps(), *flightOut)
 	}
 	fmt.Printf("simulated      : %d cycles in %v (%.0f cycles/s)\n",
-		cfg.TotalCycles(), elapsed.Round(time.Millisecond),
-		float64(cfg.TotalCycles())/elapsed.Seconds())
+		ran, elapsed.Round(time.Millisecond),
+		float64(ran)/elapsed.Seconds())
 
 	if *verbose {
 		devs := e.Collector().Fairness().SortedDeviations()
@@ -281,6 +377,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
 // limiterByName resolves the CLI limiter flag, including the ALO ablation

@@ -20,6 +20,9 @@
 package baseline
 
 import (
+	"fmt"
+	"math"
+
 	"wormnet/internal/core"
 	"wormnet/internal/topology"
 )
@@ -122,6 +125,27 @@ func (l *LF) Allow(v core.ChannelView, dst topology.NodeID) bool {
 // Name implements core.Limiter.
 func (l *LF) Name() string { return "lf" }
 
+// SaveState implements core.StatefulLimiter: the useful-port EWMA and its
+// validity flag. Tuning constants and geometry are reconstructed by the
+// factory, not serialized.
+func (l *LF) SaveState() []uint64 {
+	valid := uint64(0)
+	if l.estValid {
+		valid = 1
+	}
+	return []uint64{math.Float64bits(l.estAvg), valid}
+}
+
+// LoadState implements core.StatefulLimiter.
+func (l *LF) LoadState(s []uint64) error {
+	if len(s) != 2 {
+		return fmt.Errorf("baseline: lf state has %d words, want 2", len(s))
+	}
+	l.estAvg = math.Float64frombits(s[0])
+	l.estValid = s[1] != 0
+	return nil
+}
+
 // DRIL is the dynamically-reduced injection limitation mechanism. Every
 // node starts unrestricted. When a node locally detects that the network is
 // entering saturation — its source queue persistently exceeds a trigger
@@ -201,6 +225,34 @@ func (d *DRIL) Tick(v core.ChannelView, _ int64) {
 
 // Name implements core.Limiter.
 func (d *DRIL) Name() string { return "dril" }
+
+// SaveState implements core.StatefulLimiter: the trigger flag, frozen
+// threshold and the two cycle counters.
+func (d *DRIL) SaveState() []uint64 {
+	trig := uint64(0)
+	if d.triggered {
+		trig = 1
+	}
+	return []uint64{trig, uint64(d.threshold), uint64(d.queueHigh), uint64(d.cooldown)}
+}
+
+// LoadState implements core.StatefulLimiter.
+func (d *DRIL) LoadState(s []uint64) error {
+	if len(s) != 4 {
+		return fmt.Errorf("baseline: dril state has %d words, want 4", len(s))
+	}
+	d.triggered = s[0] != 0
+	d.threshold = int(s[1])
+	d.queueHigh = int(s[2])
+	d.cooldown = int(s[3])
+	return nil
+}
+
+// Compile-time interface checks: the stateful baselines are snapshot-aware.
+var (
+	_ core.StatefulLimiter = (*LF)(nil)
+	_ core.StatefulLimiter = (*DRIL)(nil)
+)
 
 // Threshold returns DRIL's current busy-channel threshold and whether the
 // node has triggered at all. Exposed for tests and fairness analyses.

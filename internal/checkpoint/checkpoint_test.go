@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wormnet/internal/sim"
+)
+
+// shortConfig is a fast scenario with deadlock recoveries active, so the
+// snapshot carries non-trivial state (in-flight wormholes, recovery queues).
+func shortConfig() sim.Config {
+	cfg := sim.QuickConfig()
+	cfg.Rate = 1.5
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 300, 1200, 500
+	return cfg
+}
+
+// midRunSnapshot runs shortConfig to cycle 700 and snapshots it.
+func midRunSnapshot(t *testing.T) *sim.Snapshot {
+	t.Helper()
+	e, err := sim.New(shortConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for e.Now() < 700 {
+		e.Step()
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// encodeBytes encodes snap into a fresh buffer.
+func encodeBytes(t *testing.T, snap *sim.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEncodeDecodeRoundTrip pins that Decode inverts Encode. The snapshot
+// type has no maps, so its gob encoding is deterministic: re-encoding the
+// decoded snapshot must reproduce the original bytes exactly, which checks
+// every field without enumerating them.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := midRunSnapshot(t)
+	raw := encodeBytes(t, snap)
+	if len(raw) <= headerSize {
+		t.Fatalf("suspiciously small checkpoint: %d bytes", len(raw))
+	}
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeBytes(t, got), raw) {
+		t.Error("decoded snapshot re-encodes differently: some field did not survive the round trip")
+	}
+}
+
+// TestRestoreThroughFile is the full cold-restart path: snapshot → file →
+// fresh process image → resumed run, compared against the uninterrupted run
+// at worker counts 1, 2 and 4 on both sides of the restart.
+func TestRestoreThroughFile(t *testing.T) {
+	cfg := shortConfig()
+	golden, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer golden.Close()
+	wantRes := golden.Run()
+	wantDelivered := golden.Delivered()
+
+	path := filepath.Join(t.TempDir(), "run.wncp")
+	if err := WriteFile(path, midRunSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		snap, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.Workers = workers
+		e, err := sim.RestoreEngine(rcfg, snap)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		res := e.Run()
+		if res != wantRes {
+			t.Errorf("workers=%d: resumed result diverged:\n got  %+v\n want %+v", workers, res, wantRes)
+		}
+		if d := e.Delivered(); d != wantDelivered {
+			t.Errorf("workers=%d: resumed delivered %d, want %d", workers, d, wantDelivered)
+		}
+		e.Close()
+	}
+}
+
+// TestWriteFileAtomic pins the no-torn-file contract: WriteFile replaces an
+// existing checkpoint in place and leaves no temporary files behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.wncp")
+	snap := midRunSnapshot(t)
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if _, err := ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), ".tmp-") {
+			t.Errorf("temporary file left behind: %s", ent.Name())
+		}
+	}
+	if err := WriteFile(filepath.Join(dir, "no-such-dir", "x.wncp"), snap); err == nil {
+		t.Error("WriteFile into a missing directory succeeded")
+	}
+}
+
+// TestDecodeCorruption drives every corruption mode through Decode and pins
+// the typed error each must produce — a damaged checkpoint never restores
+// silently, and never panics.
+func TestDecodeCorruption(t *testing.T) {
+	raw := encodeBytes(t, midRunSnapshot(t))
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		snap, err := Decode(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+		if snap != nil {
+			t.Errorf("%s: corrupted decode returned a snapshot", name)
+		}
+	}
+	flip := func(i int) []byte {
+		c := append([]byte(nil), raw...)
+		c[i] ^= 0x40
+		return c
+	}
+
+	check("empty", nil, ErrTruncated)
+	check("header cut short", raw[:10], ErrTruncated)
+	check("payload cut short", raw[:len(raw)-5], ErrTruncated)
+	check("payload byte flipped", flip(headerSize+len(raw)/2), ErrChecksum)
+	check("last byte flipped", flip(len(raw)-1), ErrChecksum)
+	check("magic flipped", flip(0), ErrBadMagic)
+	check("garbage", []byte("definitely not a checkpoint file, not even close"), ErrBadMagic)
+
+	// Oversized length field: rejected before any allocation is attempted.
+	huge := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(huge[8:16], maxPayload+1)
+	check("length overflow", huge, ErrCorrupt)
+
+	// CRC-consistent garbage payload: framing checks pass, gob must fail.
+	junk := bytes.Repeat([]byte{0xA5}, 64)
+	var buf bytes.Buffer
+	var hdr [headerSize]byte
+	copy(hdr[0:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(junk)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(junk, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(junk)
+	check("valid frame, garbage gob", buf.Bytes(), ErrCorrupt)
+
+	// Wrong version: *VersionError carrying the rejected version.
+	vraw := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(vraw[4:8], Version+7)
+	var verr *VersionError
+	if _, err := Decode(bytes.NewReader(vraw)); !errors.As(err, &verr) {
+		t.Errorf("future version: got %v, want *VersionError", err)
+	} else if verr.Version != Version+7 {
+		t.Errorf("VersionError carries %d, want %d", verr.Version, Version+7)
+	}
+
+	// ReadFile wraps decode errors with the path and keeps them matchable.
+	path := filepath.Join(t.TempDir(), "bad.wncp")
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrTruncated) {
+		t.Errorf("ReadFile(truncated): got %v, want ErrTruncated", err)
+	} else if !strings.Contains(err.Error(), "bad.wncp") {
+		t.Errorf("ReadFile error does not name the file: %v", err)
+	}
+}

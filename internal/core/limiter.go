@@ -72,6 +72,18 @@ type CycleObserver interface {
 // vcs is the number of virtual channels per physical channel.
 type Factory func(node topology.NodeID, t *topology.Torus, vcs int) Limiter
 
+// StatefulLimiter is implemented by limiters that carry mutable per-node
+// state across cycles (e.g. baseline.LF's EWMA, baseline.DRIL's frozen
+// threshold) and therefore must be captured by engine snapshots. Stateless
+// limiters (the ALO family) simply do not implement it. SaveState packs the
+// state into words (floats as their IEEE-754 bits); LoadState restores it
+// and fails on a word count its implementation does not recognise.
+type StatefulLimiter interface {
+	Limiter
+	SaveState() []uint64
+	LoadState([]uint64) error
+}
+
 // RuleClassifier is implemented by limiters whose decision decomposes into
 // the paper's two rules. The engine's metrics layer uses it to attribute a
 // denial to the rule(s) that failed — rule (a): some useful channel has no

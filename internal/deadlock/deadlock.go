@@ -20,6 +20,8 @@
 // simulation engine; this package owns the decision logic and its knobs.
 package deadlock
 
+import "fmt"
+
 // DefaultThreshold is the paper's FC3D detection threshold (32 cycles).
 const DefaultThreshold = 32
 
@@ -99,3 +101,30 @@ func (t *BlockTracker) Progress(i int) {
 
 // Count returns channel i's current consecutive-blockage count.
 func (t *BlockTracker) Count(i int) int32 { return t.counters[i] }
+
+// Counters returns a copy of all per-channel counters (snapshot support).
+func (t *BlockTracker) Counters() []int32 {
+	return append([]int32(nil), t.counters...)
+}
+
+// RestoreCounters overwrites the per-channel counters and recomputes hot
+// against the tracker's current watermark, so a restored tracker behaves
+// identically whether or not watermark tracking is armed (the watermark
+// depends on the engine's worker count, which may differ across a
+// checkpoint/restore boundary).
+func (t *BlockTracker) RestoreCounters(c []int32) error {
+	if len(c) != len(t.counters) {
+		return fmt.Errorf("deadlock: restoring %d counters into tracker of %d channels",
+			len(c), len(t.counters))
+	}
+	copy(t.counters, c)
+	t.hot = 0
+	if t.watermark > 0 {
+		for _, v := range t.counters {
+			if v >= t.watermark {
+				t.hot++
+			}
+		}
+	}
+	return nil
+}

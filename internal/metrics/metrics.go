@@ -345,6 +345,44 @@ func (r *Registry) Merge(other *Registry) {
 	}
 }
 
+// Restore overwrites the registry's metrics from a previously taken
+// Snapshot, creating metrics that do not exist yet. Unlike Merge it *sets*
+// values rather than accumulating, so restoring into a freshly built
+// registry (whose metrics the engine re-registered at their zero values)
+// reproduces the snapshot exactly. Histograms present on both sides must
+// have identical bounds.
+func (r *Registry) Restore(samples []Sample) error {
+	if r == nil {
+		return nil
+	}
+	for _, s := range samples {
+		switch s.Kind {
+		case KindCounter:
+			r.NewCounter(s.Name, s.Help).Set(int64(s.Value))
+		case KindGauge:
+			r.NewGauge(s.Name, s.Help).Set(s.Value)
+		case KindHistogram:
+			h := r.NewHistogram(s.Name, s.Help, s.Bound)
+			if len(h.bounds) != len(s.Bound) || len(h.counts) != len(s.Count) {
+				return fmt.Errorf("metrics: restoring histogram %q with different bounds", s.Name)
+			}
+			for i, b := range h.bounds {
+				if b != s.Bound[i] {
+					return fmt.Errorf("metrics: restoring histogram %q with different bounds", s.Name)
+				}
+			}
+			for i, n := range s.Count {
+				h.counts[i].Store(n)
+			}
+			h.count.Store(s.N)
+			h.sum.Store(math.Float64bits(s.Sum))
+		default:
+			return fmt.Errorf("metrics: restoring unknown metric kind %v for %q", s.Kind, s.Name)
+		}
+	}
+	return nil
+}
+
 // Names returns the registered metric names, sorted. Mostly a test helper.
 func (r *Registry) Names() []string {
 	if r == nil {

@@ -1,0 +1,59 @@
+package metrics
+
+import "testing"
+
+// TestRestore pins the snapshot → fresh-registry path used after a
+// checkpoint restore: values are *set*, not accumulated, metrics missing
+// from the target are created, and histogram bounds are validated.
+func TestRestore(t *testing.T) {
+	src := NewRegistry()
+	src.NewCounter("c", "").Add(42)
+	src.NewGauge("g", "").Set(3.25)
+	h := src.NewHistogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	samples := src.Snapshot()
+
+	// Restore into a registry where the engine already re-registered the
+	// metrics at their zero values (the RestoreEngine + EnableMetrics order),
+	// with a non-zero counter to prove Set semantics.
+	dst := NewRegistry()
+	dst.NewCounter("c", "").Add(7)
+	dst.NewGauge("g", "")
+	dst.NewHistogram("h", "", []float64{1, 10, 100})
+	if err := dst.Restore(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.NewCounter("c", "").Value(); got != 42 {
+		t.Errorf("counter = %d, want 42 (Restore must set, not add)", got)
+	}
+	if got := dst.NewGauge("g", "").Value(); got != 3.25 {
+		t.Errorf("gauge = %v, want 3.25", got)
+	}
+	rh := dst.NewHistogram("h", "", []float64{1, 10, 100})
+	if rh.Count() != h.Count() || rh.Sum() != h.Sum() {
+		t.Errorf("histogram count/sum = %d/%v, want %d/%v", rh.Count(), rh.Sum(), h.Count(), h.Sum())
+	}
+
+	// Restoring into an empty registry creates everything.
+	empty := NewRegistry()
+	if err := empty.Restore(samples); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(empty.Names()), len(src.Names()); got != want {
+		t.Errorf("restore created %d metrics, want %d", got, want)
+	}
+
+	// Mismatched histogram bounds fail loudly.
+	clash := NewRegistry()
+	clash.NewHistogram("h", "", []float64{2, 4})
+	if err := clash.Restore(samples); err == nil {
+		t.Error("restoring a histogram over different bounds succeeded")
+	}
+	// Nil registry: documented no-op.
+	var nilReg *Registry
+	if err := nilReg.Restore(samples); err != nil {
+		t.Errorf("nil registry restore: %v", err)
+	}
+}

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"wormnet/internal/metrics"
@@ -15,7 +17,8 @@ import (
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot       JSON: manifest + current cycle + flattened metrics
-//	/healthz        200 "ok cycle=N" once the engine has sampled
+//	/healthz        200 "ok cycle=N" while serving; 503 "draining" during
+//	                graceful shutdown (BeginDrain/Shutdown)
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // The handlers read only the registry's atomics (plus the caller-supplied
@@ -27,6 +30,8 @@ type Monitor struct {
 	cycle    func() int64
 	srv      *http.Server
 	ln       net.Listener
+	draining atomic.Bool
+	status   atomic.Pointer[func() string]
 }
 
 // NewMonitor builds a monitor for the registry. cycle reports the engine's
@@ -72,12 +77,46 @@ func (m *Monitor) Addr() string {
 	return m.ln.Addr().String()
 }
 
-// Close stops the server. Safe to call on a monitor that never served.
+// Close stops the server immediately, dropping in-flight requests. Safe to
+// call on a monitor that never served. Prefer Shutdown for a clean exit.
 func (m *Monitor) Close() error {
 	if m.srv == nil {
 		return nil
 	}
 	return m.srv.Close()
+}
+
+// BeginDrain flips /healthz to 503 "draining" without stopping the server,
+// so load balancers and probes see the instance leaving before its sockets
+// go away. Idempotent.
+func (m *Monitor) BeginDrain() { m.draining.Store(true) }
+
+// SetStatus attaches a status word (e.g. the supervisor's state name) that
+// /healthz appends to its response. Pass nil to detach. Safe to call
+// concurrently with serving.
+func (m *Monitor) SetStatus(f func() string) {
+	if f == nil {
+		m.status.Store(nil)
+		return
+	}
+	m.status.Store(&f)
+}
+
+// Shutdown drains the monitor gracefully: /healthz starts reporting
+// draining, in-flight requests get up to timeout to finish, and the listener
+// closes. If the deadline passes, remaining connections are cut hard.
+// Safe to call on a monitor that never served.
+func (m *Monitor) Shutdown(timeout time.Duration) error {
+	m.BeginDrain()
+	if m.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := m.srv.Shutdown(ctx); err != nil {
+		return m.srv.Close()
+	}
+	return nil
 }
 
 func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -99,9 +138,19 @@ func (m *Monitor) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (m *Monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state := "ok"
+	if m.draining.Load() {
+		// 503 tells orchestrators to stop routing here; the body still
+		// carries the cycle so a human probe sees how far the run got.
+		state = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if sp := m.status.Load(); sp != nil {
+		state += " state=" + (*sp)()
+	}
 	if m.cycle != nil {
-		fmt.Fprintf(w, "ok cycle=%d\n", m.cycle())
+		fmt.Fprintf(w, "%s cycle=%d\n", state, m.cycle())
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, state)
 }

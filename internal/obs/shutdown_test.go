@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wormnet/internal/metrics"
+)
+
+// TestMonitorGracefulShutdown walks the drain protocol over a real socket:
+// healthy 200, then BeginDrain flips /healthz to 503 "draining" while the
+// server still answers, then Shutdown closes the listener within its
+// timeout. Shutdown is also safe repeated and on a monitor that never
+// served.
+func TestMonitorGracefulShutdown(t *testing.T) {
+	mon := NewMonitor(metrics.NewRegistry(), Manifest{}, func() int64 { return 777 })
+	state := "running"
+	mon.SetStatus(func() string { return state })
+	if err := mon.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + mon.Addr() + "/healthz"
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != 200 || !strings.Contains(body, "ok state=running cycle=777") {
+		t.Fatalf("healthy: code %d body %q", code, body)
+	}
+
+	state = "draining"
+	mon.BeginDrain()
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining: code %d, want 503", code)
+	}
+	if !strings.Contains(body, "draining state=draining cycle=777") {
+		t.Errorf("draining body %q", body)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- mon.Shutdown(2 * time.Second) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not return")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+	if err := mon.Shutdown(time.Second); err != nil {
+		t.Errorf("repeated shutdown: %v", err)
+	}
+
+	idle := NewMonitor(nil, Manifest{}, nil)
+	if err := idle.Shutdown(time.Second); err != nil {
+		t.Errorf("shutdown of never-served monitor: %v", err)
+	}
+}

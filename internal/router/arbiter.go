@@ -1,5 +1,7 @@
 package router
 
+import "fmt"
+
 // RoundRobin is a rotating-priority arbiter over n requesters. Each Grant
 // call scans requesters starting one past the previous winner, so every
 // requester is eventually served regardless of contention (strong fairness
@@ -56,6 +58,15 @@ func (a *RoundRobin) Advance(winner int) {
 	if a.next == a.n {
 		a.next = 0
 	}
+}
+
+// SetNext restores the rotating priority pointer (snapshot support). It
+// panics on an out-of-range index, mirroring Init's validation.
+func (a *RoundRobin) SetNext(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("router: round-robin pointer %d out of range [0,%d)", i, a.n))
+	}
+	a.next = i
 }
 
 // GrantFrom picks, among the candidate requester indices, the admissible one

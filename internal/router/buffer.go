@@ -120,6 +120,20 @@ func (b *Buffer) RemoveMessage(id message.ID) int {
 	return removed
 }
 
+// At returns the i-th buffered flit counting from the front (0 = front),
+// without removing it. It panics if i is out of range. Snapshot support:
+// the engine walks buffer contents in FIFO order without mutating them.
+func (b *Buffer) At(i int) message.Flit {
+	if i < 0 || int32(i) >= b.size {
+		panic(fmt.Sprintf("router: buffer index %d out of range [0,%d)", i, b.size))
+	}
+	j := b.head + int32(i)
+	if j >= int32(len(b.flits)) {
+		j -= int32(len(b.flits))
+	}
+	return b.flits[j]
+}
+
 // FrontMessage returns the message owning the front flit, or nil if empty.
 func (b *Buffer) FrontMessage() *message.Message {
 	if b.Empty() {

@@ -7,6 +7,7 @@ import (
 	"wormnet/internal/deadlock"
 	"wormnet/internal/fault"
 	"wormnet/internal/message"
+	"wormnet/internal/metrics"
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
 	"wormnet/internal/stats"
@@ -275,8 +276,10 @@ type Engine struct {
 	// met, when non-nil, is the live-metrics instrumentation (metrics.go);
 	// metEvery is its gauge-sampling period and onSample the optional
 	// post-sample hook. Disabled instrumentation is one nil check per site.
+	// metReg retains the registry behind met so snapshots can capture it.
 	met      *engineMetrics
 	metEvery int64
+	metReg   *metrics.Registry
 	onSample func(cycle int64)
 
 	// delivered counts all-time delivered messages (not just in-window).

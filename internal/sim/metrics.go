@@ -129,6 +129,7 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 func (e *Engine) EnableMetrics(reg *metrics.Registry, sampleEvery int64) {
 	if reg == nil {
 		e.met = nil
+		e.metReg = nil
 		return
 	}
 	if sampleEvery <= 0 {
@@ -136,6 +137,7 @@ func (e *Engine) EnableMetrics(reg *metrics.Registry, sampleEvery int64) {
 	}
 	e.met = newEngineMetrics(reg)
 	e.metEvery = sampleEvery
+	e.metReg = reg
 }
 
 // SetSampleHook registers a function called right after each metrics sample

@@ -1,0 +1,697 @@
+package sim
+
+// Engine state snapshot and restore — the simulator side of the
+// checkpoint/restore layer (internal/checkpoint frames and persists the
+// Snapshot; this file enumerates and rebuilds the state).
+//
+// Contract: a Snapshot taken between Step calls captures everything that
+// influences future simulation behaviour, so that RestoreEngine continues
+// with bit-identical results, counters and event streams — at any Workers
+// count, which may differ from the snapshotting engine's. That works
+// because the parallel engine is itself bit-identical to serial, and every
+// piece of state that depends on the worker count (shard scratch buffers,
+// the BlockTracker watermark/hot pair) is either transient between cycles
+// or recomputed on restore.
+//
+// What is serialized: the cycle clock, message-ID allocator, all-time
+// counters, the full reachable message table, per-node durable router state
+// (input-VC buffer contents, forwarding decisions, output-VC ownership,
+// injection/ejection channels, source and recovery/retry queues, generator
+// RNG streams, stateful-limiter words, blockage counters, per-VC last-
+// transmission cycles, arbiter pointers), fault machinery position (liveness
+// masks, next-event index), the stats collector, and — when metrics are
+// enabled — the registry's samples.
+//
+// What is deliberately NOT serialized, and why that is sound:
+//   - derived state (occVCs/busyInj, the inEmpty/inFull/freeMask/routed
+//     status words, swDesc, input-VC owner/dst caches, nextGen): recomputed
+//     exactly from the durable state;
+//   - per-cycle scratch (moves, reqsFlat, genScratch, killScratch, shard
+//     buffers): dead between cycles;
+//   - the fresh masks and freshInj: provably zero between cycles — a set
+//     fresh bit implies a non-empty routed VC (or busy injection channel) on
+//     that node, which keeps the node in the active set through the switch
+//     phase, and the switch phase unconditionally clears the masks of every
+//     active node (teardown clears the bits of routes it releases);
+//   - the message pool: a recycled message is indistinguishable from a
+//     freshly allocated one (Reuse == New up to the Pooled flag and Path
+//     backing array, neither observable), so restored runs simply allocate
+//     where the original recycled.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wormnet/internal/core"
+	"wormnet/internal/message"
+	"wormnet/internal/metrics"
+	"wormnet/internal/stats"
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// Snapshot errors.
+var (
+	// ErrSnapshotConfig marks a restore into a configuration whose digest
+	// does not match the snapshot's.
+	ErrSnapshotConfig = errors.New("sim: snapshot config mismatch")
+	// ErrSnapshotInvalid marks a snapshot whose contents are internally
+	// inconsistent (references to unknown messages, wrong slice lengths, a
+	// restored engine failing its invariant check).
+	ErrSnapshotInvalid = errors.New("sim: invalid snapshot")
+)
+
+// SnapRoute is a serialized routeInfo.
+type SnapRoute struct {
+	Valid   bool
+	Eject   bool
+	OutPort int8
+	OutVC   int8
+	EjCh    int8
+}
+
+// SnapFlit is one buffered flit: a message reference plus its position.
+type SnapFlit struct {
+	Msg  int64
+	Seq  int32
+	Head bool
+	Tail bool
+}
+
+// SnapVC is one input virtual channel: its buffered flits in FIFO order and
+// its forwarding decision.
+type SnapVC struct {
+	Flits []SnapFlit
+	Route SnapRoute
+}
+
+// SnapInj is one injection channel (Msg < 0 when free).
+type SnapInj struct {
+	Msg   int64
+	Route SnapRoute
+	Left  int32
+	Len   int32
+	Dst   int32
+}
+
+// SnapEj is one ejection channel (Msg < 0 when free).
+type SnapEj struct {
+	Msg     int64
+	Pending int32
+}
+
+// SnapPending is one recovery- or retry-queue entry.
+type SnapPending struct {
+	Msg     int64
+	ReadyAt int64
+}
+
+// SnapPath is one message path location.
+type SnapPath struct {
+	Node int32
+	Port int8
+	VC   int8
+}
+
+// SnapMessage is the full serialized state of one reachable message.
+type SnapMessage struct {
+	ID           int64
+	Src, Dst     int32
+	Length       int32
+	GenTime      int64
+	InjectTime   int64
+	DeliverTime  int64
+	State        int8
+	Injector     int32
+	FlitsSent    int32
+	FlitsEjected int32
+	Recoveries   int32
+	Retries      int32
+	DropReason   string
+	Measured     bool
+	Pooled       bool
+	Path         []SnapPath
+}
+
+// SnapNode is the durable state of one node.
+type SnapNode struct {
+	In       []SnapVC
+	OutOwner []int64 // flat output VC -> owning message ID, -1 when free
+	Inj      []SnapInj
+	Ej       []SnapEj
+	Queue    []int64 // source queue, front first
+	Recovery []SnapPending
+	Retry    []SnapPending
+	Gen      traffic.GenState
+	Limiter  []uint64 // nil for stateless limiters
+	Blocked  []int32
+	LastTx   []int64
+	ArbNext  []int32
+}
+
+// Snapshot is the complete serializable state of an Engine between cycles.
+// All fields are exported plain data so encoding/gob handles it without
+// custom marshalling.
+type Snapshot struct {
+	// Config is the canonical digest of the engine's configuration
+	// (ConfigDigest). RestoreEngine refuses a config whose digest differs —
+	// except for Workers, which is deliberately excluded so a run may resume
+	// at a different parallelism.
+	Config string
+
+	Now            int64
+	NextID         int64
+	Generated      int64
+	Delivered      int64
+	Recovered      int64
+	Aborted        int64
+	Retried        int64
+	Dropped        int64
+	SourcesStopped bool
+
+	// Fault machinery position; the liveness slices are nil when fault
+	// injection is off.
+	FaultIdx  int
+	LinksUp   []bool
+	RoutersUp []bool
+
+	Messages []SnapMessage
+	Nodes    []SnapNode
+	Stats    stats.CollectorState
+
+	// Metrics holds the registry samples of a metrics-enabled engine (nil
+	// otherwise). RestoreEngine does not touch metrics; callers re-enable
+	// them on the restored engine and Registry.Restore these samples so
+	// mirrored totals continue seamlessly.
+	Metrics []metrics.Sample
+}
+
+// ConfigDigest returns a canonical one-line description of everything in
+// cfg that influences simulation results, EXCLUDING the worker count (the
+// parallel engine is bit-identical to serial, so a checkpoint may be resumed
+// at any parallelism). Func-typed fields are represented by their names; the
+// fault schedule and retry policy are spelled out event by event.
+func ConfigDigest(cfg Config) (string, error) {
+	if err := cfg.validate(); err != nil {
+		return "", err
+	}
+	m := cfg.Manifest()
+	delete(m, "workers")
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v ", k, m[k])
+	}
+	if !cfg.Faults.Empty() {
+		fmt.Fprintf(&b, "retry=%d/%d/%d ", cfg.Retry.MaxRetries, cfg.Retry.BackoffBase, cfg.Retry.BackoffCap)
+		b.WriteString("faults=[")
+		for _, ev := range cfg.Faults.Events() {
+			fmt.Fprintf(&b, "%d:%d:%d:%d ", ev.Cycle, ev.Kind, ev.Node, ev.Port)
+		}
+		b.WriteString("]")
+	}
+	return strings.TrimSpace(b.String()), nil
+}
+
+func snapRoute(r routeInfo) SnapRoute {
+	return SnapRoute{Valid: r.valid, Eject: r.eject, OutPort: int8(r.outPort), OutVC: r.outVC, EjCh: r.ejCh}
+}
+
+func loadRoute(s SnapRoute) routeInfo {
+	return routeInfo{valid: s.Valid, eject: s.Eject, outPort: topology.Port(s.OutPort), outVC: s.OutVC, ejCh: s.EjCh}
+}
+
+// Snapshot captures the engine's complete state. It must be called between
+// Step calls (never from inside a listener or sample hook). The engine is
+// not modified; the returned snapshot shares nothing with it.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	digest, err := ConfigDigest(e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Config:         digest,
+		Now:            e.now,
+		NextID:         int64(e.nextID),
+		Generated:      e.generated,
+		Delivered:      e.delivered,
+		Recovered:      e.recovered,
+		Aborted:        e.aborted,
+		Retried:        e.retried,
+		Dropped:        e.dropped,
+		SourcesStopped: e.sourcesStopped,
+		FaultIdx:       e.faultIdx,
+		Stats:          e.col.State(),
+	}
+	if e.live != nil {
+		nPorts := e.topo.NumPorts()
+		s.LinksUp = make([]bool, len(e.nodes)*nPorts)
+		s.RoutersUp = make([]bool, len(e.nodes))
+		for n := range e.nodes {
+			id := topology.NodeID(n)
+			s.RoutersUp[n] = e.live.RouterAlive(id)
+			for p := 0; p < nPorts; p++ {
+				s.LinksUp[n*nPorts+p] = e.live.LinkUp(id, topology.Port(p))
+			}
+		}
+	}
+	if e.metReg != nil {
+		s.Metrics = e.metReg.Snapshot()
+	}
+
+	// Collect every reachable message exactly once, then serialize the
+	// per-node state referencing them by ID.
+	seen := make(map[*message.Message]struct{})
+	var msgs []*message.Message
+	add := func(m *message.Message) {
+		if m == nil {
+			return
+		}
+		if _, ok := seen[m]; ok {
+			return
+		}
+		seen[m] = struct{}{}
+		msgs = append(msgs, m)
+	}
+	nVC := e.numPhys * e.cfg.VCs
+	s.Nodes = make([]SnapNode, len(e.nodes))
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		sn := &s.Nodes[i]
+
+		sn.In = make([]SnapVC, nVC)
+		for c := 0; c < nVC; c++ {
+			ivc := &nd.in[c]
+			n := ivc.buf.Len()
+			if n > 0 {
+				flits := make([]SnapFlit, n)
+				for j := 0; j < n; j++ {
+					f := ivc.buf.At(j)
+					add(f.Msg)
+					flits[j] = SnapFlit{Msg: int64(f.Msg.ID), Seq: f.Seq, Head: f.Head, Tail: f.Tail}
+				}
+				sn.In[c].Flits = flits
+			}
+			sn.In[c].Route = snapRoute(nd.routes[c])
+		}
+
+		sn.OutOwner = make([]int64, nVC)
+		for v := 0; v < nVC; v++ {
+			if m := nd.outVCs[v].Owner(); m != nil {
+				add(m)
+				sn.OutOwner[v] = int64(m.ID)
+			} else {
+				sn.OutOwner[v] = -1
+			}
+		}
+
+		sn.Inj = make([]SnapInj, len(nd.inj))
+		for j := range nd.inj {
+			ic := &nd.inj[j]
+			si := SnapInj{Msg: -1}
+			if ic.msg != nil {
+				add(ic.msg)
+				si = SnapInj{
+					Msg:   int64(ic.msg.ID),
+					Route: snapRoute(ic.route),
+					Left:  ic.left,
+					Len:   ic.len,
+					Dst:   int32(ic.dst),
+				}
+			}
+			sn.Inj[j] = si
+		}
+
+		sn.Ej = make([]SnapEj, len(nd.ej))
+		for j := range nd.ej {
+			ec := &nd.ej[j]
+			se := SnapEj{Msg: -1}
+			if ec.msg != nil {
+				add(ec.msg)
+				se = SnapEj{Msg: int64(ec.msg.ID), Pending: ec.pending}
+			}
+			sn.Ej[j] = se
+		}
+
+		if n := nd.queue.Len(); n > 0 {
+			sn.Queue = make([]int64, n)
+			for j := 0; j < n; j++ {
+				m := nd.queue.At(j)
+				add(m)
+				sn.Queue[j] = int64(m.ID)
+			}
+		}
+		for _, pr := range nd.recovery {
+			add(pr.msg)
+			sn.Recovery = append(sn.Recovery, SnapPending{Msg: int64(pr.msg.ID), ReadyAt: pr.readyAt})
+		}
+		for _, pr := range nd.retry {
+			add(pr.msg)
+			sn.Retry = append(sn.Retry, SnapPending{Msg: int64(pr.msg.ID), ReadyAt: pr.readyAt})
+		}
+
+		gen, ok := nd.src.(traffic.Stateful)
+		if !ok {
+			return nil, fmt.Errorf("sim: generator %T is not snapshot-capable", nd.src)
+		}
+		gs, err := gen.SaveState()
+		if err != nil {
+			return nil, err
+		}
+		sn.Gen = gs
+
+		if sl, ok := nd.limiter.(core.StatefulLimiter); ok {
+			sn.Limiter = sl.SaveState()
+		}
+
+		sn.Blocked = nd.blocked.Counters()
+		sn.LastTx = append([]int64(nil), nd.lastTx...)
+		sn.ArbNext = make([]int32, len(nd.outArb))
+		for j := range nd.outArb {
+			sn.ArbNext[j] = int32(nd.outArb[j].Next())
+		}
+	}
+
+	sort.Slice(msgs, func(a, b int) bool { return msgs[a].ID < msgs[b].ID })
+	s.Messages = make([]SnapMessage, len(msgs))
+	for i, m := range msgs {
+		sm := SnapMessage{
+			ID:           int64(m.ID),
+			Src:          int32(m.Src),
+			Dst:          int32(m.Dst),
+			Length:       int32(m.Length),
+			GenTime:      m.GenTime,
+			InjectTime:   m.InjectTime,
+			DeliverTime:  m.DeliverTime,
+			State:        int8(m.State),
+			Injector:     int32(m.Injector),
+			FlitsSent:    int32(m.FlitsSent),
+			FlitsEjected: int32(m.FlitsEjected),
+			Recoveries:   int32(m.Recoveries),
+			Retries:      int32(m.Retries),
+			DropReason:   string(m.DropReason),
+			Measured:     m.Measured,
+			Pooled:       m.Pooled,
+		}
+		if len(m.Path) > 0 {
+			sm.Path = make([]SnapPath, len(m.Path))
+			for j, pl := range m.Path {
+				sm.Path[j] = SnapPath{Node: int32(pl.Node), Port: int8(pl.Port), VC: pl.VC}
+			}
+		}
+		s.Messages[i] = sm
+	}
+	return s, nil
+}
+
+// RestoreEngine builds a fresh engine from cfg and loads snap into it,
+// returning an engine that continues the snapshotted run bit-identically.
+// cfg must describe the same run as the snapshotting engine's config
+// (ConfigDigest equality); only Workers may differ. Trace listeners, metrics
+// and sample hooks are not restored — re-attach them on the returned engine
+// (and Registry.Restore snap.Metrics after EnableMetrics to continue
+// mirrored totals).
+func RestoreEngine(cfg Config, snap *Snapshot) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	digest, err := ConfigDigest(e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if digest != snap.Config {
+		e.Close()
+		return nil, fmt.Errorf("%w: snapshot taken with config %q, restoring into %q",
+			ErrSnapshotConfig, snap.Config, digest)
+	}
+	if err := e.load(snap); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// load populates a freshly constructed engine from snap.
+func (e *Engine) load(snap *Snapshot) error {
+	nVC := e.numPhys * e.cfg.VCs
+	if len(snap.Nodes) != len(e.nodes) {
+		return fmt.Errorf("%w: %d nodes, engine has %d", ErrSnapshotInvalid, len(snap.Nodes), len(e.nodes))
+	}
+
+	e.now = snap.Now
+	e.nextID = message.ID(snap.NextID)
+	e.generated = snap.Generated
+	e.delivered = snap.Delivered
+	e.recovered = snap.Recovered
+	e.aborted = snap.Aborted
+	e.retried = snap.Retried
+	e.dropped = snap.Dropped
+	e.sourcesStopped = snap.SourcesStopped
+
+	// Fault machinery position.
+	if e.live != nil {
+		nPorts := e.topo.NumPorts()
+		if len(snap.LinksUp) != len(e.nodes)*nPorts || len(snap.RoutersUp) != len(e.nodes) {
+			return fmt.Errorf("%w: liveness masks sized %d/%d, want %d/%d",
+				ErrSnapshotInvalid, len(snap.LinksUp), len(snap.RoutersUp), len(e.nodes)*nPorts, len(e.nodes))
+		}
+		for n := range e.nodes {
+			id := topology.NodeID(n)
+			e.live.SetRouter(id, snap.RoutersUp[n])
+			for p := 0; p < nPorts; p++ {
+				e.live.SetLink(id, topology.Port(p), snap.LinksUp[n*nPorts+p])
+			}
+		}
+		if snap.FaultIdx < 0 || snap.FaultIdx > len(e.faultEvents) {
+			return fmt.Errorf("%w: fault index %d of %d events", ErrSnapshotInvalid, snap.FaultIdx, len(e.faultEvents))
+		}
+		e.faultIdx = snap.FaultIdx
+	} else if len(snap.LinksUp) != 0 || len(snap.RoutersUp) != 0 {
+		return fmt.Errorf("%w: snapshot carries liveness state but faults are off", ErrSnapshotInvalid)
+	}
+
+	// Rebuild the message table.
+	msgs := make(map[int64]*message.Message, len(snap.Messages))
+	for i := range snap.Messages {
+		sm := &snap.Messages[i]
+		if _, dup := msgs[sm.ID]; dup {
+			return fmt.Errorf("%w: duplicate message %d", ErrSnapshotInvalid, sm.ID)
+		}
+		if sm.Length < 1 {
+			return fmt.Errorf("%w: message %d length %d", ErrSnapshotInvalid, sm.ID, sm.Length)
+		}
+		m := &message.Message{
+			ID:           message.ID(sm.ID),
+			Src:          topology.NodeID(sm.Src),
+			Dst:          topology.NodeID(sm.Dst),
+			Length:       int(sm.Length),
+			GenTime:      sm.GenTime,
+			InjectTime:   sm.InjectTime,
+			DeliverTime:  sm.DeliverTime,
+			State:        message.State(sm.State),
+			Injector:     topology.NodeID(sm.Injector),
+			FlitsSent:    int(sm.FlitsSent),
+			FlitsEjected: int(sm.FlitsEjected),
+			Recoveries:   int(sm.Recoveries),
+			Retries:      int(sm.Retries),
+			DropReason:   message.DropReason(sm.DropReason),
+			Measured:     sm.Measured,
+			Pooled:       sm.Pooled,
+		}
+		if len(sm.Path) > 0 {
+			m.Path = make([]message.PathLoc, len(sm.Path))
+			for j, pl := range sm.Path {
+				m.Path[j] = message.PathLoc{Node: topology.NodeID(pl.Node), Port: topology.Port(pl.Port), VC: pl.VC}
+			}
+		}
+		msgs[sm.ID] = m
+	}
+	get := func(id int64) (*message.Message, error) {
+		m, ok := msgs[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: reference to unknown message %d", ErrSnapshotInvalid, id)
+		}
+		return m, nil
+	}
+
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		sn := &snap.Nodes[i]
+		if len(sn.In) != nVC || len(sn.OutOwner) != nVC ||
+			len(sn.Inj) != len(nd.inj) || len(sn.Ej) != len(nd.ej) ||
+			len(sn.Blocked) != nVC || len(sn.LastTx) != nVC ||
+			len(sn.ArbNext) != len(nd.outArb) {
+			return fmt.Errorf("%w: node %d state shape mismatch", ErrSnapshotInvalid, i)
+		}
+
+		// Input VC buffers + forwarding decisions; derive the occupancy
+		// counters, status words and owner caches as we go.
+		for c := 0; c < nVC; c++ {
+			sv := &sn.In[c]
+			ivc := &nd.in[c]
+			p := int(e.portTab[c])
+			bit := e.vcBit[c]
+			for _, sf := range sv.Flits {
+				m, err := get(sf.Msg)
+				if err != nil {
+					return err
+				}
+				if ivc.buf.Full() {
+					return fmt.Errorf("%w: node %d vc %d overflows its buffer", ErrSnapshotInvalid, i, c)
+				}
+				ivc.buf.Push(message.Flit{Msg: m, Seq: sf.Seq, Head: sf.Head, Tail: sf.Tail})
+			}
+			if !ivc.buf.Empty() {
+				nd.occVCs++
+				nd.inEmpty[p] &^= bit
+				if ivc.buf.Full() {
+					nd.inFull[p] |= bit
+				}
+				owner := ivc.buf.FrontMessage()
+				ivc.owner = owner
+				ivc.dst = owner.Dst
+			}
+			if sv.Route.Valid {
+				r := loadRoute(sv.Route)
+				nd.routes[c] = r
+				nd.routed[p] |= bit
+				if r.eject {
+					nd.swDesc[c] = uint16(e.numPhys+int(r.ejCh)) << 8
+				} else {
+					nd.swDesc[c] = uint16(r.outPort)<<8 | uint16(r.outVC)
+				}
+			}
+		}
+
+		for v := 0; v < nVC; v++ {
+			if id := sn.OutOwner[v]; id >= 0 {
+				m, err := get(id)
+				if err != nil {
+					return err
+				}
+				nd.outVCs[v].Allocate(m)
+				nd.freeMask[v/e.cfg.VCs] &^= uint32(1) << uint(v%e.cfg.VCs)
+			}
+		}
+
+		for j := range nd.inj {
+			si := &sn.Inj[j]
+			if si.Msg < 0 {
+				continue
+			}
+			m, err := get(si.Msg)
+			if err != nil {
+				return err
+			}
+			nd.inj[j] = injChannel{
+				msg:   m,
+				route: loadRoute(si.Route),
+				left:  si.Left,
+				len:   si.Len,
+				dst:   topology.NodeID(si.Dst),
+			}
+			nd.busyInj++
+		}
+
+		for j := range nd.ej {
+			se := &sn.Ej[j]
+			if se.Msg < 0 {
+				continue
+			}
+			m, err := get(se.Msg)
+			if err != nil {
+				return err
+			}
+			nd.ej[j] = ejChannel{msg: m, pending: se.Pending}
+		}
+
+		for _, id := range sn.Queue {
+			m, err := get(id)
+			if err != nil {
+				return err
+			}
+			nd.queue.Push(m)
+		}
+		for _, sp := range sn.Recovery {
+			m, err := get(sp.Msg)
+			if err != nil {
+				return err
+			}
+			nd.recovery = append(nd.recovery, pendingRecovery{msg: m, readyAt: sp.ReadyAt})
+		}
+		for _, sp := range sn.Retry {
+			m, err := get(sp.Msg)
+			if err != nil {
+				return err
+			}
+			nd.retry = append(nd.retry, pendingRetry{msg: m, readyAt: sp.ReadyAt})
+		}
+
+		gen, ok := nd.src.(traffic.Stateful)
+		if !ok {
+			return fmt.Errorf("sim: generator %T is not snapshot-capable", nd.src)
+		}
+		if err := gen.LoadState(sn.Gen); err != nil {
+			return fmt.Errorf("%w: node %d: %v", ErrSnapshotInvalid, i, err)
+		}
+		nd.nextGen = nd.src.NextAt()
+
+		sl, stateful := nd.limiter.(core.StatefulLimiter)
+		if stateful != (sn.Limiter != nil) {
+			return fmt.Errorf("%w: node %d limiter statefulness mismatch", ErrSnapshotInvalid, i)
+		}
+		if stateful {
+			if err := sl.LoadState(sn.Limiter); err != nil {
+				return fmt.Errorf("%w: node %d: %v", ErrSnapshotInvalid, i, err)
+			}
+		}
+
+		if err := nd.blocked.RestoreCounters(sn.Blocked); err != nil {
+			return fmt.Errorf("%w: node %d: %v", ErrSnapshotInvalid, i, err)
+		}
+		copy(nd.lastTx, sn.LastTx)
+		for j := range nd.outArb {
+			nx := int(sn.ArbNext[j])
+			if nx < 0 || nx >= nd.outArb[j].N() {
+				return fmt.Errorf("%w: node %d arbiter %d pointer %d", ErrSnapshotInvalid, i, j, nx)
+			}
+			nd.outArb[j].SetNext(nx)
+		}
+	}
+
+	// The input-VC owner/dst caches follow message *paths*, not buffer
+	// contents: a channel the head has already left but whose tail is still
+	// upstream has an empty buffer yet stays owned — its route is live and
+	// the body flits that keep arriving never carry the Head flag that
+	// rewrites the cache. Restore the caches from each message's path so
+	// drained-but-owned channels don't come back ownerless.
+	for _, sm := range snap.Messages {
+		m := msgs[sm.ID]
+		for _, loc := range m.Path {
+			if loc.Node < 0 || int(loc.Node) >= len(e.nodes) ||
+				loc.Port < 0 || int(loc.Port) >= e.numPhys ||
+				loc.VC < 0 || int(loc.VC) >= e.cfg.VCs {
+				return fmt.Errorf("%w: message %d path entry (%d,%d,%d) out of range",
+					ErrSnapshotInvalid, m.ID, loc.Node, loc.Port, loc.VC)
+			}
+			ivc := &e.nodes[loc.Node].in[e.inVCIndex(loc.Port, loc.VC)]
+			ivc.owner = m
+			ivc.dst = m.Dst
+		}
+	}
+
+	if err := e.col.Restore(snap.Stats); err != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshotInvalid, err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		return fmt.Errorf("%w: restored engine fails invariants: %v", ErrSnapshotInvalid, err)
+	}
+	return nil
+}

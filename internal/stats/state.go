@@ -1,0 +1,192 @@
+package stats
+
+// State export/import for checkpoint/restore. Every accumulator exposes a
+// plain-data State struct (exported fields only, so encoding/gob can carry
+// it) and a Restore that loads it back. Restores validate geometry — bucket
+// widths, node counts, window bounds — and fail loudly on mismatch rather
+// than silently continuing with a collector that would merge wrongly.
+
+import "fmt"
+
+// WelfordState is the serializable state of a Welford accumulator.
+type WelfordState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// State exports the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// Restore loads a previously exported state.
+func (w *Welford) Restore(s WelfordState) {
+	w.n, w.mean, w.m2, w.min, w.max = s.N, s.Mean, s.M2, s.Min, s.Max
+}
+
+// HistogramState is the serializable state of a Histogram.
+type HistogramState struct {
+	Width   float64
+	Buckets []int64
+	Over    int64
+	Total   int64
+}
+
+// State exports the histogram.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{
+		Width:   h.width,
+		Buckets: append([]int64(nil), h.buckets...),
+		Over:    h.over,
+		Total:   h.total,
+	}
+}
+
+// Restore loads a previously exported state. The receiver's geometry (bucket
+// width and count) must match.
+func (h *Histogram) Restore(s HistogramState) error {
+	if h.width != s.Width || len(h.buckets) != len(s.Buckets) {
+		return fmt.Errorf("stats: histogram geometry mismatch (%vx%d vs %vx%d)",
+			h.width, len(h.buckets), s.Width, len(s.Buckets))
+	}
+	copy(h.buckets, s.Buckets)
+	h.over, h.total = s.Over, s.Total
+	return nil
+}
+
+// FairnessState is the serializable state of a Fairness tracker.
+type FairnessState struct {
+	Counts []int64
+}
+
+// State exports the tracker.
+func (f *Fairness) State() FairnessState {
+	return FairnessState{Counts: append([]int64(nil), f.counts...)}
+}
+
+// Restore loads a previously exported state. The node count must match.
+func (f *Fairness) Restore(s FairnessState) error {
+	if len(f.counts) != len(s.Counts) {
+		return fmt.Errorf("stats: fairness node count mismatch (%d vs %d)",
+			len(f.counts), len(s.Counts))
+	}
+	copy(f.counts, s.Counts)
+	return nil
+}
+
+// TimeSeriesState is the serializable state of a TimeSeries.
+type TimeSeriesState struct {
+	Interval int64
+	Buckets  []float64
+}
+
+// State exports the series.
+func (ts *TimeSeries) State() TimeSeriesState {
+	return TimeSeriesState{Interval: ts.interval, Buckets: append([]float64(nil), ts.buckets...)}
+}
+
+// Restore loads a previously exported state. The geometry must match.
+func (ts *TimeSeries) Restore(s TimeSeriesState) error {
+	if ts.interval != s.Interval || len(ts.buckets) != len(s.Buckets) {
+		return fmt.Errorf("stats: time series geometry mismatch (%dx%d vs %dx%d)",
+			ts.interval, len(ts.buckets), s.Interval, len(s.Buckets))
+	}
+	copy(ts.buckets, s.Buckets)
+	return nil
+}
+
+// CollectorState is the serializable state of a Collector, including its
+// geometry so a restore can verify it lands in a matching collector.
+type CollectorState struct {
+	Nodes    int
+	WinStart int64
+	WinEnd   int64
+
+	Latency    WelfordState
+	NetLatency WelfordState
+	Hist       HistogramState
+
+	GeneratedMsgs  int64
+	DeliveredMsgs  int64
+	DeliveredFlits int64
+	InjectedMsgs   int64
+	Deadlocks      int64
+	FaultEvents    int64
+	AbortedMsgs    int64
+	RetriedMsgs    int64
+	DroppedMsgs    int64
+
+	Fairness FairnessState
+	Runs     int64
+
+	// DeliveredSeries is nil when the collector recorded no delivery series.
+	DeliveredSeries *TimeSeriesState
+}
+
+// State exports the collector.
+func (c *Collector) State() CollectorState {
+	s := CollectorState{
+		Nodes:          c.nodes,
+		WinStart:       c.winStart,
+		WinEnd:         c.winEnd,
+		Latency:        c.Latency.State(),
+		NetLatency:     c.NetLatency.State(),
+		Hist:           c.Hist.State(),
+		GeneratedMsgs:  c.generatedMsgs,
+		DeliveredMsgs:  c.deliveredMsgs,
+		DeliveredFlits: c.deliveredFlits,
+		InjectedMsgs:   c.injectedMsgs,
+		Deadlocks:      c.deadlocks,
+		FaultEvents:    c.faultEvents,
+		AbortedMsgs:    c.abortedMsgs,
+		RetriedMsgs:    c.retriedMsgs,
+		DroppedMsgs:    c.droppedMsgs,
+		Fairness:       c.fairness.State(),
+		Runs:           c.runs,
+	}
+	if c.deliveredSeries != nil {
+		ts := c.deliveredSeries.State()
+		s.DeliveredSeries = &ts
+	}
+	return s
+}
+
+// Restore loads a previously exported state into c. The collector's geometry
+// (node count and measurement window) must match the snapshot's. If the
+// snapshot carries a delivery series the collector does not have yet, one is
+// created with the snapshot's geometry, so restore order does not depend on
+// the caller re-enabling the series first.
+func (c *Collector) Restore(s CollectorState) error {
+	if c.nodes != s.Nodes || c.winStart != s.WinStart || c.winEnd != s.WinEnd {
+		return fmt.Errorf("stats: collector geometry mismatch (nodes %d win [%d,%d) vs nodes %d win [%d,%d))",
+			c.nodes, c.winStart, c.winEnd, s.Nodes, s.WinStart, s.WinEnd)
+	}
+	if err := c.Hist.Restore(s.Hist); err != nil {
+		return err
+	}
+	if err := c.fairness.Restore(s.Fairness); err != nil {
+		return err
+	}
+	c.Latency.Restore(s.Latency)
+	c.NetLatency.Restore(s.NetLatency)
+	c.generatedMsgs = s.GeneratedMsgs
+	c.deliveredMsgs = s.DeliveredMsgs
+	c.deliveredFlits = s.DeliveredFlits
+	c.injectedMsgs = s.InjectedMsgs
+	c.deadlocks = s.Deadlocks
+	c.faultEvents = s.FaultEvents
+	c.abortedMsgs = s.AbortedMsgs
+	c.retriedMsgs = s.RetriedMsgs
+	c.droppedMsgs = s.DroppedMsgs
+	c.runs = s.Runs
+	if s.DeliveredSeries != nil {
+		if c.deliveredSeries == nil {
+			c.deliveredSeries = NewTimeSeries(s.DeliveredSeries.Interval, len(s.DeliveredSeries.Buckets))
+		}
+		if err := c.deliveredSeries.Restore(*s.DeliveredSeries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package supervisor wraps an engine run with a watchdog: wall-clock and
+// cycle budgets, stall detection, panic containment, signal-driven graceful
+// shutdown, and periodic checkpoint flushing. It turns "the process died three
+// hours in" into "the run ended with a classified outcome and a resumable
+// checkpoint on disk".
+//
+// The supervisor drives the engine in short bursts of Step calls (CheckEvery
+// cycles) and runs its checks between bursts, so every check — and every
+// checkpoint — happens on a cycle boundary, where the engine's snapshot
+// contract holds. The state machine is linear:
+//
+//	idle ──Run──▶ running ──signal──▶ draining ──▶ stopped
+//	                 │
+//	                 └──completed / stalled / budget / panic──▶ stopped
+//
+// Draining exists for observability (a /healthz endpoint can report it while
+// the final checkpoint is written); the supervisor never runs further cycles
+// once it leaves running.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"time"
+
+	"wormnet/internal/sim"
+	"wormnet/internal/stats"
+)
+
+// Outcome classifies how a supervised run ended.
+type Outcome int
+
+// Run outcomes.
+const (
+	// Completed: the engine reached its configured total cycle count.
+	Completed Outcome = iota
+	// Stalled: no message made terminal progress for StallWindow cycles
+	// while work was still in flight — a livelock or unrecovered deadlock.
+	Stalled
+	// DeadlineExceeded: the wall-clock or cycle budget ran out.
+	DeadlineExceeded
+	// Crashed: the engine (or a checkpoint callback) panicked or errored;
+	// Report.Err carries the typed cause.
+	Crashed
+	// Interrupted: a subscribed signal arrived; the run shut down cleanly.
+	Interrupted
+)
+
+// String returns the outcome's stable lower-case name (used in manifests).
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Stalled:
+		return "stalled"
+	case DeadlineExceeded:
+		return "deadline"
+	case Crashed:
+		return "crashed"
+	case Interrupted:
+		return "interrupted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// State is the supervisor's externally visible lifecycle state.
+type State int32
+
+// Lifecycle states.
+const (
+	Idle State = iota
+	Running
+	Draining
+	Stopped
+)
+
+// StateName returns the state's lower-case name (used by health endpoints).
+func (s State) StateName() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Draining:
+		return "draining"
+	case Stopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// PanicError wraps a recovered panic from the supervised run.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("supervisor: run panicked: %v", e.Value)
+}
+
+// ErrStalled is the error carried by a Stalled report.
+var ErrStalled = errors.New("supervisor: no progress while messages in flight")
+
+// ErrBudget is the error carried by a DeadlineExceeded report.
+var ErrBudget = errors.New("supervisor: budget exhausted")
+
+// DefaultCheckEvery is the default burst length between watchdog checks.
+const DefaultCheckEvery = 64
+
+// Options configures a supervised run. The zero value runs the engine to
+// completion with no budgets, no stall detection, no checkpoints and no
+// signal handling — equivalent to Engine.Run with panic containment.
+type Options struct {
+	// WallBudget bounds the run's wall-clock time (0 = unlimited).
+	WallBudget time.Duration
+	// CycleBudget bounds how many cycles this invocation may execute,
+	// counted from the engine's starting cycle (0 = unlimited). A resumed
+	// run therefore gets a fresh budget.
+	CycleBudget int64
+	// StallWindow declares the run stalled when no message reaches a
+	// terminal state (delivery or drop) for this many cycles while
+	// messages are in flight (0 = disabled). Size it well above the
+	// recovery re-injection delay, or a deep saturation transient will be
+	// misread as a livelock.
+	StallWindow int64
+	// CheckEvery is the burst length between watchdog checks (and the
+	// granularity of budgets, stall detection, signals and checkpoints).
+	// <= 0 selects DefaultCheckEvery.
+	CheckEvery int64
+	// CheckpointEvery triggers the Checkpoint callback every so many
+	// cycles (0 = periodic checkpoints off).
+	CheckpointEvery int64
+	// Checkpoint persists the engine's state; it is called on cycle
+	// boundaries only — periodically per CheckpointEvery, and once more
+	// on any non-completed, non-crashed exit. A returned error crashes
+	// the run (a checkpoint that cannot be written is a broken contract,
+	// not a warning); after a panic it is not called at all, since the
+	// engine may be mid-cycle and its snapshot inconsistent.
+	Checkpoint func(e *sim.Engine) error
+	// Signals lists the signals that interrupt the run gracefully
+	// (typically os.Interrupt and SIGTERM). Empty = no signal handling.
+	Signals []os.Signal
+	// OnState, if set, observes every lifecycle state change (health
+	// endpoints hook here). Called synchronously from the run goroutine.
+	OnState func(State)
+}
+
+// Report is the result of a supervised run.
+type Report struct {
+	Outcome Outcome
+	// Err is nil for Completed and Interrupted; ErrStalled, ErrBudget or
+	// a *PanicError (possibly wrapped) otherwise.
+	Err error
+	// StartCycle and EndCycle delimit the cycles this invocation ran.
+	StartCycle, EndCycle int64
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// Result is the run summary; only meaningful when Outcome is
+	// Completed (partial-run statistics are still mid-measurement).
+	Result stats.Result
+	// CheckpointErr reports a failed *final* checkpoint flush — the run
+	// outcome stands, but resuming it will replay from the last periodic
+	// checkpoint instead.
+	CheckpointErr error
+	// Signal is the signal that ended an Interrupted run.
+	Signal os.Signal
+}
+
+// Run drives e until it completes, breaks a budget, stalls, panics or is
+// interrupted, and reports how it ended. The engine is stepped from its
+// current cycle, so Run composes with checkpoint restore: restore, then
+// supervise the remainder.
+func Run(e *sim.Engine, opts Options) (rep Report) {
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = DefaultCheckEvery
+	}
+	setState := func(s State) {
+		if opts.OnState != nil {
+			opts.OnState(s)
+		}
+	}
+
+	start := e.Now()
+	total := e.Config().TotalCycles()
+	t0 := time.Now()
+	rep = Report{Outcome: Completed, StartCycle: start}
+	finish := func() {
+		rep.EndCycle = e.Now()
+		rep.Wall = time.Since(t0)
+		setState(Stopped)
+	}
+
+	// Panic containment: anything thrown by the engine or a callback
+	// becomes a Crashed report. No checkpoint is flushed on this path —
+	// the panic may have left the engine mid-cycle, and persisting an
+	// inconsistent snapshot would poison the resume chain.
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Outcome = Crashed
+			rep.Err = &PanicError{Value: r, Stack: debug.Stack()}
+			rep.Result = stats.Result{}
+			finish()
+		}
+	}()
+
+	var sigCh chan os.Signal
+	if len(opts.Signals) > 0 {
+		sigCh = make(chan os.Signal, 1)
+		signal.Notify(sigCh, opts.Signals...)
+		defer signal.Stop(sigCh)
+	}
+
+	// finalCheckpoint flushes state for a resumable (non-completed) exit.
+	finalCheckpoint := func() {
+		if opts.Checkpoint != nil {
+			rep.CheckpointErr = opts.Checkpoint(e)
+		}
+	}
+
+	setState(Running)
+	lastProgress := start // cycle of the last terminal-progress observation
+	progress := e.Delivered() + e.Dropped()
+	nextCheckpoint := int64(0)
+	if opts.CheckpointEvery > 0 {
+		nextCheckpoint = e.Now() + opts.CheckpointEvery
+	}
+
+	for e.Now() < total {
+		burst := checkEvery
+		if left := total - e.Now(); left < burst {
+			burst = left
+		}
+		for i := int64(0); i < burst; i++ {
+			e.Step()
+		}
+
+		// Signal: graceful interruption with a final checkpoint.
+		if sigCh != nil {
+			select {
+			case sig := <-sigCh:
+				setState(Draining)
+				rep.Outcome = Interrupted
+				rep.Signal = sig
+				finalCheckpoint()
+				finish()
+				return rep
+			default:
+			}
+		}
+
+		// Budgets.
+		if (opts.WallBudget > 0 && time.Since(t0) >= opts.WallBudget) ||
+			(opts.CycleBudget > 0 && e.Now()-start >= opts.CycleBudget) {
+			setState(Draining)
+			rep.Outcome = DeadlineExceeded
+			rep.Err = ErrBudget
+			finalCheckpoint()
+			finish()
+			return rep
+		}
+
+		// Stall: nothing reached a terminal state for StallWindow cycles
+		// while messages are still in flight.
+		if p := e.Delivered() + e.Dropped(); p != progress {
+			progress = p
+			lastProgress = e.Now()
+		} else if opts.StallWindow > 0 && e.InFlight() > 0 &&
+			e.Now()-lastProgress >= opts.StallWindow {
+			setState(Draining)
+			rep.Outcome = Stalled
+			rep.Err = fmt.Errorf("%w: stuck for %d cycles at cycle %d with %d in flight",
+				ErrStalled, e.Now()-lastProgress, e.Now(), e.InFlight())
+			finalCheckpoint()
+			finish()
+			return rep
+		}
+
+		// Periodic checkpoint.
+		if nextCheckpoint > 0 && e.Now() >= nextCheckpoint {
+			if err := opts.Checkpoint(e); err != nil {
+				setState(Draining)
+				rep.Outcome = Crashed
+				rep.Err = fmt.Errorf("supervisor: periodic checkpoint at cycle %d: %w", e.Now(), err)
+				finish()
+				return rep
+			}
+			for nextCheckpoint <= e.Now() {
+				nextCheckpoint += opts.CheckpointEvery
+			}
+		}
+	}
+
+	e.FlushMetrics()
+	rep.Outcome = Completed
+	rep.Result = e.Collector().Result()
+	finish()
+	return rep
+}

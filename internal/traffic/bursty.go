@@ -80,6 +80,8 @@ type BurstySource struct {
 	pattern Pattern
 	rng     *rand.Rand // generation events and destinations
 	prng    *rand.Rand // ON/OFF phase process (shared stream when synchronized)
+	pcg     *rand.PCG  // the PCG behind rng, retained for state save/load
+	ppcg    *rand.PCG  // the PCG behind prng
 	msgLen  int
 	profile BurstProfile
 
@@ -106,20 +108,23 @@ func NewBurstySource(node topology.NodeID, pattern Pattern, rate float64, msgLen
 	if !profile.Enabled() {
 		panic("traffic: BurstySource needs an enabled profile; use NewSource for steady traffic")
 	}
+	pcg := rand.NewPCG(seed1, seed2)
 	s := &BurstySource{
 		node:    node,
 		pattern: pattern,
-		rng:     rand.New(rand.NewPCG(seed1, seed2)),
+		rng:     rand.New(pcg),
+		pcg:     pcg,
 		msgLen:  msgLen,
 		profile: profile,
 	}
 	if profile.Synchronized {
 		// All nodes draw the phase schedule from the same stream: the
 		// phase seed depends only on the run seed, not on the node.
-		s.prng = rand.New(rand.NewPCG(seed1, 0xB0057))
+		s.ppcg = rand.NewPCG(seed1, 0xB0057)
 	} else {
-		s.prng = rand.New(rand.NewPCG(seed2, seed1^0xB0057))
+		s.ppcg = rand.NewPCG(seed2, seed1^0xB0057)
 	}
+	s.prng = rand.New(s.ppcg)
 	if rate == 0 {
 		s.peakGap = math.Inf(1)
 	} else {

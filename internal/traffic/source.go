@@ -16,6 +16,7 @@ type Source struct {
 	node    topology.NodeID
 	pattern Pattern
 	rng     *rand.Rand
+	pcg     *rand.PCG // the PCG behind rng, retained for state save/load
 	msgLen  int
 	next    float64 // cycle of the next generation event
 	meanGap float64 // mean cycles between messages
@@ -34,10 +35,12 @@ func NewSource(node topology.NodeID, pattern Pattern, rate float64, msgLen int, 
 	if msgLen < 1 {
 		panic(fmt.Sprintf("traffic: message length %d < 1", msgLen))
 	}
+	pcg := rand.NewPCG(seed1, seed2)
 	s := &Source{
 		node:    node,
 		pattern: pattern,
-		rng:     rand.New(rand.NewPCG(seed1, seed2)),
+		rng:     rand.New(pcg),
+		pcg:     pcg,
 		msgLen:  msgLen,
 	}
 	if rate == 0 {

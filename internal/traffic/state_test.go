@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+// pollTo drives g from cycle from to cycle to and returns the generated
+// messages.
+func pollTo(g Generator, from, to int64) []Generated {
+	var out []Generated
+	for c := from; c < to; c++ {
+		out = g.Poll(c, out)
+	}
+	return out
+}
+
+// sameStream fails unless a and b are identical event sequences.
+func sameStream(t *testing.T, name string, a, b []Generated) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d events vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: event %d differs: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestSourceStateRoundTrip pins the generator checkpoint contract: saving a
+// source mid-stream and loading the state into a fresh source reproduces the
+// exact future event sequence — ids, destinations and cycles.
+func TestSourceStateRoundTrip(t *testing.T) {
+	tp := topology.New(4, 2)
+	mk := func() *Source { return NewSource(3, NewUniform(tp), 0.5, 8, 11, 23) }
+
+	orig := mk()
+	pollTo(orig, 0, 3000)
+	st, err := orig.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bursty {
+		t.Error("steady source saved Bursty state")
+	}
+
+	clone := mk()
+	pollTo(clone, 0, 1234) // desynchronize before loading
+	if err := clone.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	sameStream(t, "steady", pollTo(orig, 3000, 8000), pollTo(clone, 3000, 8000))
+
+	bad := st
+	bad.Bursty = true
+	if err := mk().LoadState(bad); err == nil {
+		t.Error("steady source accepted bursty state")
+	}
+}
+
+// TestBurstySourceStateRoundTrip does the same for the on/off source, in both
+// phase modes: the restored source must continue the identical burst schedule
+// and generation stream.
+func TestBurstySourceStateRoundTrip(t *testing.T) {
+	tp := topology.New(4, 2)
+	for _, sync := range []bool{false, true} {
+		profile := BurstProfile{OnMean: 150, OffMean: 300, Synchronized: sync}
+		mk := func() *BurstySource { return NewBurstySource(5, NewUniform(tp), 0.8, 8, profile, 31, 47) }
+
+		orig := mk()
+		pollTo(orig, 0, 4000)
+		st, err := orig.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Bursty {
+			t.Error("bursty source saved non-bursty state")
+		}
+
+		clone := mk()
+		pollTo(clone, 0, 777)
+		if err := clone.LoadState(st); err != nil {
+			t.Fatal(err)
+		}
+		if clone.On() != orig.On() {
+			t.Errorf("sync=%v: restored phase %v, want %v", sync, clone.On(), orig.On())
+		}
+		sameStream(t, "bursty", pollTo(orig, 4000, 12000), pollTo(clone, 4000, 12000))
+
+		bad := st
+		bad.Bursty = false
+		if err := mk().LoadState(bad); err == nil {
+			t.Error("bursty source accepted steady state")
+		}
+	}
+}
