@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"wormnet/internal/campaign"
 	"wormnet/internal/checkpoint"
 	"wormnet/internal/sim"
 	"wormnet/internal/trace"
@@ -42,10 +43,11 @@ func counters(e *sim.Engine) [6]int64 {
 
 // chaosPoint runs the golden/kill/resume comparison for one point and
 // returns an error describing the first divergence, or nil.
-func chaosPoint(pt sweepPoint) error {
-	cfg := pt.cfg
+func chaosPoint(pt campaign.Point, workers int) error {
+	cfg := pt.Config
+	cfg.Workers = workers
 	total := cfg.TotalCycles()
-	killAt := 1 + int64(splitmix64(cfg.Seed^uint64(pt.index))%uint64(total-1))
+	killAt := 1 + int64(splitmix64(cfg.Seed^uint64(pt.Index))%uint64(total-1))
 
 	// Golden: uninterrupted at the configured worker count.
 	golden, err := sim.New(cfg)
@@ -120,17 +122,17 @@ func chaosPoint(pt sweepPoint) error {
 
 // chaosSelfTest runs chaosPoint for every sweep point and reports pass/fail
 // per point. Returns the process exit code (0 all passed, 1 otherwise).
-func chaosSelfTest(points []sweepPoint, workers int) int {
+func chaosSelfTest(points []campaign.Point, workers int) int {
 	fmt.Printf("chaos self-test: kill + checkpoint-resume vs uninterrupted, %d point(s), workers %d↔%d\n",
 		len(points), workers, map[bool]int{true: 4, false: 1}[workers == 1])
 	failed := 0
 	for _, pt := range points {
-		if err := chaosPoint(pt); err != nil {
+		if err := chaosPoint(pt, workers); err != nil {
 			failed++
-			fmt.Printf("FAIL %s=%s: %v\n", "point", pt.raw, err)
+			fmt.Printf("FAIL %s=%s: %v\n", "point", pt.Raw, err)
 			continue
 		}
-		fmt.Printf("PASS point %d (%s)\n", pt.index, pt.raw)
+		fmt.Printf("PASS point %d (%s)\n", pt.Index, pt.Raw)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "chaos self-test: %d/%d point(s) failed\n", failed, len(points))

@@ -13,12 +13,20 @@
 // under a supervisor with optional wall/stall budgets and capped-backoff
 // retries; SIGINT/SIGTERM flush a final checkpoint before exit.
 //
+// Sweeps also distribute: -serve turns this invocation into a one-shot farm
+// coordinator for exactly this sweep (workers connect and pull points;
+// results land in the same manifest.json), and -connect turns it into a
+// worker that submits the sweep to a coordinator and executes leased points.
+// Either way the output is the same CSV, bit-identical to a local run.
+//
 // Examples:
 //
 //	sweep -vary rate -values 0.1,0.2,0.3,0.4,0.5,0.6,0.7 -limiter alo
 //	sweep -vary vcs -values 1,2,3 -rate 0.5
 //	sweep -vary rate -values 0.3,0.6,0.9 -out campaign/ -checkpoint-every 2000
 //	sweep -vary rate -values 0.3,0.6,0.9 -out campaign/ -resume
+//	sweep -vary rate -values 0.3,0.6,0.9 -out campaign/ -serve 127.0.0.1:8080
+//	sweep -vary rate -values 0.3,0.6,0.9 -connect http://127.0.0.1:8080
 //	sweep -vary rate -values 0.5,2.0 -chaos      # crash-recovery self-test
 //
 // Exit codes: 0 all points completed; 1 some point failed or stalled (a
@@ -33,11 +41,9 @@ import (
 	"strings"
 	"syscall"
 
-	"wormnet/internal/baseline"
-	"wormnet/internal/core"
+	"wormnet/internal/campaign"
 	"wormnet/internal/fault"
 	"wormnet/internal/obs"
-	"wormnet/internal/sim"
 	"wormnet/internal/stats"
 	"wormnet/internal/supervisor"
 )
@@ -47,99 +53,115 @@ func main() {
 }
 
 func run() int {
-	cfg := sim.DefaultConfig()
+	spec := campaign.DefaultSpec()
 	vary := flag.String("vary", "rate", "parameter to sweep: rate, vcs, buf, threshold, msglen, faults")
 	values := flag.String("values", "0.1,0.3,0.5,0.7,0.9", "comma-separated values")
-	limiter := flag.String("limiter", "alo", "injection limiter: none, lf, dril, alo, alo-rule-a, alo-rule-b, alo-all-channels")
-	flag.IntVar(&cfg.K, "k", cfg.K, "torus radix")
-	flag.IntVar(&cfg.N, "n", cfg.N, "torus dimensions")
-	flag.StringVar(&cfg.Pattern, "pattern", cfg.Pattern, "traffic pattern")
-	flag.IntVar(&cfg.MsgLen, "len", cfg.MsgLen, "message length (flits)")
-	flag.Float64Var(&cfg.Rate, "rate", cfg.Rate, "offered load (flits/node/cycle)")
-	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
-	flag.Int64Var(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warm-up cycles")
-	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement cycles")
-	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycles")
-	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-	flag.IntVar(&cfg.Workers, "workers", 1,
+	flag.StringVar(&spec.Limiter, "limiter", spec.Limiter, "injection limiter: none, lf, dril, alo, alo-rule-a, alo-rule-b, alo-all-channels")
+	flag.IntVar(&spec.K, "k", spec.K, "torus radix")
+	flag.IntVar(&spec.N, "n", spec.N, "torus dimensions")
+	flag.StringVar(&spec.Pattern, "pattern", spec.Pattern, "traffic pattern")
+	flag.IntVar(&spec.MsgLen, "len", spec.MsgLen, "message length (flits)")
+	flag.Float64Var(&spec.Rate, "rate", spec.Rate, "offered load (flits/node/cycle)")
+	flag.IntVar(&spec.VCs, "vcs", spec.VCs, "virtual channels per physical channel")
+	flag.Int64Var(&spec.WarmupCycles, "warmup", spec.WarmupCycles, "warm-up cycles")
+	flag.Int64Var(&spec.MeasureCycles, "measure", spec.MeasureCycles, "measurement cycles")
+	flag.Int64Var(&spec.DrainCycles, "drain", spec.DrainCycles, "drain cycles")
+	flag.Uint64Var(&spec.Seed, "seed", spec.Seed, "random seed")
+	workers := flag.Int("workers", 1,
 		"engine worker goroutines per run (results are identical for any count; keep 1 unless a single run dominates)")
-	faults := flag.Float64("faults", 0, "fraction of channels to fail in every run [0,1]")
-	faultSeed := flag.Uint64("fault-seed", 1, "fault planner seed")
+	flag.Float64Var(&spec.Faults, "faults", 0, "fraction of channels to fail in every run [0,1)")
+	flag.Uint64Var(&spec.FaultSeed, "fault-seed", spec.FaultSeed, "fault planner seed")
 	jsonlPath := flag.String("jsonl", "", "also stream a run manifest plus one result record per point (JSONL) to this file")
 
 	out := flag.String("out", "", "campaign directory: journal point statuses to manifest.json and flush engine checkpoints there")
 	resume := flag.Bool("resume", false, "resume the campaign in -out: skip completed points, restore mid-point checkpoints")
-	ckptEvery := flag.Int64("checkpoint-every", 2000, "cycles between periodic checkpoints of the running point (0 = final-only; needs -out)")
+	flag.Int64Var(&spec.CheckpointEvery, "checkpoint-every", spec.CheckpointEvery, "cycles between periodic checkpoints of the running point (0 = final-only; needs -out)")
 	pointWall := flag.Duration("point-wall", 0, "wall-clock budget per point (0 = unlimited)")
-	stallWindow := flag.Int64("stall-window", 0, "declare a point stalled after this many cycles without progress (0 = off)")
-	retries := flag.Int("point-retries", 2, "retry attempts for a crashed or stalled point (capped exponential backoff)")
+	flag.Int64Var(&spec.StallWindow, "stall-window", 0, "declare a point stalled after this many cycles without progress (0 = off)")
+	flag.IntVar(&spec.Retries, "point-retries", spec.Retries, "retry attempts for a crashed or stalled point (capped exponential backoff)")
 	chaos := flag.Bool("chaos", false, "run the crash-recovery self-test instead of the sweep: kill each point mid-run, resume from its checkpoint, verify bit-identical results")
+	serve := flag.String("serve", "", "serve this sweep as a one-shot farm coordinator on this address (needs -out; workers connect with -connect)")
+	connect := flag.String("connect", "", "run as a farm worker: submit this sweep to the coordinator at this URL and execute leased points")
+	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "with -serve: lease time-to-live before a point is stolen from a silent worker")
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	f, err := limiterByName(*limiter)
-	if err != nil {
-		return fail(err)
-	}
-	cfg.Limiter, cfg.LimiterName = f, *limiter
-
+	spec.Vary = *vary
+	spec.PointWallMS = pointWall.Milliseconds()
 	vals := strings.Split(*values, ",")
 	for i := range vals {
 		vals[i] = strings.TrimSpace(vals[i])
 	}
-	points, err := buildPoints(cfg, *vary, vals, *faults, *faultSeed)
+	spec.Values = vals
+
+	points, err := spec.Points()
 	if err != nil {
 		return fail(err)
 	}
 
-	if *chaos {
-		return chaosSelfTest(points, cfg.Workers)
-	}
-	if *resume && *out == "" {
+	switch {
+	case *chaos:
+		return chaosSelfTest(points, *workers)
+	case *serve != "" && *connect != "":
+		return fail(fmt.Errorf("sweep: -serve and -connect are mutually exclusive"))
+	case *serve != "":
+		if *out == "" {
+			return fail(fmt.Errorf("sweep: -serve needs -out (the coordinator journals there)"))
+		}
+		return serveMode(*serve, *out, &spec, *leaseTTL)
+	case *connect != "":
+		return connectMode(*connect, &spec, *workers)
+	case *resume && *out == "":
 		return fail(fmt.Errorf("sweep: -resume needs -out"))
 	}
 
 	opts := &sweepOpts{
 		dir:             *out,
 		resume:          *resume,
-		checkpointEvery: *ckptEvery,
+		workers:         *workers,
+		checkpointEvery: spec.CheckpointEvery,
 		pointWall:       *pointWall,
-		stallWindow:     *stallWindow,
-		retry:           fault.RetryPolicy{MaxRetries: *retries, BackoffBase: 250, BackoffCap: 4000},
+		stallWindow:     spec.StallWindow,
+		retry:           fault.RetryPolicy{MaxRetries: spec.Retries, BackoffBase: 250, BackoffCap: 4000},
 		signals:         []os.Signal{os.Interrupt, syscall.SIGTERM},
 	}
 
-	// The campaign journal.
-	var manifest *campaignManifest
+	// The campaign journal (shared with the farm coordinator; see
+	// internal/campaign).
+	var manifest *campaign.Manifest
+	base, err := spec.BaseConfig()
+	if err != nil {
+		return fail(err)
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return fail(err)
 		}
 		if *resume {
-			manifest, err = loadManifest(*out)
+			manifest, err = campaign.LoadManifest(*out)
 			if err != nil {
 				return fail(err)
 			}
-			if err := manifest.compatible(*vary, cfg.Seed, *limiter, vals); err != nil {
+			if err := manifest.Compatible(*vary, spec.Seed, spec.Limiter, vals); err != nil {
 				return fail(err)
 			}
 		} else {
-			manifest = newManifest(*vary, cfg.Seed, *limiter, cfg.Manifest(), vals)
-			if err := manifest.save(*out); err != nil {
+			manifest = campaign.NewManifest("sweep", *vary, spec.Seed, spec.Limiter, base.Manifest(), vals)
+			if err := manifest.Save(*out); err != nil {
 				return fail(err)
 			}
 		}
 	} else {
-		manifest = newManifest(*vary, cfg.Seed, *limiter, cfg.Manifest(), vals)
+		manifest = campaign.NewManifest("sweep", *vary, spec.Seed, spec.Limiter, base.Manifest(), vals)
 	}
 	journal := func() int {
 		if *out == "" {
 			return 0
 		}
-		if err := manifest.save(*out); err != nil {
+		if err := manifest.Save(*out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -153,9 +175,9 @@ func run() int {
 			return fail(err)
 		}
 		defer func() { w.Close() }() //nolint:errcheck // stream already flushed per record
-		base := cfg.Manifest()
-		base["vary"], base["values"] = *vary, *values
-		if err := w.Write(obs.NewManifest("sweep", cfg.Seed, base)); err != nil {
+		header := base.Manifest()
+		header["vary"], header["values"] = *vary, *values
+		if err := w.Write(obs.NewManifest("sweep", spec.Seed, header)); err != nil {
 			return fail(err)
 		}
 		jsonl = w
@@ -178,13 +200,13 @@ func run() int {
 		return 0
 	}
 
-	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev,aborted,retried,dropped\n", *vary)
+	printHeader(*vary)
 	interrupted := false
 	for i := range points {
 		pt, rec := points[i], &manifest.Points[i]
-		if *resume && rec.Status == statusCompleted && rec.Result != nil {
-			printRow(pt.raw, *rec.Result)
-			if rc := emit(pt.raw, *rec.Result); rc != 0 {
+		if *resume && rec.Status == campaign.StatusCompleted && rec.Result != nil {
+			printRow(pt.Raw, *rec.Result)
+			if rc := emit(pt.Raw, *rec.Result); rc != 0 {
 				return rc
 			}
 			continue
@@ -198,7 +220,7 @@ func run() int {
 			break
 		}
 
-		rec.Status = statusRunning
+		rec.Status = campaign.StatusRunning
 		if rc := journal(); rc != 0 {
 			return rc
 		}
@@ -210,9 +232,9 @@ func run() int {
 			interrupted = true
 			break
 		}
-		if rec.Status == statusCompleted {
-			printRow(pt.raw, rep.Result)
-			if rc := emit(pt.raw, rep.Result); rc != 0 {
+		if rec.Status == campaign.StatusCompleted {
+			printRow(pt.Raw, rep.Result)
+			if rc := emit(pt.Raw, rep.Result); rc != 0 {
 				return rc
 			}
 		}
@@ -223,12 +245,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sweep: interrupted; rerun with -resume to continue")
 		return 130
 	}
-	for _, rec := range manifest.Points {
-		if rec.Status != statusCompleted {
-			return 1
-		}
+	if !manifest.AllCompleted() {
+		return 1
 	}
 	return 0
+}
+
+// printHeader prints the CSV header row.
+func printHeader(vary string) {
+	fmt.Printf("%s,accepted,latency,stddev,netlatency,deadlockpct,worstdev,bestdev,aborted,retried,dropped\n", vary)
 }
 
 // printRow prints one CSV result row.
@@ -240,30 +265,17 @@ func printRow(raw string, r stats.Result) {
 }
 
 // printStatusTable summarises every point's terminal status on stderr.
-func printStatusTable(m *campaignManifest) {
+func printStatusTable(m *campaign.Manifest) {
 	fmt.Fprintf(os.Stderr, "\n%-6s %-12s %-12s %-9s %s\n", "point", "value", "status", "attempts", "detail")
 	for _, rec := range m.Points {
 		detail := rec.Outcome
 		if rec.Error != "" {
 			detail = rec.Error
 		}
+		if rec.Worker != "" {
+			detail = fmt.Sprintf("%s [worker %s]", detail, rec.Worker)
+		}
 		fmt.Fprintf(os.Stderr, "%-6d %-12s %-12s %-9d %s\n",
 			rec.Index, rec.Value, rec.Status, rec.Attempts, detail)
-	}
-}
-
-func limiterByName(name string) (core.Factory, error) {
-	switch name {
-	case "alo-rule-a":
-		return core.NewRuleAOnly(), nil
-	case "alo-rule-b":
-		return core.NewRuleBOnly(), nil
-	case "alo-all-channels":
-		return core.NewAllChannels(), nil
-	default:
-		if f, ok := baseline.Factories()[name]; ok {
-			return f, nil
-		}
-		return nil, fmt.Errorf("unknown limiter %q", name)
 	}
 }

@@ -1,95 +1,29 @@
 package main
 
-// Per-point execution: parse the swept value into an engine config, run the
-// point under the supervisor (budgets, stall detection, signals), checkpoint
-// it periodically, and retry crashed or stalled points with capped backoff.
+// Per-point execution: run one expanded sweep point (see
+// internal/campaign's Spec.Points) under the supervisor — budgets, stall
+// detection, signals — checkpoint it periodically, and retry crashed or
+// stalled points with capped backoff.
 
 import (
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"time"
 
+	"wormnet/internal/campaign"
 	"wormnet/internal/checkpoint"
 	"wormnet/internal/fault"
 	"wormnet/internal/sim"
 	"wormnet/internal/supervisor"
-	"wormnet/internal/topology"
 )
-
-// sweepPoint is one fully resolved sweep point.
-type sweepPoint struct {
-	index int
-	raw   string
-	cfg   sim.Config
-}
-
-// buildPoints parses the -values list against the swept parameter and
-// resolves one engine config per point (including the per-point fault plan).
-func buildPoints(base sim.Config, vary string, values []string, faultFrac float64, faultSeed uint64) ([]sweepPoint, error) {
-	points := make([]sweepPoint, 0, len(values))
-	for i, raw := range values {
-		run := base
-		frac := faultFrac
-		switch vary {
-		case "rate":
-			v, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			run.Rate = v
-		case "vcs":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			run.VCs = v
-		case "buf":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			run.BufDepth = v
-		case "threshold":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			run.DetectionThreshold = int32(v)
-		case "msglen":
-			v, err := strconv.Atoi(raw)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			run.MsgLen = v
-		case "faults":
-			v, err := strconv.ParseFloat(raw, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: value %q: %w", raw, err)
-			}
-			frac = v
-		default:
-			return nil, fmt.Errorf("sweep: unknown -vary %q", vary)
-		}
-		if frac > 0 {
-			sched, err := fault.Plan(topology.New(run.K, run.N),
-				fault.Profile{LinkFraction: frac, Seed: faultSeed})
-			if err != nil {
-				return nil, err
-			}
-			run.Faults = sched
-		}
-		points = append(points, sweepPoint{index: i, raw: raw, cfg: run})
-	}
-	return points, nil
-}
 
 // sweepOpts is the shared robustness configuration of a sweep run.
 type sweepOpts struct {
 	dir             string // campaign directory ("" = no durability)
 	resume          bool
+	workers         int // engine goroutines per point
 	checkpointEvery int64
 	pointWall       time.Duration
 	stallWindow     int64
@@ -122,40 +56,42 @@ func (o *sweepOpts) supervisorOptions(ckptPath string) supervisor.Options {
 // checkpoint that fails to restore (corrupt, or the config changed) is
 // reported and discarded — the point restarts from cycle zero rather than
 // wedging the campaign.
-func buildPointEngine(pt sweepPoint, ckptPath string, resume bool) (*sim.Engine, error) {
+func buildPointEngine(pt campaign.Point, workers int, ckptPath string, resume bool) (*sim.Engine, error) {
+	cfg := pt.Config
+	cfg.Workers = workers
 	if resume && ckptPath != "" {
 		if _, err := os.Stat(ckptPath); err == nil {
 			snap, err := checkpoint.ReadFile(ckptPath)
 			if err == nil {
-				e, rerr := sim.RestoreEngine(pt.cfg, snap)
+				e, rerr := sim.RestoreEngine(cfg, snap)
 				if rerr == nil {
 					fmt.Fprintf(os.Stderr, "sweep: point %d (%s): resuming from %s at cycle %d\n",
-						pt.index, pt.raw, filepath.Base(ckptPath), e.Now())
+						pt.Index, pt.Raw, filepath.Base(ckptPath), e.Now())
 					return e, nil
 				}
 				err = rerr
 			}
 			fmt.Fprintf(os.Stderr, "sweep: point %d (%s): discarding unusable checkpoint: %v\n",
-				pt.index, pt.raw, err)
+				pt.Index, pt.Raw, err)
 			os.Remove(ckptPath) //nolint:errcheck // best-effort; a fresh run overwrites it
 		}
 	}
-	return sim.New(pt.cfg)
+	return sim.New(cfg)
 }
 
 // executePoint runs one point to a terminal status, retrying crashed and
 // stalled attempts with the policy's capped exponential backoff (read in
 // milliseconds). It updates rec in place; the caller journals it.
-func executePoint(pt sweepPoint, rec *pointRecord, o *sweepOpts) supervisor.Report {
+func executePoint(pt campaign.Point, rec *campaign.PointRecord, o *sweepOpts) supervisor.Report {
 	ckptPath := ""
 	if o.dir != "" {
-		rec.Checkpoint = fmt.Sprintf("point-%03d.wncp", pt.index)
+		rec.Checkpoint = fmt.Sprintf("point-%03d.wncp", pt.Index)
 		ckptPath = filepath.Join(o.dir, rec.Checkpoint)
 	}
 	var rep supervisor.Report
 	for attempt := 0; ; attempt++ {
 		rec.Attempts++
-		e, err := buildPointEngine(pt, ckptPath, o.resume || attempt > 0)
+		e, err := buildPointEngine(pt, o.workers, ckptPath, o.resume || attempt > 0)
 		if err != nil {
 			rep = supervisor.Report{Outcome: supervisor.Crashed, Err: err}
 		} else {
@@ -164,12 +100,12 @@ func executePoint(pt sweepPoint, rec *pointRecord, o *sweepOpts) supervisor.Repo
 		}
 		if rep.CheckpointErr != nil {
 			fmt.Fprintf(os.Stderr, "sweep: point %d (%s): final checkpoint failed: %v\n",
-				pt.index, pt.raw, rep.CheckpointErr)
+				pt.Index, pt.Raw, rep.CheckpointErr)
 		}
 
 		switch rep.Outcome {
 		case supervisor.Completed:
-			rec.Status = statusCompleted
+			rec.Status = campaign.StatusCompleted
 			rec.Outcome = rep.Outcome.String()
 			rec.Error = ""
 			r := rep.Result
@@ -180,7 +116,7 @@ func executePoint(pt sweepPoint, rec *pointRecord, o *sweepOpts) supervisor.Repo
 			}
 			return rep
 		case supervisor.Interrupted:
-			rec.Status = statusInterrupted
+			rec.Status = campaign.StatusInterrupted
 			rec.Outcome = rep.Outcome.String()
 			return rep
 		}
@@ -194,15 +130,15 @@ func executePoint(pt sweepPoint, rec *pointRecord, o *sweepOpts) supervisor.Repo
 		}
 		if o.retry.Exhausted(attempt + 1) {
 			if rep.Outcome == supervisor.Stalled {
-				rec.Status = statusStalled
+				rec.Status = campaign.StatusStalled
 			} else {
-				rec.Status = statusFailed
+				rec.Status = campaign.StatusFailed
 			}
 			return rep
 		}
 		delay := time.Duration(o.retry.Delay(attempt)) * time.Millisecond
 		fmt.Fprintf(os.Stderr, "sweep: point %d (%s): attempt %d ended %s (%v); retrying in %v\n",
-			pt.index, pt.raw, rec.Attempts, rep.Outcome, errText(rep.Err), delay)
+			pt.Index, pt.Raw, rec.Attempts, rep.Outcome, errText(rep.Err), delay)
 		time.Sleep(delay)
 	}
 }

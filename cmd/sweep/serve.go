@@ -1,0 +1,141 @@
+package main
+
+// Farm modes: -serve runs this sweep as a one-shot campaign coordinator
+// (workers pull points, results land in -out/<id>/manifest.json), -connect
+// runs it as a worker against an existing coordinator. Both end by printing
+// the usual CSV rows from the campaign manifest, so a distributed sweep is a
+// drop-in replacement for a local one.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wormnet/internal/campaign"
+)
+
+// serveMode runs a coordinator for exactly this spec, waits for a worker
+// fleet to finish it, then prints the results.
+func serveMode(addr, dir string, spec *campaign.Spec, ttl time.Duration) int {
+	coord, err := campaign.NewCoordinator(campaign.Options{Dir: dir, LeaseTTL: ttl})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	id, created, err := coord.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	srv := campaign.NewServer(coord)
+	if err := srv.Serve(addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	verb := "resumed"
+	if created {
+		verb = "created"
+	}
+	fmt.Fprintf(os.Stderr, "sweep: serving campaign %s (%s) on http://%s — connect workers with:\n", id, verb, srv.Addr())
+	fmt.Fprintf(os.Stderr, "sweep:   campaign-worker -connect http://%s\n", srv.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	interrupted := false
+wait:
+	for {
+		select {
+		case <-sigCh:
+			interrupted = true
+			break wait
+		case <-tick.C:
+			if coord.Done() {
+				break wait
+			}
+		}
+	}
+	srv.Shutdown(2 * time.Second) //nolint:errcheck // exiting either way
+
+	man, err := coord.Manifest(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	printHeader(spec.Vary)
+	for _, rec := range man.Points {
+		if rec.Status == campaign.StatusCompleted && rec.Result != nil {
+			printRow(rec.Value, *rec.Result)
+		}
+	}
+	printStatusTable(man)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; rerun -serve with the same -out to resume")
+		return 130
+	}
+	if !man.AllCompleted() {
+		return 1
+	}
+	return 0
+}
+
+// connectMode submits the spec to a coordinator (idempotent) and works the
+// campaign until it is done, then prints the coordinator's results.
+func connectMode(url string, spec *campaign.Spec, workers int) int {
+	cl := campaign.NewClient(url)
+	id, created, err := cl.Submit(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	verb := "joined"
+	if created {
+		verb = "submitted"
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %s campaign %s at %s\n", verb, id, url)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = campaign.RunWorker(ctx, campaign.WorkerOptions{
+		URL:          url,
+		Campaign:     id,
+		Workers:      workers,
+		ExitWhenDone: true,
+		Signals:      []os.Signal{os.Interrupt, syscall.SIGTERM},
+	})
+	if err != nil || ctx.Err() != nil {
+		if errors.Is(err, campaign.ErrWorkerInterrupted) || ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted; reconnect to continue")
+			return 130
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	view, err := cl.Status(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	printHeader(spec.Vary)
+	all := true
+	for _, rec := range view.Points {
+		if rec.Status == campaign.StatusCompleted && rec.Result != nil {
+			printRow(rec.Value, *rec.Result)
+		} else {
+			all = false
+		}
+	}
+	man := &campaign.Manifest{Vary: spec.Vary, Points: view.Points}
+	printStatusTable(man)
+	if !all {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"wormnet/internal/sim"
+	"wormnet/internal/stats"
+)
+
+// farmSpec is a two-point sweep small enough to run in-process but long
+// enough that the first periodic checkpoint lands well before the end.
+func farmSpec() *Spec {
+	s := testSpec()
+	s.WarmupCycles, s.MeasureCycles, s.DrainCycles = 200, 800, 300
+	s.CheckpointEvery = 150
+	s.Retries = 3
+	return s
+}
+
+// serialResults runs every point of the spec to completion in-process — the
+// golden the farm must reproduce bit-identically.
+func serialResults(t *testing.T, spec *Spec) []stats.Result {
+	t.Helper()
+	points, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]stats.Result, len(points))
+	for i, pt := range points {
+		e, err := sim.New(pt.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = e.Run()
+		e.Close()
+	}
+	return out
+}
+
+// TestFarmChaosMigration is the acceptance test for the whole subsystem:
+// worker A leases point 0, uploads one checkpoint, and chaos-dies without a
+// word to the coordinator; after the lease TTL worker B — running a
+// different engine worker count — steals the point, resumes from the
+// migrated checkpoint, and finishes the campaign. Every committed result
+// must be bit-identical to a serial, never-interrupted run.
+func TestFarmChaosMigration(t *testing.T) {
+	spec := farmSpec()
+	golden := serialResults(t, spec)
+
+	coord, err := NewCoordinator(Options{Dir: t.TempDir(), LeaseTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(coord)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	id, created, err := cl.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("submit: id=%s created=%v err=%v", id, created, err)
+	}
+
+	// Worker A: serial engine, hard-crashes after its first checkpoint
+	// upload. It must exit with the chaos sentinel, leaving its lease live.
+	errA := RunWorker(context.Background(), WorkerOptions{
+		URL:              ts.URL,
+		Name:             "chaos-a",
+		Workers:          1,
+		Poll:             20 * time.Millisecond,
+		KillAfterUploads: 1,
+		Output:           io.Discard,
+	})
+	if !errors.Is(errA, ErrChaosKilled) {
+		t.Fatalf("worker A: want chaos kill, got %v", errA)
+	}
+	view, err := coord.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Done {
+		t.Fatal("campaign done with a dead worker holding a lease")
+	}
+
+	// Worker B: two engine goroutines (bit-identity must hold across worker
+	// counts). It picks up the untouched point immediately, waits out A's
+	// lease, steals point 0 with its checkpoint, and drains the campaign.
+	errB := RunWorker(context.Background(), WorkerOptions{
+		URL:          ts.URL,
+		Name:         "mig-b",
+		Workers:      2,
+		Poll:         20 * time.Millisecond,
+		ExitWhenDone: true,
+		Output:       io.Discard,
+	})
+	if errB != nil {
+		t.Fatalf("worker B: %v", errB)
+	}
+
+	if !coord.Done() {
+		t.Fatal("worker B exited but coordinator not done")
+	}
+	man, err := coord.Manifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range man.Points {
+		rec := man.Points[i]
+		if rec.Status != StatusCompleted || rec.Result == nil {
+			t.Fatalf("point %d not completed: %+v", i, rec)
+		}
+		if !reflect.DeepEqual(*rec.Result, golden[i]) {
+			t.Errorf("point %d result diverged from serial run:\n  farm   %+v\n  serial %+v",
+				i, *rec.Result, golden[i])
+		}
+	}
+
+	// Point 0 must prove the migration: finished by B, on its second
+	// attempt, resumed from the cycle A checkpointed at.
+	p0 := man.Points[0]
+	if p0.Worker != "mig-b" {
+		t.Errorf("point 0 finished by %q, want the stealing worker", p0.Worker)
+	}
+	if p0.Attempts != 2 {
+		t.Errorf("point 0 attempts = %d, want 2 (A's grant + B's steal)", p0.Attempts)
+	}
+	if p0.ResumedFrom <= 0 {
+		t.Errorf("point 0 resumed_from = %d, want a positive checkpoint cycle", p0.ResumedFrom)
+	}
+	if p0.Checkpoint != "" {
+		t.Errorf("point 0 checkpoint not cleared after commit: %q", p0.Checkpoint)
+	}
+
+	// The farm counters saw the story too.
+	counters := map[string]float64{}
+	for _, s := range coord.Registry().Snapshot() {
+		counters[s.Name] = s.Value
+	}
+	if counters["farm_checkpoint_resume_grants_total"] < 1 {
+		t.Errorf("no resume grant counted: %v", counters["farm_checkpoint_resume_grants_total"])
+	}
+	if counters["farm_leases_expired_total"] < 1 {
+		t.Errorf("no lease expiry counted: %v", counters["farm_leases_expired_total"])
+	}
+	if counters["farm_points_completed_total"] != 2 {
+		t.Errorf("completed counter = %v, want 2", counters["farm_points_completed_total"])
+	}
+
+	// The merged view aggregates both points' stats.
+	final, err := coord.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || final.MergedResult == nil {
+		t.Fatalf("final status incomplete: done=%v merged=%v", final.Done, final.MergedResult)
+	}
+	wantDelivered := golden[0].Delivered + golden[1].Delivered
+	if final.MergedResult.Delivered != wantDelivered {
+		t.Errorf("merged delivered = %d, want %d", final.MergedResult.Delivered, wantDelivered)
+	}
+}
+
+// TestFarmInterruptReleasesLease covers the graceful half of migration: a
+// cancelled worker abandons cleanly and a second worker finishes the
+// campaign with results still bit-identical to serial.
+func TestFarmInterruptReleasesLease(t *testing.T) {
+	spec := farmSpec()
+	golden := serialResults(t, spec)
+
+	coord, err := NewCoordinator(Options{LeaseTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(coord)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	id, _, err := cl.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel worker A shortly after it starts its first point.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	errA := RunWorker(ctx, WorkerOptions{
+		URL:    ts.URL,
+		Name:   "cancelled-a",
+		Poll:   20 * time.Millisecond,
+		Output: io.Discard,
+	})
+	if !errors.Is(errA, context.Canceled) {
+		t.Fatalf("worker A: want context.Canceled, got %v", errA)
+	}
+
+	errB := RunWorker(context.Background(), WorkerOptions{
+		URL:          ts.URL,
+		Name:         "finisher-b",
+		Poll:         20 * time.Millisecond,
+		ExitWhenDone: true,
+		Output:       io.Discard,
+	})
+	if errB != nil {
+		t.Fatalf("worker B: %v", errB)
+	}
+	man, err := coord.Manifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range man.Points {
+		if man.Points[i].Status != StatusCompleted {
+			t.Fatalf("point %d not completed: %+v", i, man.Points[i])
+		}
+		if !reflect.DeepEqual(*man.Points[i].Result, golden[i]) {
+			t.Errorf("point %d diverged from serial run", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package campaign
+
+// The durable campaign journal, factored out of cmd/sweep (PR 5) so the
+// single-process sweep and the distributed coordinator share one format. A
+// campaign journals every point-status transition to manifest.json in its
+// campaign directory, atomically (temp file + rename), so a crashed or
+// killed campaign can be resumed: completed points are skipped, and a point
+// that left a mid-run checkpoint restarts from it instead of from cycle
+// zero. The JSON layout is exactly the PR 5 sweep manifest (see
+// TestManifestGolden); fields added since are omitempty so old journals
+// load unchanged.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wormnet/internal/stats"
+)
+
+// Status is the lifecycle of one point in the journal.
+type Status string
+
+// Point statuses. StatusRunning in a *loaded* manifest means the process
+// (or the worker holding the lease) died mid-point; resume treats it like
+// pending, restoring its checkpoint if one was flushed.
+const (
+	StatusPending     Status = "pending"
+	StatusRunning     Status = "running"
+	StatusCompleted   Status = "completed"
+	StatusFailed      Status = "failed"
+	StatusStalled     Status = "stalled"
+	StatusInterrupted Status = "interrupted"
+)
+
+// Terminal reports whether a point in this status will never run again.
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusStalled
+}
+
+// PointRecord is one point's journal entry.
+type PointRecord struct {
+	Index    int    `json:"index"`
+	Value    string `json:"value"`
+	Status   Status `json:"status"`
+	Attempts int    `json:"attempts,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Checkpoint is the point's snapshot file (relative to the campaign
+	// directory); present while a resumable mid-run state exists.
+	Checkpoint string        `json:"checkpoint,omitempty"`
+	Result     *stats.Result `json:"result,omitempty"`
+	// Worker names the worker currently holding (or last to hold) the
+	// point's lease; empty for single-process sweeps.
+	Worker string `json:"worker,omitempty"`
+	// ResumedFrom is the cycle a migrated checkpoint restored the point at
+	// on its final (completing) attempt; 0 when the point ran from scratch.
+	ResumedFrom int64 `json:"resumed_from,omitempty"`
+}
+
+// Manifest is the journal's root document.
+type Manifest struct {
+	Tool    string         `json:"tool"`
+	Vary    string         `json:"vary"`
+	Seed    uint64         `json:"seed"`
+	Limiter string         `json:"limiter"`
+	Config  map[string]any `json:"config"`
+	Points  []PointRecord  `json:"points"`
+}
+
+// ManifestName is the journal file inside a campaign directory.
+const ManifestName = "manifest.json"
+
+// NewManifest seeds a journal with every point pending.
+func NewManifest(tool, vary string, seed uint64, limiter string, config map[string]any, values []string) *Manifest {
+	m := &Manifest{Tool: tool, Vary: vary, Seed: seed, Limiter: limiter, Config: config}
+	for i, v := range values {
+		m.Points = append(m.Points, PointRecord{Index: i, Value: v, Status: StatusPending})
+	}
+	return m
+}
+
+// Save writes the journal atomically: a torn write can never destroy the
+// previous good journal.
+func (m *Manifest) Save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort; gone after rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: sync manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the journal from a campaign directory.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: parse %s: %w", ManifestName, err)
+	}
+	return &m, nil
+}
+
+// Compatible verifies a loaded journal describes the same campaign as the
+// current invocation: same swept parameter, same seed, same limiter, same
+// point values in the same order. (Per-point engine configs are additionally
+// guarded by the checkpoint layer's config digest at restore time.)
+func (m *Manifest) Compatible(vary string, seed uint64, limiter string, values []string) error {
+	switch {
+	case m.Vary != vary:
+		return fmt.Errorf("campaign: resuming -vary %s campaign with -vary %s", m.Vary, vary)
+	case m.Seed != seed:
+		return fmt.Errorf("campaign: resuming seed %d campaign with seed %d", m.Seed, seed)
+	case m.Limiter != limiter:
+		return fmt.Errorf("campaign: resuming -limiter %s campaign with -limiter %s", m.Limiter, limiter)
+	case len(m.Points) != len(values):
+		return fmt.Errorf("campaign: resuming %d-point campaign with %d values", len(m.Points), len(values))
+	}
+	for i, v := range values {
+		if m.Points[i].Value != v {
+			return fmt.Errorf("campaign: point %d is %q in the journal but %q now", i, m.Points[i].Value, v)
+		}
+	}
+	return nil
+}
+
+// Done reports whether every point reached a terminal status.
+func (m *Manifest) Done() bool {
+	for i := range m.Points {
+		if !m.Points[i].Status.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// AllCompleted reports whether every point completed with a result.
+func (m *Manifest) AllCompleted() bool {
+	for i := range m.Points {
+		if m.Points[i].Status != StatusCompleted {
+			return false
+		}
+	}
+	return true
+}
+
+// StatusCounts tallies points by status (for progress views).
+func (m *Manifest) StatusCounts() map[Status]int {
+	counts := make(map[Status]int)
+	for i := range m.Points {
+		counts[m.Points[i].Status]++
+	}
+	return counts
+}

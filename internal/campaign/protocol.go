@@ -1,0 +1,138 @@
+package campaign
+
+// Wire types of the lease-based dispatch protocol between the coordinator
+// and its workers. Everything is JSON over HTTP except checkpoint payloads,
+// which travel as raw WNCP bytes (the checkpoint package's framed format —
+// the coordinator stores and forwards them bit-exactly, so a migrated
+// point resumes from the very bytes the dying worker flushed).
+
+import (
+	"wormnet/internal/metrics"
+	"wormnet/internal/stats"
+)
+
+// ProtocolVersion guards the dispatch protocol itself; it travels in every
+// acquire request next to the build version.
+const ProtocolVersion = 1
+
+// Acquire statuses.
+const (
+	// StatusWork: the response carries an assignment.
+	AcquireWork = "work"
+	// AcquireWait: no work right now (all points leased, or the
+	// coordinator is draining); poll again with backoff.
+	AcquireWait = "wait"
+	// AcquireDone: every known campaign is terminal; a worker run with
+	// exit-when-done stops cleanly.
+	AcquireDone = "done"
+)
+
+// AcquireRequest asks the coordinator for a point lease.
+type AcquireRequest struct {
+	// Worker is the caller's stable name (shown in manifests and views).
+	Worker string `json:"worker"`
+	// Version is the worker's build version (obs.BuildVersion). The
+	// coordinator rejects mismatches: mixed-version fleets cannot promise
+	// bit-identical results.
+	Version string `json:"version"`
+	// Protocol is the worker's ProtocolVersion.
+	Protocol int `json:"protocol"`
+	// Campaign optionally pins the worker to one campaign.
+	Campaign string `json:"campaign,omitempty"`
+}
+
+// Assignment is one granted lease.
+type Assignment struct {
+	Campaign string `json:"campaign"`
+	Lease    string `json:"lease"`
+	Point    int    `json:"point"`
+	Value    string `json:"value"`
+	// Attempt is the 1-based attempt number this grant represents.
+	Attempt int `json:"attempt"`
+	// TTLMS is the lease time-to-live in milliseconds; renew well within it.
+	TTLMS int64 `json:"ttl_ms"`
+	// Digest is the coordinator's sim.ConfigDigest for the point. The
+	// worker recomputes it from Spec and must refuse the lease on mismatch;
+	// Complete echoes it and the coordinator verifies once more.
+	Digest string `json:"digest"`
+	// HasCheckpoint reports that a migrated checkpoint is waiting: fetch
+	// it and resume instead of starting from cycle zero.
+	HasCheckpoint bool `json:"has_checkpoint"`
+	// Spec is the campaign's full spec; the worker expands Point from it.
+	Spec *Spec `json:"spec"`
+}
+
+// AcquireResponse is the coordinator's answer to an acquire.
+type AcquireResponse struct {
+	Status     string      `json:"status"` // work | wait | done
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// RenewRequest is a lease heartbeat with a live progress snapshot.
+type RenewRequest struct {
+	// Cycle is the engine's most recently checkpointed/observed cycle.
+	Cycle int64 `json:"cycle"`
+	// Metrics is the worker engine's current registry snapshot; the
+	// coordinator folds it into the campaign's live metrics view.
+	Metrics []metrics.Sample `json:"metrics,omitempty"`
+}
+
+// CompleteRequest commits a finished point.
+type CompleteRequest struct {
+	// Digest must equal the assignment's digest.
+	Digest string       `json:"digest"`
+	Result stats.Result `json:"result"`
+	// Stats is the point's full collector state; the coordinator merges it
+	// into the campaign-wide aggregate with stats.Collector.Merge.
+	Stats *stats.CollectorState `json:"stats,omitempty"`
+	// Metrics is the final engine registry snapshot, merged into the
+	// campaign's metrics with metrics.Registry.Merge.
+	Metrics []metrics.Sample `json:"metrics,omitempty"`
+	// ResumedFrom is the cycle this attempt restored a migrated checkpoint
+	// at (0 = ran from scratch).
+	ResumedFrom int64 `json:"resumed_from,omitempty"`
+}
+
+// FailRequest reports a non-completed attempt. Outcome is the supervisor
+// outcome string (stalled, deadline, crashed, interrupted).
+type FailRequest struct {
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+}
+
+// LeaseView is the status view of one active lease.
+type LeaseView struct {
+	Point     int    `json:"point"`
+	Worker    string `json:"worker"`
+	Lease     string `json:"lease"`
+	Cycle     int64  `json:"cycle"`
+	Attempt   int    `json:"attempt"`
+	ExpiresMS int64  `json:"expires_ms"` // time until expiry (may be negative)
+}
+
+// CampaignSummary is one row of the campaign list.
+type CampaignSummary struct {
+	ID        string `json:"id"`
+	Vary      string `json:"vary"`
+	Points    int    `json:"points"`
+	Completed int    `json:"completed"`
+	Done      bool   `json:"done"`
+}
+
+// StatusView is the live progress view of one campaign
+// (GET /campaigns/{id}).
+type StatusView struct {
+	ID     string         `json:"id"`
+	Done   bool           `json:"done"`
+	Counts map[Status]int `json:"counts"`
+	Points []PointRecord  `json:"points"`
+	Leases []LeaseView    `json:"leases,omitempty"`
+	// MergedResult aggregates the completed points' collectors
+	// (stats.Collector.Merge): pooled latency statistics, summed counters,
+	// per-run-averaged rates. Nil until a completed point shipped its
+	// collector state this coordinator lifetime.
+	MergedResult *stats.Result `json:"merged_result,omitempty"`
+	// Metrics is the merged engine-metrics view: completed points'
+	// registries plus the latest heartbeat snapshot of every live lease.
+	Metrics map[string]any `json:"metrics,omitempty"`
+}

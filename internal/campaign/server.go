@@ -1,0 +1,242 @@
+package campaign
+
+// The coordinator's HTTP face. Campaign routes live next to the standard
+// obs.Monitor surface (/healthz with build version, /debug/pprof/*), and
+// the farm's own metrics are served in Prometheus text form:
+//
+//	POST /campaigns                           submit a spec (idempotent)
+//	GET  /campaigns                           list campaigns
+//	GET  /campaigns/{id}                      live progress view
+//	POST /campaigns/{id}/acquire              lease a point (also POST /acquire)
+//	POST /campaigns/{id}/leases/{lease}/renew       heartbeat + live metrics
+//	POST /campaigns/{id}/leases/{lease}/checkpoint  upload WNCP bytes
+//	POST /campaigns/{id}/leases/{lease}/complete    exactly-once commit
+//	POST /campaigns/{id}/leases/{lease}/fail        report a failed attempt
+//	GET  /campaigns/{id}/points/{point}/checkpoint  download migrated WNCP bytes
+//	GET  /metrics /healthz /debug/pprof/*
+//
+// Graceful drain follows the obs.Monitor protocol: Shutdown flips /healthz
+// to 503 and stops granting leases, lets in-flight requests finish, then
+// closes the listener.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wormnet/internal/obs"
+)
+
+// maxCheckpointBytes bounds one uploaded checkpoint (64 MiB — an 8-ary
+// 3-cube snapshot is well under 1 MiB).
+const maxCheckpointBytes = 64 << 20
+
+// Server exposes a Coordinator over HTTP.
+type Server struct {
+	coord   *Coordinator
+	monitor *obs.Monitor
+	mux     *http.ServeMux
+}
+
+// NewServer builds the HTTP face of a coordinator. The monitor handles
+// /metrics, /healthz, /snapshot and /debug/pprof/*; it reports the
+// coordinator's build version on /healthz so probes can spot version skew
+// from the outside.
+func NewServer(coord *Coordinator) *Server {
+	monitor := obs.NewMonitor(coord.Registry(), obs.NewManifest("campaignd", 0, nil), nil)
+	monitor.SetBuildInfo(coord.Version())
+	s := &Server{coord: coord, monitor: monitor, mux: http.NewServeMux()}
+
+	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /campaigns/{id}/acquire", s.handleAcquire)
+	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/checkpoint", s.handleUploadCheckpoint)
+	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/complete", s.handleComplete)
+	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/fail", s.handleFail)
+	s.mux.HandleFunc("GET /campaigns/{id}/points/{point}/checkpoint", s.handleDownloadCheckpoint)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("/", monitor.Handler())
+	return s
+}
+
+// Handler returns the full route table (tests mount it on httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Monitor returns the embedded obs monitor (drain control, /healthz).
+func (s *Server) Monitor() *obs.Monitor { return s.monitor }
+
+// Serve binds addr and serves in the background until Shutdown/Close.
+func (s *Server) Serve(addr string) error {
+	// The monitor owns the listener and server lifecycle; route everything
+	// through our mux (which falls back to the monitor's handlers).
+	return s.monitor.ServeHandler(addr, s.mux)
+}
+
+// Addr returns the bound address ("" before Serve).
+func (s *Server) Addr() string { return s.monitor.Addr() }
+
+// Shutdown drains gracefully: stop granting leases, flip /healthz to 503,
+// give in-flight requests up to timeout, then close.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.coord.BeginDrain()
+	return s.monitor.Shutdown(timeout)
+}
+
+// Close stops serving immediately.
+func (s *Server) Close() error { return s.monitor.Close() }
+
+// httpError maps coordinator errors onto status codes. Workers treat 410 as
+// "lease lost, abandon the point" and 409 as "refused, do not retry".
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownCampaign):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrLeaseLost):
+		code = http.StatusGone
+	case errors.Is(err, ErrVersionSkew), errors.Is(err, ErrProtocolSkew), errors.Is(err, ErrDigestMismatch):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBadCheckpoint):
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeSpec(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, created, err := s.coord.Submit(spec)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{"id": id, "created": created})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, err := s.coord.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req AcquireRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("campaign: decode acquire: %v", err), http.StatusBadRequest)
+		return
+	}
+	if id := r.PathValue("id"); id != "" {
+		req.Campaign = id
+	}
+	resp, err := s.coord.Acquire(req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxCheckpointBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("campaign: decode renew: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.coord.Renew(r.PathValue("id"), r.PathValue("lease"), req); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleUploadCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("campaign: read checkpoint: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.coord.StoreCheckpoint(r.PathValue("id"), r.PathValue("lease"), data); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "bytes": len(data)})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxCheckpointBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("campaign: decode complete: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.coord.Complete(r.PathValue("id"), r.PathValue("lease"), req); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("campaign: decode fail: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.coord.Fail(r.PathValue("id"), r.PathValue("lease"), req); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleDownloadCheckpoint(w http.ResponseWriter, r *http.Request) {
+	point, err := strconv.Atoi(r.PathValue("point"))
+	if err != nil {
+		http.Error(w, "campaign: bad point index", http.StatusBadRequest)
+		return
+	}
+	data, ok, err := s.coord.GetCheckpoint(r.PathValue("id"), point)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if !ok {
+		http.Error(w, "campaign: no checkpoint for point", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.coord.UpdateGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.coord.Registry()) //nolint:errcheck // client went away
+}

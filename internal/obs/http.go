@@ -2,11 +2,14 @@ package obs
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +35,8 @@ type Monitor struct {
 	ln       net.Listener
 	draining atomic.Bool
 	status   atomic.Pointer[func() string]
+	version  atomic.Pointer[string]
+	digest   atomic.Pointer[func() string]
 }
 
 // NewMonitor builds a monitor for the registry. cycle reports the engine's
@@ -59,12 +64,20 @@ func (m *Monitor) Handler() http.Handler {
 // Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the monitor
 // in a background goroutine until Close.
 func (m *Monitor) Serve(addr string) error {
+	return m.ServeHandler(addr, m.Handler())
+}
+
+// ServeHandler binds addr and serves h — typically a larger mux that falls
+// back to Handler() — with the monitor owning the listener and shutdown
+// lifecycle. Embedders (the campaign coordinator) use this to add routes
+// while keeping the monitor's drain protocol.
+func (m *Monitor) ServeHandler(addr string, h http.Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	m.ln = ln
-	m.srv = &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	m.srv = &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go m.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return nil
 }
@@ -102,6 +115,30 @@ func (m *Monitor) SetStatus(f func() string) {
 	m.status.Store(&f)
 }
 
+// SetBuildInfo attaches the process's build version to /healthz (typically
+// BuildVersion()). Pass "" to detach. Safe to call concurrently with
+// serving.
+func (m *Monitor) SetBuildInfo(version string) {
+	if version == "" {
+		m.version.Store(nil)
+		return
+	}
+	m.version.Store(&version)
+}
+
+// SetConfigDigest attaches a configuration digest source to /healthz
+// (typically the sim.ConfigDigest of the run the process is executing), so
+// a farm coordinator — or a human probe — can tell at a glance whether two
+// processes are really running the same experiment. Pass nil to detach.
+// Safe to call concurrently with serving.
+func (m *Monitor) SetConfigDigest(f func() string) {
+	if f == nil {
+		m.digest.Store(nil)
+		return
+	}
+	m.digest.Store(&f)
+}
+
 // Shutdown drains the monitor gracefully: /healthz starts reporting
 // draining, in-flight requests get up to timeout to finish, and the listener
 // closes. If the deadline passes, remaining connections are cut hard.
@@ -117,6 +154,17 @@ func (m *Monitor) Shutdown(timeout time.Duration) error {
 		return m.srv.Close()
 	}
 	return nil
+}
+
+// shortDigest compacts a config digest (a long key=value line) to a stable
+// 12-hex-digit fingerprint that fits a health-probe line. Already-short
+// strings pass through.
+func shortDigest(d string) string {
+	if len(d) <= 16 && !strings.ContainsAny(d, " \t\n") {
+		return d
+	}
+	sum := sha256.Sum256([]byte(d))
+	return hex.EncodeToString(sum[:6])
 }
 
 func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -147,6 +195,14 @@ func (m *Monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if sp := m.status.Load(); sp != nil {
 		state += " state=" + (*sp)()
+	}
+	if vp := m.version.Load(); vp != nil {
+		state += " version=" + *vp
+	}
+	if dp := m.digest.Load(); dp != nil {
+		if d := (*dp)(); d != "" {
+			state += " digest=" + shortDigest(d)
+		}
 	}
 	if m.cycle != nil {
 		fmt.Fprintf(w, "%s cycle=%d\n", state, m.cycle())

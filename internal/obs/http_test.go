@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"wormnet/internal/metrics"
+)
+
+func healthzBody(t *testing.T, m *Monitor) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	return rr.Body.String()
+}
+
+// TestHealthzBuildAndDigest covers the farm-facing identity lines: the
+// build version and the (shortened) config digest a coordinator or probe
+// reads off /healthz to tell whether two processes match.
+func TestHealthzBuildAndDigest(t *testing.T) {
+	m := NewMonitor(metrics.NewRegistry(), Manifest{}, func() int64 { return 42 })
+
+	body := healthzBody(t, m)
+	if strings.Contains(body, "version=") || strings.Contains(body, "digest=") {
+		t.Fatalf("identity lines present before Set*: %q", body)
+	}
+
+	m.SetBuildInfo("abc123def456")
+	longDigest := "rate=0.5 vcs=2 buf=4 k=8 n=2 limiter=alo seed=42"
+	m.SetConfigDigest(func() string { return longDigest })
+	body = healthzBody(t, m)
+	if !strings.Contains(body, " version=abc123def456") {
+		t.Errorf("version missing: %q", body)
+	}
+	dig := regexp.MustCompile(` digest=([0-9a-f]{12})`).FindStringSubmatch(body)
+	if dig == nil {
+		t.Fatalf("shortened digest missing: %q", body)
+	}
+	if dig[1] != shortDigest(longDigest) {
+		t.Errorf("digest %s does not match shortDigest(%q)", dig[1], longDigest)
+	}
+	if !strings.Contains(body, "cycle=42") {
+		t.Errorf("cycle lost from the identity line: %q", body)
+	}
+
+	// Detach both; the plain line comes back.
+	m.SetBuildInfo("")
+	m.SetConfigDigest(nil)
+	body = healthzBody(t, m)
+	if strings.Contains(body, "version=") || strings.Contains(body, "digest=") {
+		t.Errorf("identity lines survive detach: %q", body)
+	}
+
+	// An empty digest source stays silent rather than printing "digest=".
+	m.SetConfigDigest(func() string { return "" })
+	if body = healthzBody(t, m); strings.Contains(body, "digest=") {
+		t.Errorf("empty digest printed: %q", body)
+	}
+}
+
+func TestShortDigest(t *testing.T) {
+	if got := shortDigest("abc123"); got != "abc123" {
+		t.Errorf("short clean string rewritten: %q", got)
+	}
+	long := strings.Repeat("k=v ", 20)
+	got := shortDigest(long)
+	if !regexp.MustCompile(`^[0-9a-f]{12}$`).MatchString(got) {
+		t.Errorf("long digest not a 12-hex fingerprint: %q", got)
+	}
+	if got != shortDigest(long) {
+		t.Error("fingerprint not stable")
+	}
+	// Even a short string with spaces gets hashed: it would break the
+	// space-separated healthz line otherwise.
+	if got := shortDigest("a b"); strings.Contains(got, " ") {
+		t.Errorf("spaces leaked into the probe line: %q", got)
+	}
+}
+
+// TestServeHandler proves an embedder can own the mux while the monitor
+// owns listener and drain — the shape the campaign server uses.
+func TestServeHandler(t *testing.T) {
+	m := NewMonitor(metrics.NewRegistry(), Manifest{}, nil)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/custom", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "custom ok") //nolint:errcheck // test
+	})
+	mux.Handle("/", m.Handler())
+	if err := m.ServeHandler("127.0.0.1:0", mux); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + m.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/custom"); code != 200 || body != "custom ok" {
+		t.Errorf("embedder route: %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Errorf("fallback monitor route: %d %q", code, body)
+	}
+	if err := m.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildVersionNonEmpty(t *testing.T) {
+	v := BuildVersion()
+	if v == "" {
+		t.Fatal("BuildVersion returned empty")
+	}
+	if v != BuildVersion() {
+		t.Fatal("BuildVersion not stable across calls")
+	}
+}

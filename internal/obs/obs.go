@@ -20,7 +20,9 @@ import (
 	"bytes"
 	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -51,6 +53,42 @@ func NewManifest(tool string, seed uint64, config map[string]any) Manifest {
 		Config:  config,
 	}
 }
+
+// BuildVersion identifies the running build: the module's VCS revision
+// (plus -dirty) when the binary was built from a stamped checkout, the
+// module version for a released build, or `git describe` of the working
+// tree as a last resort (test binaries carry no VCS stamp). The campaign
+// farm compares this string across processes: a coordinator refuses workers
+// of a different build, because mixed-version fleets cannot promise
+// bit-identical results. Computed once per process.
+var BuildVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	if g := GitDescribe(); g != "" {
+		return g
+	}
+	return "unknown"
+})
 
 // GitDescribe returns `git describe --always --dirty` of the working tree,
 // or "" when git (or a repository) is unavailable. Best effort only — a

@@ -1,0 +1,95 @@
+// Command manifestdiff compares two campaign manifests for result
+// equivalence: same sweep header (vary, seed, limiter, values), every point
+// completed, and bit-identical stats.Result per point. Provenance fields
+// that legitimately differ between a farm run and a serial run — worker,
+// attempts, resumed_from, checkpoint — are ignored.
+//
+// Usage:
+//
+//	manifestdiff [-require-resume] <dirA> <dirB>
+//
+// With -require-resume, dirA must additionally contain at least one point
+// that resumed from a migrated checkpoint (resumed_from > 0) — the smoke
+// test's proof that a kill actually exercised the migration path.
+//
+// Exit codes: 0 equivalent; 1 different (diffs on stderr); 2 usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"wormnet/internal/campaign"
+)
+
+func main() {
+	requireResume := flag.Bool("require-resume", false,
+		"fail unless the first manifest has a point with resumed_from > 0")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestdiff [-require-resume] <dirA> <dirB>")
+		os.Exit(2)
+	}
+	a, err := campaign.LoadManifest(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b, err := campaign.LoadManifest(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	diff := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "manifestdiff: "+format+"\n", args...)
+		bad++
+	}
+
+	if a.Vary != b.Vary || a.Seed != b.Seed || a.Limiter != b.Limiter {
+		diff("headers differ: %s/%d/%s vs %s/%d/%s",
+			a.Vary, a.Seed, a.Limiter, b.Vary, b.Seed, b.Limiter)
+	}
+	if len(a.Points) != len(b.Points) {
+		diff("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+
+	resumed := 0
+	for i := 0; i < len(a.Points) && i < len(b.Points); i++ {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.Value != pb.Value {
+			diff("point %d values differ: %s vs %s", i, pa.Value, pb.Value)
+			continue
+		}
+		if pa.Status != campaign.StatusCompleted || pb.Status != campaign.StatusCompleted {
+			diff("point %d not completed on both sides: %s vs %s", i, pa.Status, pb.Status)
+			continue
+		}
+		if pa.Result == nil || pb.Result == nil {
+			diff("point %d missing a result: %v vs %v", i, pa.Result, pb.Result)
+			continue
+		}
+		if !reflect.DeepEqual(*pa.Result, *pb.Result) {
+			diff("point %d (%s=%s) results diverge:\n  A: %+v\n  B: %+v",
+				i, a.Vary, pa.Value, *pa.Result, *pb.Result)
+		}
+		if pa.ResumedFrom > 0 {
+			resumed++
+		}
+	}
+	if *requireResume && resumed == 0 {
+		diff("no point in %s resumed from a migrated checkpoint", flag.Arg(0))
+	}
+
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("manifestdiff: %d points equivalent", len(a.Points))
+	if resumed > 0 {
+		fmt.Printf(" (%d resumed from a migrated checkpoint)", resumed)
+	}
+	fmt.Println()
+}
