@@ -47,7 +47,7 @@ func run() int {
 	url := flag.String("connect", "", "coordinator base URL (required), e.g. http://127.0.0.1:8080")
 	name := flag.String("name", "", "worker name shown in leases and manifests (default host-pid)")
 	campaignID := flag.String("campaign", "", "work only this campaign id (default: any)")
-	workers := flag.Int("workers", 1, "engine worker goroutines per point (results are identical for any count)")
+	workers := flag.Int("workers", 1, "engine worker goroutines per point (results are identical for any count; a spec's engine_workers > 0 overrides this)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between acquire attempts when no work is assignable")
 	exitWhenDone := flag.Bool("exit-when-done", false, "exit once the coordinator reports every campaign terminal")
 	monitorAddr := flag.String("monitor", "", "serve the worker's own /healthz and /debug/pprof on this address")

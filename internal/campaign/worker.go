@@ -56,6 +56,7 @@ type WorkerOptions struct {
 	Campaign string
 	// Workers is the engine goroutine count per point (0 = serial). Results
 	// are bit-identical at any setting, so a heterogeneous fleet is fine.
+	// A spec that sets engine_workers > 0 overrides this per campaign.
 	Workers int
 	// Poll is the idle wait between acquire attempts when the coordinator
 	// has nothing assignable (0 = 500ms).
@@ -214,6 +215,12 @@ func (w *worker) runAssignment(ctx context.Context, a *Assignment) error {
 	}
 	cfg := pt.Config
 	cfg.Workers = w.opts.Workers
+	if a.Spec.EngineWorkers > 0 {
+		// The spec pins the engine worker count for every point; it beats
+		// this worker's own -workers setting. Either way the results are
+		// bit-identical — only the wall-clock profile changes.
+		cfg.Workers = a.Spec.EngineWorkers
+	}
 
 	if w.opts.Monitor != nil {
 		digest := pt.Digest

@@ -240,11 +240,13 @@ func (c Config) Manifest() map[string]any {
 }
 
 // DefaultWorkers returns a reasonable Workers value for running one engine
-// on the current machine: the CPU count, capped at 8 (the phase barriers
+// on the current machine: GOMAXPROCS — the number of goroutines that can
+// actually run, which the scheduler may cap well below NumCPU in
+// containers or under explicit limits — capped at 8 (the phase barriers
 // outgrow the per-shard work beyond that on the paper's network sizes).
 // Callers running many engines concurrently (sweeps) should stay at 1.
 func DefaultWorkers() int {
-	w := runtime.NumCPU()
+	w := runtime.GOMAXPROCS(0)
 	if w > 8 {
 		w = 8
 	}

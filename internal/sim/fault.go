@@ -29,17 +29,24 @@ import (
 // phaseFaults applies every scheduled fault event whose cycle has arrived,
 // then promotes fault retries whose backoff has expired back to the front
 // of their source queues. It runs before traffic generation, so a failure
-// at cycle t is visible to every decision of cycle t.
+// at cycle t is visible to every decision of cycle t. The parallel path
+// splits the two halves: applyDueFaults stays serial (teardowns cross
+// shards) while the promotion walk runs sharded (promoteRetriesRange).
 func (e *Engine) phaseFaults() {
-	for e.faultIdx < len(e.faultEvents) && e.faultEvents[e.faultIdx].Cycle <= e.now {
-		e.applyFault(e.faultEvents[e.faultIdx])
-		e.faultIdx++
-	}
+	e.applyDueFaults()
 	for i := range e.nodes {
 		nd := &e.nodes[i]
 		if len(nd.retry) > 0 {
 			e.promoteRetries(nd)
 		}
+	}
+}
+
+// applyDueFaults executes the scheduled fault events that have come due.
+func (e *Engine) applyDueFaults() {
+	for e.faultIdx < len(e.faultEvents) && e.faultEvents[e.faultIdx].Cycle <= e.now {
+		e.applyFault(e.faultEvents[e.faultIdx])
+		e.faultIdx++
 	}
 }
 

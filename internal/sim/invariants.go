@@ -191,7 +191,9 @@ func (e *Engine) CheckInvariants() error {
 		// Between cycles every parallel deferral buffer must be drained:
 		// generation records and globally-ordered events are committed
 		// within the cycle that produced them, and every planned cross-shard
-		// push is applied by the destination shard before the cycle ends.
+		// push is applied by the destination shard before the cycle ends
+		// (the consumer's seen stamp must have caught up with every
+		// published ring batch).
 		for i := range p.shards {
 			sh := &p.shards[i]
 			if len(sh.gen) != 0 {
@@ -200,10 +202,13 @@ func (e *Engine) CheckInvariants() error {
 			if len(sh.events) != 0 {
 				return fmt.Errorf("shard %d: %d uncommitted deferred events", i, len(sh.events))
 			}
-			for d := range sh.out {
-				if len(sh.out[d]) != 0 {
-					return fmt.Errorf("shard %d: %d unapplied pushes for shard %d", i, len(sh.out[d]), d)
-				}
+		}
+		n := len(p.shards)
+		for i := range p.rings {
+			r := &p.rings[i]
+			if v := r.pub.Load(); v != 0 && r.seen != v {
+				return fmt.Errorf("ring %d->%d: published batch (stamp %d, %d pushes) not drained (seen %d)",
+					i/n, i%n, v>>32, uint32(v), r.seen)
 			}
 		}
 	}

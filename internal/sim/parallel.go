@@ -3,49 +3,70 @@ package sim
 // Deterministic sharded parallel execution of the cycle engine.
 //
 // The node arena is partitioned into Config.Workers contiguous shards, one
-// goroutine each, and every engine phase runs shard-parallel with barriers
-// in between. Results are bit-identical to the serial path for any worker
+// goroutine each, and the cycle runs as four fused parallel sections with
+// one barrier after each (a fifth barrier appears only on the rare cycles
+// where a recovery or fault kill could fire — see the trigger pre-scan
+// below). Results are bit-identical to the serial path for any worker
 // count. The scheme rests on three rules:
 //
 //  1. Own-node writes only. Inside a parallel section a shard writes nothing
 //     but the state of its own nodes. The one phase that naturally crosses
-//     shards — flit movement into a neighbour's input buffer — is split into
-//     two passes around a barrier: the source pass pops flits and records
-//     planned pushes into per-(source,destination)-shard buckets, the push
-//     pass applies each destination node's pushes on the destination node's
-//     own shard. A buffer sees at most one pop and one push per cycle (one
-//     upstream sender, one grant per output port), and pop-then-push leaves
-//     the ring, the empty/full status bits and the active-set counters in
-//     exactly the state any serial interleaving would.
+//     shards — flit movement into a neighbour's input buffer — applies
+//     pushes whose destination is inside the shard directly (serial style,
+//     fused with the pop pass) and routes the rest through a preallocated
+//     single-producer/single-consumer ring per ordered shard pair: the
+//     source shard fills its rings while popping, publishes each ring once
+//     with a cycle-stamped atomic store, and the destination shard drains
+//     the rings addressed to it, applying every push to its own nodes. At
+//     most one push lands in any buffer per cycle (one upstream sender,
+//     one grant per output port) and all the status-word and counter
+//     updates it triggers are consumer-local, so pushes commute with each
+//     other and with the consumer's own remaining pops — which is what
+//     lets pass 1 and pass 2 of the move phase share a single section with
+//     no barrier between them.
 //
 //  2. Phase-stable cross-shard reads. The only remote state a parallel
 //     section reads — the downstream empty words during allocation, the
 //     downstream full words during switch allocation, the liveness mask —
-//     is written by no one during that section, so no double-buffering is
-//     needed: the words *are* the previous phase's values. (An earlier
-//     design copied the credit words per phase; the phase split already
-//     guarantees stability, so the copy would buy nothing.)
+//     is written by no one during that section: the empty/full arenas are
+//     written only by the move phase (and by teardowns, which run under
+//     barrier-arrival exclusivity), the liveness mask only by the serial
+//     fault application before the cycle starts. This is also why
+//     generation, injection, allocation and switch allocation fuse into so
+//     few sections: none of them writes anything another node's slice of
+//     the same section reads.
 //
-//  3. Serial commits in node order. Everything globally ordered — message
-//     id assignment and pooling, collector hooks, trace emission, drop
-//     accounting — is deferred into per-shard buffers during the parallel
-//     sections and committed by the coordinator between barriers, walking
-//     shards in order. Shards are contiguous ascending node ranges, so the
-//     commit order equals the serial engine's node/move order and the
-//     event stream, the RNG-independent counters and the message pool all
-//     evolve identically to serial. Per-node RNG streams (splitSeed) make
+//  3. Serial commits at barrier arrival. Everything globally ordered —
+//     message id assignment and pooling, collector hooks, trace emission,
+//     drop accounting — is deferred into per-shard buffers during the
+//     parallel sections and committed by the *last shard to arrive* at the
+//     next barrier, before it releases the generation. The atomic arrival
+//     counter orders every shard's buffered writes before the commit, and
+//     the generation release publishes the commit to every waiter, so no
+//     dedicated commit barriers are needed. Commits walk shards in
+//     ascending order; shards are contiguous ascending node ranges, so the
+//     commit order equals the serial engine's node/move order and the event
+//     stream, the RNG-independent counters and the message pool all evolve
+//     identically to serial. Per-node RNG streams (splitSeed) make
 //     generation itself partition-independent.
 //
 // Deadlock recovery and fault kills tear state out of arbitrary nodes, so
-// they never run inside a parallel section. Fault runs (e.live != nil)
-// always allocate serially; fault-free runs with detection enabled fall
-// back to a serial allocation phase exactly on the cycles where a recovery
-// could fire — some blockage counter stands at Threshold-1 (counters grow
-// by at most one per cycle, so this is a precise, conservative gate; see
-// deadlock.BlockTracker.SetWatermark). Everything else in those cycles
-// still runs parallel.
+// they never run inside a parallel section. Instead of serialising whole
+// cycles, each shard pre-scans its own nodes after injection for the two
+// exact trigger conditions — a blockage counter at Threshold-1 (counters
+// grow by at most one per cycle; see deadlock.BlockTracker.SetWatermark)
+// or, on fault runs, an unrouted header whose candidate set faults have
+// emptied (candidate sets depend only on the liveness mask, which is
+// stable for the whole cycle) — and the allocation phase splits at the
+// first flagged node: the prefix, where no trigger can fire, allocates
+// shard-parallel; the suffix runs the exact serial allocation code (with
+// its inline teardowns) under barrier-arrival exclusivity. Fault
+// application itself stays serial before the cycle (it is rare and
+// inherently global); the fault-retry promotion walk runs shard-parallel
+// with drops deferred.
 
 import (
+	"math/bits"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -74,7 +95,7 @@ type deferredEvent struct {
 }
 
 const (
-	evDrop      uint8 = iota // unreachable-destination drop (inject phase)
+	evDrop      uint8 = iota // unreachable-destination drop (fault/inject phases)
 	evThrottle               // limiter denial (inject phase, listener only)
 	evInjected               // head flit entered the network (move phase)
 	evDelivered              // tail flit consumed at destination (move phase)
@@ -90,71 +111,161 @@ type outFlit struct {
 	flit message.Flit
 }
 
+// pushRing is the single-producer/single-consumer channel for the planned
+// flit pushes of one ordered shard pair. buf is sized at construction to
+// the number of physical channels crossing from the source shard into the
+// destination shard — the exact per-cycle maximum (one grant per output
+// port) — so the steady state allocates nothing. The producer writes
+// records plainly and publishes the whole batch with one atomic store of
+// the cycle stamp and count; rings are published every cycle (count 0
+// included), so the consumer's cycle-stamp check distinguishes this
+// cycle's batch from last cycle's without any reset traffic against the
+// SPSC discipline. seen is consumer-owned: the stamp it last drained.
+type pushRing struct {
+	buf  []outFlit
+	seen uint64
+	pub  atomic.Uint64 // (uint32(cycle)+1)<<32 | count
+	_    [3]uint64     // pad: neighbouring rings' pub words off this line
+}
+
 // parShard is one worker's slice of the network plus its private scratch
 // and deferral buffers.
 type parShard struct {
 	lo, hi   int    // node range [lo, hi)
 	localGen uint32 // barriers passed so far
 
-	genScratch []traffic.Generated
-	gen        []genRec
-	events     []deferredEvent
-	moves      []move
-	reqsFlat   []int32
-	out        [][]outFlit // planned pushes, indexed by destination shard
+	genScratch   []traffic.Generated
+	gen          []genRec
+	events       []deferredEvent
+	moves        []move
+	reqsFlat     []int32
+	retryScratch []*message.Message
+
+	ringN   []int32 // per-destination-shard fill count of this cycle's rings
+	outDsts []int32 // destination shards reachable from this one (ring exists)
+	inSrcs  []int32 // source shards with a ring into this one
+
+	// allocCut is this shard's trigger pre-scan result: the first own node
+	// at which a recovery or fault kill could fire this cycle, or
+	// len(nodes) when none can (see injectRange).
+	allocCut int32
+
+	_ [64]byte // pad: adjacent shards' hot fields on separate cache lines
 }
 
-// phaseBarrier is a reusable centralized barrier. Waiters spin briefly and
-// then yield, so it parks gracefully when the machine has fewer cores than
-// the engine has shards.
+// phaseBarrier is a reusable centralized barrier, split into arrival and
+// release so the last arriver can run the cycle's serial commits between
+// the two without any closure indirection (arrival actions are inlined at
+// the call sites in cycleShard). Waiters spin briefly and then yield; the
+// spin budget is chosen at construction from GOMAXPROCS — on a single-P
+// host no amount of spinning can make another shard arrive, so waiters go
+// straight to runtime.Gosched.
 type phaseBarrier struct {
 	n     int32
-	spin  int
+	spin  int32
+	_     [56]byte // count and gen each on their own cache line
 	count atomic.Int32
+	_     [60]byte
 	gen   atomic.Uint32
 }
 
-// await blocks until all n participants have arrived, then returns the new
-// barrier generation. localGen is the caller's count of barriers passed.
-// gen can never advance past localGen+1 while this caller still waits (the
-// next barrier needs this caller's arrival to complete), so the equality
-// spin is safe, including across uint32 wraparound.
-func (b *phaseBarrier) await(localGen uint32) uint32 {
-	target := localGen + 1
-	if b.count.Add(1) == b.n {
-		b.count.Store(0)
-		b.gen.Store(target)
-		return target
-	}
-	for i := 0; b.gen.Load() != target; i++ {
+// arrive reports whether the caller is the last of the n participants to
+// reach the barrier. The last arriver must call release(target) — after
+// performing any serial commit work — and everyone else wait(target),
+// where target is the caller's barriers-passed count plus one.
+func (b *phaseBarrier) arrive() bool { return b.count.Add(1) == b.n }
+
+// release opens barrier generation target, publishing every write the
+// releaser made (the atomic store orders before the waiters' loads).
+func (b *phaseBarrier) release(target uint32) {
+	b.count.Store(0)
+	b.gen.Store(target)
+}
+
+// wait blocks until generation target is released. gen can never advance
+// past target while this caller still waits (the next barrier needs this
+// caller's arrival to complete), so the equality spin is safe, including
+// across uint32 wraparound.
+func (b *phaseBarrier) wait(target uint32) {
+	for i := int32(0); b.gen.Load() != target; i++ {
 		if i >= b.spin {
 			runtime.Gosched()
 		}
 	}
-	return target
 }
 
-// parRuntime is the parallel mode of one engine: the shard partition and
-// the worker pool. It exists only when Config.Workers > 1 resolves to at
-// least two shards.
+// barrierSpin picks the barrier spin budget for a partition of s shards on
+// the current GOMAXPROCS: on a single-P host a spinning waiter only delays
+// the shard it is waiting for, so yield immediately; with more shards than
+// Ps some shard is always descheduled, so spin barely; with a P per shard
+// a short spin beats the scheduler round-trip.
+func barrierSpin(s int) int32 {
+	procs := runtime.GOMAXPROCS(0)
+	switch {
+	case procs <= 1:
+		return 0
+	case s > procs:
+		return 32
+	default:
+		return 200
+	}
+}
+
+// parRuntime is the parallel mode of one engine: the shard partition, the
+// push rings and the worker pool. It exists only when Config.Workers > 1
+// resolves to at least two shards.
 type parRuntime struct {
 	shards  []parShard
 	shardOf []int32 // node -> shard index
-	bar     phaseBarrier
-	wake    []chan struct{} // one per non-coordinator worker, buffered
+	// rings[src*len(shards)+dst] is the SPSC push ring from shard src to
+	// shard dst; pairs no physical channel crosses have a nil buf and are
+	// skipped by both sides (outDsts/inSrcs index the live ones).
+	rings []pushRing
+	bar   phaseBarrier
+	wake  []chan struct{} // one per non-coordinator worker, buffered
 
-	// serialAlloc, decided by the coordinator each cycle before the
-	// allocation barrier, routes the allocation phase through the exact
-	// serial code when a recovery or fault kill could fire.
-	serialAlloc bool
-	// alwaysSerialAlloc forces that fallback for configurations whose
+	// inline, latched at construction when GOMAXPROCS is 1, replaces the
+	// worker pool with cycleInline: goroutines on a single-P host can only
+	// time-slice one core, and their barrier switches shred the allocation
+	// phase's cache locality (measured ~8% per-cycle overhead; inline mode
+	// reduces the cost to the deferral buffers and rings alone). The
+	// schedule, commit points and therefore results are identical.
+	inline bool
+
+	// allocCut, written by the last arriver at the post-injection barrier
+	// and read by every shard after it, is the global minimum of the
+	// per-shard trigger pre-scans: allocation runs shard-parallel for
+	// nodes below it and serially (under barrier-arrival exclusivity,
+	// where teardowns are safe) from it onward. len(nodes) on the — vastly
+	// dominant — cycles where no trigger can fire.
+	allocCut int32
+	// watermarked records that the detector is armed with the Threshold-1
+	// watermark (threshold >= 2), making BlockTracker.Hot an exact
+	// one-cycle-ahead recovery predictor.
+	watermarked bool
+	// alwaysSerialAlloc forces allocCut to 0 for configurations whose
 	// detection threshold is too low for the watermark gate (< 2).
 	alwaysSerialAlloc bool
 }
 
+// alignNodes is the shard-boundary alignment quantum: boundaries are
+// rounded so every shard's slice of the per-port status-word arenas
+// (numPhys uint32 words per node) starts on its own 64-byte cache line,
+// eliminating false sharing between adjacent shards' hottest writes.
+func alignNodes(numPhys int) int {
+	stride := numPhys * 4 // bytes of status words per node
+	g := 64
+	for b := stride; b != 0; { // gcd(stride, 64)
+		g, b = b, g%b
+	}
+	return 64 / g // lcm(stride, 64) / stride
+}
+
 // newParRuntime partitions the engine into at most workers shards and
-// starts the worker goroutines. It returns nil when the partition would
-// leave fewer than two shards (the serial path is then used).
+// starts the worker goroutines — or, on a single-P host, selects the
+// inline schedule and starts none. It returns nil when the partition would
+// leave fewer than two shards (the serial path is then used). The
+// GOMAXPROCS decisions (spin budget, inline mode) are latched here, once.
 func newParRuntime(e *Engine, workers int) *parRuntime {
 	n := len(e.nodes)
 	s := workers
@@ -167,28 +278,86 @@ func newParRuntime(e *Engine, workers int) *parRuntime {
 	p := &parRuntime{
 		shards:  make([]parShard, s),
 		shardOf: make([]int32, n),
+		rings:   make([]pushRing, s*s),
 	}
 	p.bar.n = int32(s)
-	if runtime.GOMAXPROCS(0) > 1 {
-		p.bar.spin = 200
+	p.bar.spin = barrierSpin(s)
+	// Cache-line-aligned shard boundaries (plain n/s split when the node
+	// count is too small to keep every shard non-empty after rounding).
+	unit := alignNodes(e.numPhys)
+	for i := 0; i <= s; i++ {
+		b := i * n / s
+		if r := b % unit; r != 0 {
+			if r*2 >= unit {
+				b += unit - r
+			} else {
+				b -= r
+			}
+		}
+		if b > n {
+			b = n
+		}
+		if i < s {
+			p.shards[i].lo = b
+		}
+		if i > 0 {
+			p.shards[i-1].hi = b
+		}
+	}
+	p.shards[0].lo, p.shards[s-1].hi = 0, n
+	for i := range p.shards {
+		if p.shards[i].lo >= p.shards[i].hi { // alignment emptied a shard
+			for j := range p.shards {
+				p.shards[j].lo = j * n / s
+				p.shards[j].hi = (j + 1) * n / s
+			}
+			break
+		}
 	}
 	numOut := e.numPhys + e.cfg.EjChannels
 	nAgents := e.agentCount()
 	for i := range p.shards {
 		sh := &p.shards[i]
-		sh.lo = i * n / s
-		sh.hi = (i + 1) * n / s
 		sh.reqsFlat = make([]int32, numOut*nAgents)
-		sh.out = make([][]outFlit, s)
+		sh.ringN = make([]int32, s)
+		sh.allocCut = int32(n)
 		for j := sh.lo; j < sh.hi; j++ {
 			p.shardOf[j] = int32(i)
 		}
 	}
+	// Ring capacities: the number of physical channels from shard src into
+	// shard dst bounds the pushes src can plan against dst per cycle (one
+	// grant per output port), so buf never reallocates.
+	caps := make([]int32, s*s)
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		src := p.shardOf[i]
+		for pp := 0; pp < e.numPhys; pp++ {
+			caps[int(src)*s+int(p.shardOf[nd.nbr[pp].id])]++
+		}
+	}
+	for src := 0; src < s; src++ {
+		sh := &p.shards[src]
+		for dst := 0; dst < s; dst++ {
+			c := caps[src*s+dst]
+			if src == dst || c == 0 {
+				continue
+			}
+			p.rings[src*s+dst].buf = make([]outFlit, c)
+			sh.outDsts = append(sh.outDsts, int32(dst))
+			p.shards[dst].inSrcs = append(p.shards[dst].inSrcs, int32(src))
+		}
+	}
 	p.alwaysSerialAlloc = e.det.Enabled() && e.det.Threshold < 2
-	if e.det.Enabled() && e.det.Threshold >= 2 {
+	p.watermarked = e.det.Enabled() && e.det.Threshold >= 2
+	if p.watermarked {
 		for i := range e.nodes {
 			e.nodes[i].blocked.SetWatermark(e.det.Threshold - 1)
 		}
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		p.inline = true
+		return p
 	}
 	p.wake = make([]chan struct{}, s-1)
 	for i := range p.wake {
@@ -221,10 +390,11 @@ func (e *Engine) parWorker(p *parRuntime, id int) {
 	}
 }
 
-// stepParallel is the parallel Step: the fault phase (rare, inherently
-// global) runs serially up front, then all shards — the caller acting as
-// shard 0 — execute the cycle in lockstep. The final barrier inside
-// cycleShard doubles as the completion signal.
+// stepParallel is the parallel Step: scheduled fault events (rare,
+// inherently global — teardowns cross shards) apply serially up front,
+// then all shards — the caller acting as shard 0 — execute the cycle in
+// lockstep. The final barrier inside cycleShard doubles as the completion
+// signal.
 func (e *Engine) stepParallel() {
 	sampled := e.metricsSampled()
 	var t0 time.Time
@@ -232,13 +402,17 @@ func (e *Engine) stepParallel() {
 		t0 = time.Now()
 	}
 	if e.live != nil {
-		e.phaseFaults()
+		e.applyDueFaults()
 	}
 	p := e.par
-	for _, ch := range p.wake {
-		ch <- struct{}{}
+	if p.inline {
+		e.cycleInline(p)
+	} else {
+		for _, ch := range p.wake {
+			ch <- struct{}{}
+		}
+		e.cycleShard(p, 0)
 	}
-	e.cycleShard(p, 0)
 	if e.met != nil {
 		// The shards' move plans survive until next cycle's reslice, so the
 		// coordinator can total them here, after all workers are done.
@@ -258,64 +432,223 @@ func (e *Engine) stepParallel() {
 	e.now++
 }
 
-// cycleShard runs one shard's slice of a cycle. Every shard executes the
-// same barrier sequence; the coordinator (id 0) additionally performs the
-// serial commits between barriers while the other shards wait.
+// cycleShard runs one shard's slice of a cycle: four fused sections, one
+// barrier after each. The serial commits run inline at barrier arrival —
+// whichever shard arrives last executes them before releasing the
+// generation (they walk all shards in ascending order, so the executor's
+// identity is irrelevant to the result).
 func (e *Engine) cycleShard(p *parRuntime, id int) {
 	sh := &p.shards[id]
 	gen := sh.localGen
+	n := len(e.nodes)
 
-	// Generation: poll the per-node sources in parallel (per-node RNG
-	// streams), create the messages serially in node order.
+	// Section 1 — fault-retry promotion (fault runs; drops deferred) and
+	// traffic-generation polling (per-node RNG streams; creation deferred).
+	if e.live != nil {
+		e.promoteRetriesRange(sh)
+	}
 	if !e.sourcesStopped {
 		e.pollRange(sh)
 	}
-	gen = p.bar.await(gen)
-	if id == 0 {
+	// B1: commit the deferred retry drops, then create the polled messages,
+	// both in node order — the serial engine's fault-phase/generate order.
+	gen++
+	if p.bar.arrive() {
+		e.commitEvents(p)
 		e.commitGenerate(p)
+		p.bar.release(gen)
+	} else {
+		p.bar.wait(gen)
 	}
-	gen = p.bar.await(gen)
 
-	// Injection: pure own-node work; unreachable-destination drops and
-	// throttle traces are deferred.
-	e.injectRange(sh)
-	gen = p.bar.await(gen)
-	if id == 0 {
+	// Section 2 — injection (pure own-node work; drops and throttle traces
+	// deferred) with the trigger pre-scan for the allocation split fused
+	// into the same node walk.
+	e.injectRange(p, sh)
+	// B2: commit the injection-phase events (they precede any allocation
+	// event in the serial stream) and resolve the global allocation cut.
+	gen++
+	if p.bar.arrive() {
 		e.commitEvents(p)
-		p.serialAlloc = e.needSerialAlloc()
-		if p.serialAlloc {
-			e.phaseAllocate()
+		cut := int32(n)
+		if p.alwaysSerialAlloc {
+			cut = 0
+		} else {
+			for i := range p.shards {
+				if c := p.shards[i].allocCut; c < cut {
+					cut = c
+				}
+			}
 		}
+		p.allocCut = cut
+		p.bar.release(gen)
+	} else {
+		p.bar.wait(gen)
 	}
-	gen = p.bar.await(gen)
 
-	// Allocation (unless the serial fallback just ran) and switch
-	// allocation. Fusing them into one section is safe: switch reads only
-	// its own nodes' routes/status plus downstream full words, none of
-	// which allocation writes.
-	if !p.serialAlloc {
-		e.allocRange(sh.lo, sh.hi)
+	// Section 3 — allocation and switch allocation. Allocation of disjoint
+	// nodes commutes (own-node writes; the downstream empty words are
+	// move-phase state), and switch allocation reads only its own nodes'
+	// routes/status plus downstream full words, none of which allocation
+	// writes — so on trigger-free cycles the whole section is barrier-free.
+	// On trigger cycles the prefix below the cut allocates in parallel and
+	// the suffix — where recoveries and fault kills fire, with their
+	// cross-shard teardowns — runs the exact serial code at the extra
+	// barrier's arrival.
+	cut := int(p.allocCut)
+	lo, hi := sh.lo, sh.hi
+	if cut < n {
+		if ahi := min(hi, cut); lo < ahi {
+			e.allocRange(lo, ahi)
+		}
+		gen++
+		if p.bar.arrive() {
+			e.allocRange(cut, n)
+			p.bar.release(gen)
+		} else {
+			p.bar.wait(gen)
+		}
+	} else {
+		e.allocRange(lo, hi)
 	}
-	sh.moves = e.switchRange(sh.lo, sh.hi, sh.reqsFlat, sh.moves[:0])
-	gen = p.bar.await(gen)
+	sh.moves = e.switchRange(lo, hi, sh.reqsFlat, sh.moves[:0])
+	// B3: movement writes the empty/full words the switch phase reads.
+	gen++
+	if p.bar.arrive() {
+		p.bar.release(gen)
+	} else {
+		p.bar.wait(gen)
+	}
 
-	// Movement, pass 1: pops, ejection, source-side bookkeeping; forward
-	// flits land in per-destination-shard buckets. Deliveries and
-	// injection-head accounting are deferred and committed in shard order,
-	// which equals the serial engine's move order.
-	e.moveSourceRange(p, sh)
-	gen = p.bar.await(gen)
-	if id == 0 {
+	// Section 4 — movement, fused: pop own moves (cross-shard pushes into
+	// the rings, published once per ring), then drain the rings addressed
+	// to this shard. Pushes commute (at most one per buffer per cycle, all
+	// effects consumer-local), so no barrier separates the passes; the
+	// cycle-stamp check makes each consumer wait exactly for its producers.
+	e.moveSourceRange(p, sh, id)
+	e.moveDrainRings(p, sh, id)
+	// B4: commit the deferred injection-head and delivery events in shard
+	// (= serial move) order.
+	gen++
+	if p.bar.arrive() {
 		e.commitEvents(p)
+		p.bar.release(gen)
+	} else {
+		p.bar.wait(gen)
 	}
-	gen = p.bar.await(gen)
-
-	// Movement, pass 2: each shard applies the pushes addressed to its own
-	// nodes, walking source shards in order.
-	e.movePushRange(p, id)
-	gen = p.bar.await(gen)
 
 	sh.localGen = gen
+}
+
+// cycleInline is the single-P form of cycleShard: the same four fused
+// sections with the same commit points, run over every shard in ascending
+// order by the one goroutine there is. Each section is an interleaving the
+// barrier schedule already admits (shard work within a section commutes;
+// the commits sit exactly where the barrier arrivals run them), so the
+// results are bit-identical to both the worker pool and the serial engine.
+// Within section 3 the switch pass runs per shard right after its
+// allocation pass — legal because switch allocation never reads what
+// allocation writes (see cycleShard) — which keeps the shard's node arena
+// hot across the two walks. The barrier generation counter still ticks
+// once per fused barrier so the synchronisation budget stays observable.
+func (e *Engine) cycleInline(p *parRuntime) {
+	n := len(e.nodes)
+	shards := p.shards
+
+	// Section 1 + B1.
+	for i := range shards {
+		sh := &shards[i]
+		if e.live != nil {
+			e.promoteRetriesRange(sh)
+		}
+		if !e.sourcesStopped {
+			e.pollRange(sh)
+		}
+	}
+	e.commitEvents(p)
+	e.commitGenerate(p)
+	p.bar.gen.Add(1)
+
+	// Section 2 + B2.
+	for i := range shards {
+		e.injectRange(p, &shards[i])
+	}
+	e.commitEvents(p)
+	cut := int32(n)
+	if p.alwaysSerialAlloc {
+		cut = 0
+	} else {
+		for i := range shards {
+			if c := shards[i].allocCut; c < cut {
+				cut = c
+			}
+		}
+	}
+	p.allocCut = cut
+	p.bar.gen.Add(1)
+
+	// Section 3 (+ B2a on trigger cycles) + B3.
+	if int(cut) < n {
+		for i := range shards {
+			sh := &shards[i]
+			if ahi := min(sh.hi, int(cut)); sh.lo < ahi {
+				e.allocRange(sh.lo, ahi)
+			}
+		}
+		e.allocRange(int(cut), n)
+		p.bar.gen.Add(1)
+		for i := range shards {
+			sh := &shards[i]
+			sh.moves = e.switchRange(sh.lo, sh.hi, sh.reqsFlat, sh.moves[:0])
+		}
+	} else {
+		for i := range shards {
+			sh := &shards[i]
+			e.allocRange(sh.lo, sh.hi)
+			sh.moves = e.switchRange(sh.lo, sh.hi, sh.reqsFlat, sh.moves[:0])
+		}
+	}
+	p.bar.gen.Add(1)
+
+	// Section 4 + B4. Every ring is published before any is drained, so the
+	// drain pass never waits.
+	for i := range shards {
+		e.moveSourceRange(p, &shards[i], i)
+	}
+	for i := range shards {
+		e.moveDrainRings(p, &shards[i], i)
+	}
+	e.commitEvents(p)
+	p.bar.gen.Add(1)
+}
+
+// promoteRetriesRange is the shard-parallel fault-retry promotion walk:
+// identical to promoteRetries over the shard's own nodes, except that
+// drops (globally-ordered accounting) are deferred to the next commit.
+func (e *Engine) promoteRetriesRange(sh *parShard) {
+	for i := sh.lo; i < sh.hi; i++ {
+		nd := &e.nodes[i]
+		if len(nd.retry) == 0 {
+			continue
+		}
+		ready := sh.retryScratch[:0]
+		rest := nd.retry[:0]
+		for _, pr := range nd.retry {
+			switch {
+			case pr.readyAt > e.now:
+				rest = append(rest, pr)
+			case !e.live.RouterAlive(pr.msg.Dst):
+				sh.events = append(sh.events, deferredEvent{
+					kind: evDrop, reason: message.DropUnreachable, node: nd.id, m: pr.msg,
+				})
+			default:
+				ready = append(ready, pr.msg)
+			}
+		}
+		nd.retry = rest
+		nd.queue.PushFront(ready)
+		sh.retryScratch = ready[:0]
+	}
 }
 
 // pollRange is the parallel half of phaseGenerate: drain each source's due
@@ -355,119 +688,190 @@ func (e *Engine) commitGenerate(p *parRuntime) {
 }
 
 // injectRange is the parallel variant of phaseInject over the shard's
-// nodes. It mirrors the serial body exactly, except that drops and
-// throttle traces are deferred (their accounting is global); the queue and
-// recovery-list pops themselves happen inline, so the injection decisions
-// are identical.
-func (e *Engine) injectRange(sh *parShard) {
+// nodes, with the trigger pre-scan for the allocation split fused into the
+// same walk. The injection body mirrors the serial one exactly, except
+// that drops and throttle traces are deferred (their accounting is
+// global); the queue and recovery-list pops themselves happen inline, so
+// the injection decisions are identical.
+//
+// The fused pre-scan records in sh.allocCut the first own node at which
+// the upcoming allocation phase could fire a recovery or a fault kill (or
+// len(nodes) when none can). Both predicates are exact one-cycle-ahead
+// predictions, and both are per-node over state that later nodes'
+// injections cannot touch — which is what makes evaluating node i right
+// after node i's own injections equal to a separate post-injection sweep:
+//
+//   - Recovery fires only where a blockage counter reaches Threshold, and
+//     counters grow by at most one per cycle, so only nodes with a counter
+//     already at Threshold-1 — watermark-tracked by BlockTracker.Hot —
+//     qualify. A hot counter implies a still-blocked header, so nodes with
+//     no occupied VC skip the check.
+//
+//   - A fault kill fires only for an unrouted header whose candidate set is
+//     empty. Candidate sets depend solely on (node, destination, liveness),
+//     and the liveness mask is stable for the whole cycle, so scanning the
+//     post-injection unrouted headers (their set only shrinks during
+//     allocation; teardowns run after the cut) is exact.
+//
+// A node below the cut therefore allocates exactly as it would serially;
+// conservative-only flagging (a flagged node need not actually fire) costs
+// serial suffix width, never correctness.
+func (e *Engine) injectRange(p *parRuntime, sh *parShard) {
+	faults := e.live != nil
+	scan := p.watermarked || faults
+	cut := int32(len(e.nodes))
 	for i := sh.lo; i < sh.hi; i++ {
 		nd := &e.nodes[i]
-		if e.live != nil {
+		alive := true
+		if faults {
 			if !e.live.RouterAlive(nd.id) {
-				continue // a dead router injects nothing
-			}
-			for len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now &&
-				!e.live.RouterAlive(nd.recovery[0].msg.Dst) {
-				m := nd.recovery[0].msg
-				nd.recovery[0] = pendingRecovery{}
-				nd.recovery = nd.recovery[1:]
-				sh.events = append(sh.events, deferredEvent{
-					kind: evDrop, reason: message.DropUnreachable, node: nd.id, m: m,
-				})
-			}
-			for !nd.queue.Empty() && !e.live.RouterAlive(nd.queue.Front().Dst) {
-				sh.events = append(sh.events, deferredEvent{
-					kind: evDrop, reason: message.DropUnreachable, node: nd.id,
-					m: nd.queue.PopFront(),
-				})
-			}
-		}
-		if nd.limObs == nil && nd.queue.Empty() && len(nd.recovery) == 0 {
-			continue
-		}
-		if nd.limObs != nil {
-			nd.limObs.Tick(nd.view, e.now)
-		}
-		for c := range nd.inj {
-			ic := &nd.inj[c]
-			if ic.msg != nil {
-				continue
-			}
-			if len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now {
-				ic.msg = nd.recovery[0].msg
-				nd.recovery[0] = pendingRecovery{}
-				nd.recovery = nd.recovery[1:]
-				ic.msg.State = message.StateInjecting
-				ic.route = routeInfo{}
-				ic.left = int32(ic.msg.Length)
-				ic.len = ic.left
-				ic.dst = ic.msg.Dst
-				nd.busyInj++
-				continue
-			}
-			if nd.queue.Empty() {
-				continue
-			}
-			m := nd.queue.Front()
-			if !nd.limiter.Allow(nd.view, m.Dst) {
-				// Deny metrics update inline: the counters are commutative
-				// atomics, so the totals are worker-order-independent.
-				if e.met != nil {
-					e.noteDeny(nd, m.Dst)
-				}
-				if e.listener != nil {
+				alive = false // a dead router injects nothing
+			} else {
+				for len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now &&
+					!e.live.RouterAlive(nd.recovery[0].msg.Dst) {
+					m := nd.recovery[0].msg
+					nd.recovery[0] = pendingRecovery{}
+					nd.recovery = nd.recovery[1:]
 					sh.events = append(sh.events, deferredEvent{
-						kind: evThrottle, node: nd.id, m: m,
+						kind: evDrop, reason: message.DropUnreachable, node: nd.id, m: m,
 					})
 				}
-				break // FIFO: do not bypass a throttled queue head
+				for !nd.queue.Empty() && !e.live.RouterAlive(nd.queue.Front().Dst) {
+					sh.events = append(sh.events, deferredEvent{
+						kind: evDrop, reason: message.DropUnreachable, node: nd.id,
+						m: nd.queue.PopFront(),
+					})
+				}
 			}
-			if e.met != nil {
-				e.met.admitted.Inc()
-			}
-			nd.queue.PopFront()
-			ic.msg = m
-			ic.route = routeInfo{}
-			ic.left = int32(m.Length)
-			ic.len = ic.left
-			ic.dst = m.Dst
-			nd.busyInj++
-			m.State = message.StateInjecting
 		}
+		if alive && (nd.limObs != nil || !nd.queue.Empty() || len(nd.recovery) > 0) {
+			e.injectNode(nd, sh)
+		}
+		// Pre-scan this node now that its injections are settled.
+		if scan {
+			if (p.watermarked && nd.occVCs > 0 && nd.blocked.Hot() > 0) ||
+				(faults && (nd.occVCs > 0 || nd.busyInj > 0) && e.deadEnd(nd)) {
+				cut = int32(i)
+				scan = false
+			}
+		}
+	}
+	sh.allocCut = cut
+}
+
+// injectNode runs one node's injection-limitation decisions and channel
+// claims — the per-node body of the serial injection phase, with drop and
+// throttle traces deferred to the shard's event buffer.
+func (e *Engine) injectNode(nd *node, sh *parShard) {
+	if nd.limObs != nil {
+		nd.limObs.Tick(nd.view, e.now)
+	}
+	for c := range nd.inj {
+		ic := &nd.inj[c]
+		if ic.msg != nil {
+			continue
+		}
+		if len(nd.recovery) > 0 && nd.recovery[0].readyAt <= e.now {
+			ic.msg = nd.recovery[0].msg
+			nd.recovery[0] = pendingRecovery{}
+			nd.recovery = nd.recovery[1:]
+			ic.msg.State = message.StateInjecting
+			ic.route = routeInfo{}
+			ic.left = int32(ic.msg.Length)
+			ic.len = ic.left
+			ic.dst = ic.msg.Dst
+			nd.busyInj++
+			continue
+		}
+		if nd.queue.Empty() {
+			continue
+		}
+		m := nd.queue.Front()
+		if !nd.limiter.Allow(nd.view, m.Dst) {
+			// Deny metrics update inline: the counters are commutative
+			// atomics, so the totals are worker-order-independent.
+			if e.met != nil {
+				e.noteDeny(nd, m.Dst)
+			}
+			if e.listener != nil {
+				sh.events = append(sh.events, deferredEvent{
+					kind: evThrottle, node: nd.id, m: m,
+				})
+			}
+			break // FIFO: do not bypass a throttled queue head
+		}
+		if e.met != nil {
+			e.met.admitted.Inc()
+		}
+		nd.queue.PopFront()
+		ic.msg = m
+		ic.route = routeInfo{}
+		ic.left = int32(m.Length)
+		ic.len = ic.left
+		ic.dst = m.Dst
+		nd.busyInj++
+		m.State = message.StateInjecting
 	}
 }
 
-// needSerialAlloc reports whether the upcoming allocation phase could
-// trigger a recovery or a fault kill, both of which mutate state across
-// shards and therefore force the exact serial allocation path this cycle.
-func (e *Engine) needSerialAlloc() bool {
-	if e.live != nil {
-		return true // fault kills can fire on any unroutable header
+// deadEnd reports whether any header that allocation will route at nd this
+// cycle has an empty candidate set (fault runs only: minimal routing
+// otherwise always yields candidates). Ejection-bound headers never kill —
+// the destination router's liveness was already checked at injection.
+func (e *Engine) deadEnd(nd *node) bool {
+	vcs := e.cfg.VCs
+	vcsMask := uint32(1)<<uint(vcs) - 1
+	if nd.occVCs > 0 {
+		for p := 0; p < e.numPhys; p++ {
+			w := ^nd.inEmpty[p] &^ nd.routed[p] & vcsMask
+			for w != 0 {
+				v := bits.TrailingZeros32(w)
+				w &= w - 1
+				ivc := &nd.in[p*vcs+v]
+				if ivc.buf.Empty() || ivc.dst == nd.id {
+					continue
+				}
+				if len(e.candidates(nd, ivc.dst)) == 0 {
+					return true
+				}
+			}
+		}
 	}
-	if !e.det.Enabled() {
-		return false
-	}
-	if e.par.alwaysSerialAlloc {
-		return true
-	}
-	for i := range e.nodes {
-		if e.nodes[i].blocked.Hot() > 0 {
-			return true
+	if nd.busyInj > 0 {
+		for c := range nd.inj {
+			ic := &nd.inj[c]
+			if ic.msg == nil || ic.route.valid || ic.left < ic.len || ic.dst == nd.id {
+				continue
+			}
+			if len(e.candidates(nd, ic.dst)) == 0 {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// moveSourceRange is pass 1 of the parallel move phase over the shard's own
-// moves: identical to phaseMove except that forward pushes are recorded
-// instead of applied, and delivery/injection accounting is deferred.
-func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard) {
+// moveSourceRange is pass 1 of the fused move phase over the shard's own
+// moves: identical to phaseMove except that pushes into another shard's
+// nodes are recorded into the per-destination rings instead of applied,
+// and delivery/injection accounting is deferred. Pushes staying inside the
+// shard touch only own-node state and commute with the shard's remaining
+// pops (a push was planned against start-of-cycle credit, so it fits
+// whether the destination buffer's own pop has run yet or not), so they
+// apply directly in serial phaseMove's fused single-pass style — no
+// round-trip through a staging buffer. Each ring is published exactly
+// once, after the walk, so the destination shard sees the complete batch
+// or nothing.
+func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard, id int) {
 	vcs := e.cfg.VCs
 	nVC := e.numPhys * vcs
 	now := e.now
 	portTab := e.portTab
 	vcBit := e.vcBit
 	vcOf := e.vcOf
+	emptyArena := e.emptyArena
+	fullArena := e.fullArena
+	nShards := len(p.shards)
 	for _, mv := range sh.moves {
 		nd := &e.nodes[mv.node]
 		var flit message.Flit
@@ -536,50 +940,104 @@ func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard) {
 			nd.freeMask[mv.outPort] |= bit
 		}
 		nb := nd.nbr[mv.outPort]
-		d := p.shardOf[nb.id]
-		sh.out[d] = append(sh.out[d], outFlit{
-			dvc:  nd.down[int(mv.outPort)*vcs+int(mv.outVC)],
-			nbr:  nb,
-			word: nd.downWord[mv.outPort],
-			bit:  bit,
-			flit: flit,
-		})
+		if d := p.shardOf[nb.id]; int(d) != id {
+			r := &p.rings[id*nShards+int(d)]
+			r.buf[sh.ringN[d]] = outFlit{
+				dvc:  nd.down[int(mv.outPort)*vcs+int(mv.outVC)],
+				nbr:  nb,
+				word: nd.downWord[mv.outPort],
+				bit:  bit,
+				flit: flit,
+			}
+			sh.ringN[d]++
+			continue
+		}
+		dvc := nd.down[int(mv.outPort)*vcs+int(mv.outVC)]
+		if dvc.buf.Empty() {
+			nb.occVCs++
+			emptyArena[nd.downWord[mv.outPort]] &^= bit
+		}
+		if flit.Head {
+			dvc.owner = m
+			dvc.dst = m.Dst
+		}
+		dvc.buf.Push(flit)
+		if dvc.buf.Full() {
+			fullArena[nd.downWord[mv.outPort]] |= bit
+		}
+	}
+	// Publish every outbound ring — including empty ones, so consumers
+	// never wait on a quiet producer. One release-store per ring per cycle.
+	stamp := (uint64(uint32(now)) + 1) << 32
+	for _, d := range sh.outDsts {
+		r := &p.rings[id*nShards+int(d)]
+		r.pub.Store(stamp | uint64(uint32(sh.ringN[d])))
+		sh.ringN[d] = 0
 	}
 }
 
-// movePushRange is pass 2 of the parallel move phase: apply every push
-// addressed to shard id's nodes, walking source shards in ascending order.
-// All pops already happened, and pop-then-push leaves a buffer in the same
-// state as any serial interleaving (the push was planned against
-// start-of-cycle credit, so it fits either way).
-func (e *Engine) movePushRange(p *parRuntime, id int) {
-	emptyArena := e.emptyArena
-	fullArena := e.fullArena
-	for s := range p.shards {
-		bucket := p.shards[s].out[id]
-		for i := range bucket {
-			rec := &bucket[i]
-			dvc := rec.dvc
-			if dvc.buf.Empty() {
-				rec.nbr.occVCs++
-				emptyArena[rec.word] &^= rec.bit
+// moveDrainRings is pass 2 of the fused move phase: apply every inbound
+// ring's batch as it is published. Application order across source shards
+// is irrelevant — each buffer receives at most one push per cycle and all
+// updates are consumer-local — so rings drain opportunistically rather
+// than in source order.
+func (e *Engine) moveDrainRings(p *parRuntime, sh *parShard, id int) {
+	nShards := len(p.shards)
+	stampHi := uint64(uint32(e.now)) + 1
+	pending := len(sh.inSrcs)
+	for spins := int32(0); pending > 0; {
+		progressed := false
+		for _, s := range sh.inSrcs {
+			r := &p.rings[int(s)*nShards+id]
+			if r.seen>>32 == stampHi {
+				continue // already drained this cycle
 			}
-			if rec.flit.Head {
-				dvc.owner = rec.flit.Msg
-				dvc.dst = rec.flit.Msg.Dst
+			v := r.pub.Load()
+			if v>>32 != stampHi {
+				continue // producer not done yet
 			}
-			dvc.buf.Push(rec.flit)
-			if dvc.buf.Full() {
-				fullArena[rec.word] |= rec.bit
+			e.applyPushes(r.buf[:uint32(v)])
+			r.seen = v
+			pending--
+			progressed = true
+		}
+		if pending > 0 && !progressed {
+			if spins++; spins > p.bar.spin {
+				runtime.Gosched()
 			}
 		}
-		p.shards[s].out[id] = bucket[:0]
+	}
+}
+
+// applyPushes applies one batch of planned pushes to this shard's own
+// nodes. All pops already happened or commute with these pushes: a push
+// was planned against start-of-cycle credit, so it fits whether the
+// destination buffer's own pop (if any) has run or not, and the
+// empty/full/active-set updates reach the same final state either way.
+func (e *Engine) applyPushes(bucket []outFlit) {
+	emptyArena := e.emptyArena
+	fullArena := e.fullArena
+	for i := range bucket {
+		rec := &bucket[i]
+		dvc := rec.dvc
+		if dvc.buf.Empty() {
+			rec.nbr.occVCs++
+			emptyArena[rec.word] &^= rec.bit
+		}
+		if rec.flit.Head {
+			dvc.owner = rec.flit.Msg
+			dvc.dst = rec.flit.Msg.Dst
+		}
+		dvc.buf.Push(rec.flit)
+		if dvc.buf.Full() {
+			fullArena[rec.word] |= rec.bit
+		}
 	}
 }
 
 // commitEvents applies the deferred side effects of the last parallel
-// section in shard order — equal to the serial engine's node (inject
-// phase) or move (move phase) order.
+// section in shard order — equal to the serial engine's node (fault and
+// inject phases) or move (move phase) order.
 func (e *Engine) commitEvents(p *parRuntime) {
 	for si := range p.shards {
 		sh := &p.shards[si]

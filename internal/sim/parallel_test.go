@@ -65,10 +65,31 @@ func equivalenceConfigs() map[string]Config {
 		FailLink(2200, 1, up).RestoreLink(4800, 1, up).
 		FailRouter(3000, 5).RestoreRouter(6500, 5)
 
+	// Fault-cycle-heavy: saturated traffic (recoveries fire throughout) under
+	// a dense, staggered link/router schedule, so nearly every cycle runs the
+	// fault path and the allocation phase keeps crossing between its parallel
+	// prefix and serial suffix (kills, retries, unreachable drops, repairs and
+	// watermark-predicted recoveries all interleave).
+	storm := QuickConfig()
+	storm.Rate = 2.0
+	storm.Limiter = baseline.Factories()["none"]
+	storm.LimiterName = "none"
+	sched := &fault.Schedule{}
+	down := topology.PortFor(1, topology.Minus)
+	for i := 0; i < 6; i++ {
+		at := int64(1200 + 700*i)
+		n := topology.NodeID(2*i + 1)
+		sched.FailLink(at, n, up).RestoreLink(at+500, n, up)
+		sched.FailLink(at+250, n, down).RestoreLink(at+950, n, down)
+	}
+	sched.FailRouter(2600, 9).RestoreRouter(5200, 9)
+	storm.Faults = sched
+
 	return map[string]Config{
 		"saturated-recovery": saturated,
 		"bursty-alo":         bursty,
 		"faults-retry":       faulty,
+		"faults-storm":       storm,
 	}
 }
 
@@ -89,7 +110,7 @@ func TestGoldenParallelEquivalence(t *testing.T) {
 			if len(baseEvents) == 0 {
 				t.Fatal("serial run emitted no events; scenario is vacuous")
 			}
-			for _, workers := range []int{2, 4, 7} {
+			for _, workers := range []int{2, 3, 4, 7} {
 				res, events, counters := runTraced(t, cfg, workers)
 				if res != baseRes {
 					t.Errorf("workers=%d: result diverged:\n got  %+v\n want %+v", workers, res, baseRes)

@@ -1,0 +1,167 @@
+// Command benchsummary digests `go test -bench` output from the scaling
+// lane (scripts/bench_scaling.sh, the CI scaling-smoke job): it groups
+// repeated runs of each benchmark, reports the per-benchmark minimum and
+// median ns/op, and derives the parallel engine's workers=2-vs-workers=1
+// overhead from the minima. The minimum is the statistic of record on
+// shared hosts — scheduler and neighbour interference only ever add time,
+// so min-of-N converges on the machine's true cost while medians wander
+// with load.
+//
+// Usage:
+//
+//	benchsummary [-max-overhead pct] [-require-zero-allocs] <bench-output.txt>
+//	benchsummary -procs
+//
+// With -max-overhead, exits 1 if the workers=2 minimum exceeds the
+// workers=1 minimum by more than pct percent. With -require-zero-allocs,
+// exits 1 if any BenchmarkEngineCycles* line reports nonzero allocs/op
+// (steady-state engine cycles must not allocate at any worker count).
+// -procs prints runtime.GOMAXPROCS(0) and exits — the host fact the
+// scaling numbers are meaningless without.
+//
+// Exit codes: 0 ok; 1 a gate failed; 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	nsPerOp  float64
+	allocsOp int64
+	hasMem   bool
+}
+
+func main() {
+	maxOverhead := flag.Float64("max-overhead", -1,
+		"fail if min workers=2 ns/op exceeds min workers=1 by more than this percent (-1 = report only)")
+	zeroAllocs := flag.Bool("require-zero-allocs", false,
+		"fail if any BenchmarkEngineCycles* line reports allocs/op != 0")
+	procs := flag.Bool("procs", false, "print runtime.GOMAXPROCS(0) and exit")
+	flag.Parse()
+
+	if *procs {
+		fmt.Println(runtime.GOMAXPROCS(0))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchsummary [flags] <bench-output.txt>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer f.Close()
+
+	groups := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := groups[name]; !seen {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(groups) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsummary: no benchmark lines found")
+		os.Exit(2)
+	}
+
+	fail := false
+	mins := map[string]float64{}
+	for _, name := range order {
+		ss := groups[name]
+		ns := make([]float64, len(ss))
+		for i, s := range ss {
+			ns[i] = s.nsPerOp
+		}
+		sort.Float64s(ns)
+		mins[name] = ns[0]
+		fmt.Printf("%-44s n=%d  min %.0f ns/op  median %.0f ns/op\n",
+			name, len(ss), ns[0], ns[len(ns)/2])
+		if *zeroAllocs && strings.HasPrefix(name, "BenchmarkEngineCycles") {
+			for _, s := range ss {
+				if s.hasMem && s.allocsOp != 0 {
+					fmt.Printf("FAIL %s: %d allocs/op, want 0\n", name, s.allocsOp)
+					fail = true
+					break
+				}
+			}
+		}
+	}
+
+	w1, ok1 := minFor(mins, "workers=1")
+	w2, ok2 := minFor(mins, "workers=2")
+	if ok1 && ok2 {
+		overhead := (w2/w1 - 1) * 100
+		fmt.Printf("workers=2 overhead vs workers=1 (from minima): %+.1f%%\n", overhead)
+		if *maxOverhead >= 0 && overhead > *maxOverhead {
+			fmt.Printf("FAIL overhead %.1f%% exceeds limit %.1f%%\n", overhead, *maxOverhead)
+			fail = true
+		}
+	} else if *maxOverhead >= 0 {
+		fmt.Fprintln(os.Stderr, "benchsummary: -max-overhead needs workers=1 and workers=2 rows")
+		os.Exit(2)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts one "BenchmarkFoo/bar-8  123  456 ns/op ..." line.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp, found = v, true
+		case "allocs/op":
+			s.allocsOp, s.hasMem = int64(v), true
+		}
+	}
+	return name, s, found
+}
+
+// minFor returns the min ns/op of the benchmark whose name contains sub.
+func minFor(mins map[string]float64, sub string) (float64, bool) {
+	for name, v := range mins {
+		if strings.Contains(name, sub) {
+			return v, true
+		}
+	}
+	return 0, false
+}
