@@ -73,9 +73,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Encode writes snap to w in the checkpoint format.
 func Encode(w io.Writer, snap *sim.Snapshot) error {
+	return EncodeValue(w, snap)
+}
+
+// EncodeValue writes any gob-encodable value to w in the WNCP framing
+// (magic, version, length, CRC-32C). The snapshot functions delegate here;
+// other subsystems (the model checker's exploration journal and
+// counterexample files) reuse the same framing and corruption guarantees
+// for their own payload types. The frame does not record the payload type:
+// decoding a frame into the wrong Go type fails as ErrCorrupt at best —
+// keep distinct payloads in distinct files.
+func EncodeValue[T any](w io.Writer, v *T) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
-		return fmt.Errorf("checkpoint: encode snapshot: %w", err)
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encode payload: %w", err)
 	}
 	var hdr [headerSize]byte
 	copy(hdr[0:4], magic[:])
@@ -95,6 +106,12 @@ func Encode(w io.Writer, snap *sim.Snapshot) error {
 // error: ErrBadMagic, ErrTruncated, ErrChecksum, ErrCorrupt or a
 // *VersionError.
 func Decode(r io.Reader) (*sim.Snapshot, error) {
+	return DecodeValue[sim.Snapshot](r)
+}
+
+// DecodeValue reads one WNCP frame from r and gob-decodes its payload into
+// a T. Same typed errors as Decode.
+func DecodeValue[T any](r io.Reader) (*T, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
@@ -121,23 +138,23 @@ func Decode(r io.Reader) (*sim.Snapshot, error) {
 	if got := crc32.Checksum(payload.Bytes(), castagnoli); got != want {
 		return nil, fmt.Errorf("%w: crc %08x, header says %08x", ErrChecksum, got, want)
 	}
-	snap, err := decodeGob(payload.Bytes())
+	v, err := decodeGob[T](payload.Bytes())
 	if err != nil {
 		return nil, err
 	}
-	return snap, nil
+	return v, nil
 }
 
 // decodeGob decodes the checked payload, converting any gob failure — error
 // or panic (gob can panic on adversarial self-describing streams) — into
 // ErrCorrupt.
-func decodeGob(payload []byte) (snap *sim.Snapshot, err error) {
+func decodeGob[T any](payload []byte) (v *T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			snap, err = nil, fmt.Errorf("%w: %v", ErrCorrupt, r)
+			v, err = nil, fmt.Errorf("%w: %v", ErrCorrupt, r)
 		}
 	}()
-	var s sim.Snapshot
+	var s T
 	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); derr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, derr)
 	}
@@ -149,6 +166,12 @@ func decodeGob(payload []byte) (snap *sim.Snapshot, err error) {
 // a crash mid-write never leaves a half-written checkpoint under the final
 // name.
 func WriteFile(path string, snap *sim.Snapshot) error {
+	return WriteFileValue(path, snap)
+}
+
+// WriteFileValue atomically writes any gob-encodable value to path in the
+// WNCP framing, with the same temp-file + rename discipline as WriteFile.
+func WriteFileValue[T any](path string, v *T) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -156,7 +179,7 @@ func WriteFile(path string, snap *sim.Snapshot) error {
 	}
 	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup; gone after rename
 	bw := bufio.NewWriterSize(tmp, 1<<20)
-	if err := Encode(bw, snap); err != nil {
+	if err := EncodeValue(bw, v); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -179,14 +202,19 @@ func WriteFile(path string, snap *sim.Snapshot) error {
 
 // ReadFile reads and decodes the checkpoint at path.
 func ReadFile(path string) (*sim.Snapshot, error) {
+	return ReadFileValue[sim.Snapshot](path)
+}
+
+// ReadFileValue reads and decodes a WNCP-framed value of type T at path.
+func ReadFileValue[T any](path string) (*T, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	defer f.Close()
-	snap, err := Decode(bufio.NewReaderSize(f, 1<<20))
+	v, err := DecodeValue[T](bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		return nil, fmt.Errorf("%w (%s)", err, path)
 	}
-	return snap, nil
+	return v, nil
 }

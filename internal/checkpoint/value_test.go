@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+type journalPayload struct {
+	Name     string
+	Counter  int64
+	Frontier [][]byte
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	in := journalPayload{
+		Name:     "explore",
+		Counter:  42,
+		Frontier: [][]byte{{1, 2, 3}, {4}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeValue(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeValue[journalPayload](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Counter != in.Counter || len(out.Frontier) != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "journal.wncp")
+	if err := WriteFileValue(path, &in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFileValue[journalPayload](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter != in.Counter {
+		t.Fatalf("file round trip: %+v", back)
+	}
+}
+
+func TestValueCorruptionTyped(t *testing.T) {
+	in := journalPayload{Name: "x"}
+	var buf bytes.Buffer
+	if err := EncodeValue(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF
+	if _, err := DecodeValue[journalPayload](bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped payload byte: err = %v, want ErrChecksum", err)
+	}
+}

@@ -1,0 +1,148 @@
+package deadlock
+
+import "sort"
+
+// WaitGraph is the ground-truth deadlock oracle: an explicit channel-wait
+// graph over the in-flight messages of a network state, with the OR
+// semantics of adaptive wormhole routing. Each waiting message has one or
+// more *options* (the output virtual channels its routing function admits);
+// an option is either immediately available or blocked by the message that
+// currently holds the resource (the virtual channel's owner, or the message
+// draining the downstream buffer the channel feeds).
+//
+// A message can eventually advance — is *live* — iff it can advance
+// immediately, or some option of it is blocked only by messages that are
+// themselves live (the blocker eventually drains and releases the
+// resource). The deadlocked set is the complement: the unique maximal set
+// of messages every one of whose options depends on another member. This
+// is the standard reduction ("drain the live messages, what remains is the
+// deadlock") that Verbeek & Schmaltz formalise; Deadlocked computes it as
+// a liveness fixpoint, which on a cycle-free wait graph always drains
+// everything.
+//
+// The oracle is structural: it inspects one state, not the engine's future.
+// The model checker cross-validates it against the engine's actual
+// deterministic continuation (see internal/modelcheck), so a bug here is
+// caught as an "oracle unsound" counterexample rather than trusted.
+type WaitGraph struct {
+	msgs  map[int64]*wgMsg
+	order []int64 // insertion order, for deterministic iteration
+}
+
+// wgMsg is one in-flight message in the graph.
+type wgMsg struct {
+	live    bool
+	blocked bool      // registered via AddBlocked
+	opts    [][]int64 // each option: message IDs blocking it (empty = free)
+}
+
+// NewWaitGraph returns an empty wait graph.
+func NewWaitGraph() *WaitGraph {
+	return &WaitGraph{msgs: make(map[int64]*wgMsg)}
+}
+
+func (g *WaitGraph) get(id int64) *wgMsg {
+	m, ok := g.msgs[id]
+	if !ok {
+		m = &wgMsg{}
+		g.msgs[id] = m
+		g.order = append(g.order, id)
+	}
+	return m
+}
+
+// AddLive registers message id as able to make progress on its own: its
+// header holds a route (or is draining into an ejection channel), so no
+// wait edge leaves it.
+func (g *WaitGraph) AddLive(id int64) { g.get(id).live = true }
+
+// AddBlocked registers message id as waiting for an output resource. Its
+// options are added with AddOption; a blocked message with no options can
+// never advance (faults removed every admissible channel).
+func (g *WaitGraph) AddBlocked(id int64) { g.get(id).blocked = true }
+
+// AddOption records one admissible output resource of blocked message id.
+// blockers lists the messages currently standing in the way (the virtual
+// channel's owner, or the message whose flits still occupy the downstream
+// buffer); an option with no blockers is immediately available and makes
+// the message live. A blocker never registered in the graph is treated as
+// live — it is not a waiting network message, so it cannot sustain a cycle.
+func (g *WaitGraph) AddOption(id int64, blockers ...int64) {
+	m := g.get(id)
+	if len(blockers) == 0 {
+		m.live = true
+		return
+	}
+	m.opts = append(m.opts, append([]int64(nil), blockers...))
+}
+
+// Len returns the number of messages in the graph.
+func (g *WaitGraph) Len() int { return len(g.order) }
+
+// Deadlocked computes the liveness fixpoint and returns the IDs of the
+// messages that can never advance, in ascending order. An empty result
+// means the state is deadlock-free.
+func (g *WaitGraph) Deadlocked() []int64 {
+	isLive := func(id int64) bool {
+		m, ok := g.msgs[id]
+		return !ok || m.live
+	}
+	// Propagate liveness to a fixpoint: a blocked message becomes live as
+	// soon as one of its options is blocked only by live messages. The
+	// graph is tiny (bounded messages), so the quadratic sweep is fine.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range g.order {
+			m := g.msgs[id]
+			if m.live {
+				continue
+			}
+			for _, opt := range m.opts {
+				ok := true
+				for _, b := range opt {
+					if !isLive(b) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					m.live = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var dead []int64
+	for _, id := range g.order {
+		if m := g.msgs[id]; m.blocked && !m.live {
+			dead = append(dead, id)
+		}
+	}
+	sort.Slice(dead, func(a, b int) bool { return dead[a] < dead[b] })
+	return dead
+}
+
+// HasDeadlock reports whether the fixpoint leaves any message deadlocked.
+func (g *WaitGraph) HasDeadlock() bool { return len(g.Deadlocked()) > 0 }
+
+// WaitsOn returns, for a blocked message, the union of messages blocking
+// any of its options (diagnostics for counterexample reports), ascending.
+func (g *WaitGraph) WaitsOn(id int64) []int64 {
+	m, ok := g.msgs[id]
+	if !ok {
+		return nil
+	}
+	seen := make(map[int64]struct{})
+	var out []int64
+	for _, opt := range m.opts {
+		for _, b := range opt {
+			if _, dup := seen[b]; !dup {
+				seen[b] = struct{}{}
+				out = append(out, b)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

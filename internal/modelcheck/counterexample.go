@@ -1,0 +1,158 @@
+package modelcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wormnet/internal/checkpoint"
+	"wormnet/internal/sim"
+	"wormnet/internal/trace"
+)
+
+// CxKind classifies a counterexample.
+type CxKind string
+
+// Counterexample kinds. The per-state check violations (invariants,
+// alo-property, snapshot-roundtrip) reuse their check name as the kind.
+const (
+	CxFalseNegative CxKind = "false-negative"
+	CxOracleUnsound CxKind = "oracle-unsound"
+)
+
+// Counterexample is a replayable checker failure: the spec, the schedule
+// that reaches the failing state from the initial state, the state's
+// snapshot, and the ground-truth deadlocked set the detector disagreed
+// with. It is persisted in the WNCP checkpoint framing.
+type Counterexample struct {
+	Kind     CxKind
+	Detail   string
+	Digest   string // config digest the schedule and snapshot belong to
+	Spec     Spec
+	Schedule [][]int // catalog indices injected before each Step
+	GT       []int64
+	Snap     *sim.Snapshot
+}
+
+// WriteDir persists the counterexample into dir (created if needed) under
+// a kind-tagged sequence name, returning the path.
+func (c *Counterexample) WriteDir(dir string, seq int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("modelcheck: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("cx-%03d-%s.wncp", seq, c.Kind))
+	if err := checkpoint.WriteFileValue(path, c); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadCounterexample loads a counterexample file.
+func ReadCounterexample(path string) (*Counterexample, error) {
+	return checkpoint.ReadFileValue[Counterexample](path)
+}
+
+// Replay re-derives the counterexample's state from scratch — fresh
+// engine, recorded schedule — and re-checks the recorded failure:
+//
+//  1. the replayed state must hash identically to the stored snapshot
+//     (the counterexample is internally consistent and the engine is
+//     still deterministic);
+//  2. the ground-truth oracle must still report the stored deadlocked set;
+//  3. for false negatives, the detector must now FIRE within the probe
+//     budget — i.e. the bug the counterexample documents must be fixed.
+//
+// It returns nil when the original failure no longer reproduces (the fix
+// holds), and an error describing the step that still fails otherwise.
+// Committed counterexamples under test therefore act as regression tests
+// for once-found detector misses.
+func (c *Counterexample) Replay() error {
+	cfg, err := c.Spec.Config()
+	if err != nil {
+		return err
+	}
+	digest, err := sim.ConfigDigest(cfg)
+	if err != nil {
+		return err
+	}
+	if digest != c.Digest {
+		return fmt.Errorf("modelcheck: counterexample config drifted: stored %q, spec now builds %q", c.Digest, digest)
+	}
+	e, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	for ci, inj := range c.Schedule {
+		for _, i := range inj {
+			if i < 0 || i >= len(c.Spec.Messages) {
+				return fmt.Errorf("modelcheck: schedule cycle %d references catalog entry %d of %d", ci, i, len(c.Spec.Messages))
+			}
+			c.Spec.inject(e, i)
+		}
+		e.Step()
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	got, err := snap.CanonicalHash()
+	if err != nil {
+		return err
+	}
+	want, err := c.Snap.CanonicalHash()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("modelcheck: replayed state hashes %x, counterexample recorded %x (nondeterminism?)", got[:8], want[:8])
+	}
+	gt := e.BuildWaitGraph().Deadlocked()
+	if fmt.Sprint(gt) != fmt.Sprint(c.GT) {
+		return fmt.Errorf("modelcheck: oracle now reports %v deadlocked, counterexample recorded %v", gt, c.GT)
+	}
+	switch c.Kind {
+	case CxFalseNegative:
+		if len(gt) == 0 {
+			return fmt.Errorf("modelcheck: false-negative counterexample has empty ground truth")
+		}
+		detected := false
+		e.SetListener(trace.Func(func(ev trace.Event) {
+			if ev.Kind == trace.KindDeadlock && containsID(gt, ev.Msg) {
+				detected = true
+			}
+		}))
+		budget := c.Spec.probeBudget()
+		for i := int64(0); i < budget && !detected; i++ {
+			e.Step()
+		}
+		if !detected {
+			return fmt.Errorf("modelcheck: detector still misses the deadlock of %v within %d cycles", gt, budget)
+		}
+		return nil
+	default:
+		// Other kinds (oracle-unsound, invariant violations) have no
+		// automatic "fixed" criterion beyond reproducing the state; report
+		// them for human attention.
+		return fmt.Errorf("modelcheck: %s counterexample reproduces at the recorded state: %s", c.Kind, c.Detail)
+	}
+}
+
+// String summarises the counterexample.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", c.Kind, c.Detail)
+	fmt.Fprintf(&b, "ground-truth deadlocked: %v\n", c.GT)
+	fmt.Fprintf(&b, "schedule (%d cycles):\n", len(c.Schedule))
+	for cyc, inj := range c.Schedule {
+		if len(inj) == 0 {
+			continue
+		}
+		for _, i := range inj {
+			m := c.Spec.Messages[i]
+			fmt.Fprintf(&b, "  cycle %3d: inject %d->%d len %d\n", cyc, m.Src, m.Dst, m.Length)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,563 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"wormnet/internal/checkpoint"
+	"wormnet/internal/sim"
+	"wormnet/internal/trace"
+)
+
+// Options tunes one exploration run.
+type Options struct {
+	// Journal, when non-empty, is the path of the crash-resume journal:
+	// the visited set, the pending frontier (as schedules) and the report
+	// so far, persisted in the WNCP checkpoint framing every JournalEvery
+	// newly visited states. Resume continues from it.
+	Journal      string
+	JournalEvery int // default 2000
+
+	// CounterexampleDir, when non-empty, receives one WNCP-framed
+	// Counterexample file per checker failure.
+	CounterexampleDir string
+
+	// SyntheticMiss makes the false-negative probe deliberately ignore the
+	// detector's recovery signal, so every ground-truth deadlock becomes a
+	// reported false negative. It exists to prove the checker *fails* when
+	// the oracle and FC3D disagree — the self-test of the whole lane.
+	SyntheticMiss bool
+
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o Options) journalEvery() int {
+	if o.JournalEvery > 0 {
+		return o.JournalEvery
+	}
+	return 2000
+}
+
+// entry is one frontier state awaiting expansion.
+type entry struct {
+	snap     *sim.Snapshot
+	schedule [][]int // catalog indices injected before each executed Step
+	used     uint32  // catalog entries already injected
+	gt       []int64 // ground-truth deadlocked message IDs at this state
+	inFlight int64
+	queued   int
+}
+
+// Explorer enumerates the reachable state space of a Spec.
+type Explorer struct {
+	spec         Spec
+	cfg          sim.Config
+	digest       string
+	opt          Options
+	visited      map[[32]byte]struct{}
+	stack        []*entry
+	rep          *Report
+	sinceJournal int
+}
+
+// New prepares an exploration of spec from the initial (empty) state.
+func New(spec Spec, opt Options) (*Explorer, error) {
+	x, err := newExplorer(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	root, err := x.materialize(nil)
+	if err != nil {
+		return nil, err
+	}
+	h, err := root.snap.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	x.visited[h] = struct{}{}
+	x.rep.States = 1
+	x.stack = append(x.stack, root)
+	return x, nil
+}
+
+func newExplorer(spec Spec, opt Options) (*Explorer, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := sim.ConfigDigest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Explorer{
+		spec:    spec,
+		cfg:     cfg,
+		digest:  digest,
+		opt:     opt,
+		visited: make(map[[32]byte]struct{}),
+		rep:     &Report{Spec: spec, Threshold: spec.Threshold},
+	}, nil
+}
+
+// materialize replays a schedule from the initial state and builds its
+// frontier entry (snapshot, ground truth, occupancy).
+func (x *Explorer) materialize(schedule [][]int) (*entry, error) {
+	e, err := sim.New(x.cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	var used uint32
+	for _, inj := range schedule {
+		for _, i := range inj {
+			x.spec.inject(e, i)
+			used |= 1 << uint(i)
+		}
+		e.Step()
+	}
+	return x.entryFrom(e, schedule, used)
+}
+
+// entryFrom captures a live engine as a frontier entry.
+func (x *Explorer) entryFrom(e *sim.Engine, schedule [][]int, used uint32) (*entry, error) {
+	snap, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	src, rec := e.QueueLengths()
+	return &entry{
+		snap:     snap,
+		schedule: schedule,
+		used:     used,
+		gt:       e.BuildWaitGraph().Deadlocked(),
+		inFlight: e.InFlight(),
+		queued:   src + rec,
+	}, nil
+}
+
+// Run explores until the frontier drains or the state budget is hit, then
+// returns the report. It may be called once per Explorer.
+func (x *Explorer) Run() (*Report, error) {
+	allUsed := uint32(1)<<uint(len(x.spec.Messages)) - 1
+	for len(x.stack) > 0 {
+		if x.rep.States >= x.spec.MaxStates {
+			x.rep.BudgetTruncated = true
+			x.opt.logf("state budget %d reached with %d frontier states pending", x.spec.MaxStates, len(x.stack))
+			break
+		}
+		parent := x.stack[len(x.stack)-1]
+		x.stack = x.stack[:len(x.stack)-1]
+		if err := x.expand(parent, allUsed); err != nil {
+			return nil, err
+		}
+	}
+	if len(x.stack) == 0 {
+		x.rep.Exhausted = true
+	}
+	if x.opt.Journal != "" {
+		if err := x.writeJournal(); err != nil {
+			return nil, err
+		}
+	}
+	x.rep.finish()
+	return x.rep, nil
+}
+
+// Report returns the report accumulated so far (also valid after Run).
+func (x *Explorer) Report() *Report { return x.rep }
+
+// expand generates every successor of parent: one per subset of the
+// not-yet-injected catalog (injected at the boundary, catalog order),
+// followed by one engine Step.
+func (x *Explorer) expand(parent *entry, allUsed uint32) error {
+	if parent.used == allUsed && parent.inFlight == 0 && parent.queued == 0 {
+		x.rep.Terminals++
+		return nil
+	}
+	depth := len(parent.schedule)
+	if int64(depth) >= x.spec.MaxCycles {
+		x.rep.HorizonTruncated++
+		return nil
+	}
+	if depth > x.rep.MaxDepth {
+		x.rep.MaxDepth = depth
+	}
+	var remaining []int
+	for i := range x.spec.Messages {
+		if parent.used&(1<<uint(i)) == 0 {
+			remaining = append(remaining, i)
+		}
+	}
+	// Subsets in increasing binary order: the empty action is pushed first
+	// and the all-in action last, so DFS (LIFO) dives into
+	// inject-everything-now schedules first and reaches the deep blocked
+	// states where detection fires early in the exploration.
+	for sub := 0; sub < 1<<uint(len(remaining)); sub++ {
+		var inject []int
+		for b := 0; b < len(remaining); b++ {
+			if sub&(1<<uint(b)) != 0 {
+				inject = append(inject, remaining[b])
+			}
+		}
+		if err := x.step(parent, inject); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one action (inject the given catalog entries, Step once)
+// from parent, running the per-state check battery if the successor is new.
+func (x *Explorer) step(parent *entry, inject []int) error {
+	e, err := sim.RestoreEngine(x.cfg, parent.snap) // restore runs CheckInvariants
+	if err != nil {
+		return fmt.Errorf("modelcheck: restore at depth %d: %w", len(parent.schedule), err)
+	}
+	defer e.Close()
+	used := parent.used
+	for _, i := range inject {
+		x.spec.inject(e, i)
+		used |= 1 << uint(i)
+	}
+	var recovered []int64
+	e.SetListener(trace.Func(func(ev trace.Event) {
+		if ev.Kind == trace.KindDeadlock {
+			recovered = append(recovered, ev.Msg)
+		}
+	}))
+	e.Step()
+	e.SetListener(nil)
+	x.rep.Edges++
+
+	// FC3D fired on this edge: recoveries of ground-truth-deadlocked
+	// messages are true positives, the rest false positives. The parent's
+	// ground truth still applies — boundary injections only touch source
+	// queues, never in-network state.
+	for _, id := range recovered {
+		if containsID(parent.gt, id) {
+			x.rep.TruePositives++
+		} else {
+			x.rep.FalsePositives++
+		}
+	}
+
+	child, err := x.entryFrom(e, appendSchedule(parent.schedule, inject), used)
+	if err != nil {
+		return err
+	}
+	h, err := child.snap.CanonicalHash()
+	if err != nil {
+		return err
+	}
+	if _, dup := x.visited[h]; dup {
+		x.rep.DupEdges++
+		return nil
+	}
+	x.visited[h] = struct{}{}
+	x.rep.States++
+
+	// Check battery on the newly visited state.
+	if err := e.CheckInvariants(); err != nil {
+		x.violation(child, "invariants", err.Error())
+	}
+	if err := e.VerifyInjectionProperty(); err != nil {
+		x.violation(child, "alo-property", err.Error())
+	}
+	if err := x.checkRoundTrip(child, h); err != nil {
+		x.violation(child, "snapshot-roundtrip", err.Error())
+	}
+	if len(child.gt) > 0 {
+		x.rep.DeadlockStates++
+		if err := x.probe(child); err != nil {
+			return err
+		}
+	}
+
+	x.stack = append(x.stack, child)
+	x.sinceJournal++
+	if x.opt.Journal != "" && x.sinceJournal >= x.opt.journalEvery() {
+		x.sinceJournal = 0
+		if err := x.writeJournal(); err != nil {
+			return err
+		}
+	}
+	if x.opt.Log != nil && x.rep.States%5000 == 0 {
+		x.opt.logf("%d states, %d edges, %d deadlock states, frontier %d",
+			x.rep.States, x.rep.Edges, x.rep.DeadlockStates, len(x.stack))
+	}
+	return nil
+}
+
+// checkRoundTrip asserts restore identity: loading the child snapshot into
+// a fresh engine and re-snapshotting reproduces the canonical hash.
+func (x *Explorer) checkRoundTrip(child *entry, want [32]byte) error {
+	r, err := sim.RestoreEngine(x.cfg, child.snap)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	rs, err := r.Snapshot()
+	if err != nil {
+		return err
+	}
+	got, err := rs.CanonicalHash()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("restored state hashes %x, original %x", got[:8], want[:8])
+	}
+	return nil
+}
+
+// probe is the zero-false-negatives check: from a ground-truth-deadlocked
+// state, the engine runs forward (no further injections) and FC3D must
+// fire recovery for some deadlocked message within the probe budget. A
+// silent run is a false-negative counterexample; a deadlocked message
+// getting *delivered* instead refutes the oracle itself (also fatal —
+// the two implementations disagree and the checker cannot tell which is
+// right without a human).
+func (x *Explorer) probe(state *entry) error {
+	x.rep.Probes++
+	e, err := sim.RestoreEngine(x.cfg, state.snap)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	var detected, unsoundID int64 = -1, -1
+	intervened := false
+	e.SetListener(trace.Func(func(ev trace.Event) {
+		switch ev.Kind {
+		case trace.KindDeadlock:
+			intervened = true
+			if containsID(state.gt, ev.Msg) && detected < 0 {
+				detected = ev.Msg
+			}
+		case trace.KindDelivered:
+			// Delivery refutes the oracle only while the engine has not
+			// intervened: the oracle's claim is "stuck in the absence of
+			// recovery", and recovering ANY message (killing its worm frees
+			// the channels the cycle waits on) leaves that modeled world.
+			if containsID(state.gt, ev.Msg) && !intervened && unsoundID < 0 {
+				unsoundID = ev.Msg
+			}
+		}
+	}))
+	budget := x.spec.probeBudget()
+	for i := int64(0); i < budget; i++ {
+		e.Step()
+		if unsoundID >= 0 {
+			x.rep.OracleUnsound++
+			return x.emitCounterexample(state, CxOracleUnsound,
+				fmt.Sprintf("message %d is oracle-deadlocked but was delivered at cycle %d", unsoundID, e.Now()))
+		}
+		if detected >= 0 && !x.opt.SyntheticMiss {
+			x.rep.Detected++
+			return nil
+		}
+	}
+	x.rep.FalseNegatives++
+	detail := fmt.Sprintf("no recovery of messages %v within %d probe cycles", state.gt, budget)
+	if x.opt.SyntheticMiss && detected >= 0 {
+		detail = fmt.Sprintf("synthetic miss: detector signal for message %d suppressed", detected)
+	}
+	return x.emitCounterexample(state, CxFalseNegative, detail)
+}
+
+// violation records a fatal per-state check failure and dumps the state.
+func (x *Explorer) violation(state *entry, kind, detail string) {
+	x.rep.Violations = append(x.rep.Violations, fmt.Sprintf("%s at depth %d: %s", kind, len(state.schedule), detail))
+	if err := x.emitCounterexample(state, CxKind(kind), detail); err != nil {
+		x.rep.Violations = append(x.rep.Violations, fmt.Sprintf("counterexample dump failed: %v", err))
+	}
+}
+
+// emitCounterexample minimizes (for deadlock-probe failures) and persists
+// a replayable counterexample, recording it in the report.
+func (x *Explorer) emitCounterexample(state *entry, kind CxKind, detail string) error {
+	cx := &Counterexample{
+		Kind:     kind,
+		Detail:   detail,
+		Digest:   x.digest,
+		Spec:     x.spec,
+		Schedule: state.schedule,
+		GT:       state.gt,
+		Snap:     state.snap,
+	}
+	if kind == CxFalseNegative {
+		x.minimize(cx)
+	}
+	x.rep.Counterexamples = append(x.rep.Counterexamples, fmt.Sprintf("%s: %s", kind, cx.Detail))
+	if x.opt.CounterexampleDir == "" {
+		return nil
+	}
+	path, err := cx.WriteDir(x.opt.CounterexampleDir, len(x.rep.Counterexamples))
+	if err != nil {
+		return err
+	}
+	x.opt.logf("counterexample written: %s", path)
+	return nil
+}
+
+// minimize greedily shrinks a false-negative schedule: drop one injection
+// at a time (then empty trailing cycles) while the replayed state still
+// has a ground-truth deadlock that the detector misses.
+func (x *Explorer) minimize(cx *Counterexample) {
+	current := cloneSchedule(cx.Schedule)
+	for {
+		shrunk := false
+		for c := 0; c < len(current) && !shrunk; c++ {
+			for k := 0; k < len(current[c]); k++ {
+				cand := cloneSchedule(current)
+				cand[c] = append(append([]int(nil), current[c][:k]...), current[c][k+1:]...)
+				if gt := x.stillMisses(cand); gt != nil {
+					current, shrunk = cand, true
+					cx.GT = gt
+					break
+				}
+			}
+		}
+		// Trim trailing injection-free cycles.
+		for len(current) > 0 && len(current[len(current)-1]) == 0 {
+			cand := current[:len(current)-1]
+			gt := x.stillMisses(cand)
+			if gt == nil {
+				break
+			}
+			current, shrunk = cand, true
+			cx.GT = gt
+		}
+		if !shrunk {
+			break
+		}
+	}
+	cx.Schedule = current
+	if e, err := x.materialize(current); err == nil {
+		cx.Snap = e.snap
+	}
+}
+
+// stillMisses replays a candidate schedule and reports whether it still
+// reproduces the failure: a ground-truth deadlock the probe (under the
+// same detector policy, including SyntheticMiss) does not detect. Returns
+// the deadlocked set, or nil if the candidate no longer fails.
+func (x *Explorer) stillMisses(schedule [][]int) []int64 {
+	st, err := x.materialize(schedule)
+	if err != nil || len(st.gt) == 0 {
+		return nil
+	}
+	e, err := sim.RestoreEngine(x.cfg, st.snap)
+	if err != nil {
+		return nil
+	}
+	defer e.Close()
+	detected := false
+	e.SetListener(trace.Func(func(ev trace.Event) {
+		if ev.Kind == trace.KindDeadlock && containsID(st.gt, ev.Msg) {
+			detected = true
+		}
+	}))
+	budget := x.spec.probeBudget()
+	for i := int64(0); i < budget; i++ {
+		e.Step()
+		if detected && !x.opt.SyntheticMiss {
+			return nil
+		}
+	}
+	return st.gt
+}
+
+// journalState is the crash-resume image: enough to rebuild the explorer
+// exactly (frontier entries are stored as schedules and re-materialized by
+// deterministic replay on resume).
+type journalState struct {
+	Digest   string
+	Spec     Spec
+	Visited  [][32]byte
+	Frontier []journalEntry
+	Report   Report
+}
+
+type journalEntry struct {
+	Schedule [][]int
+	Used     uint32
+}
+
+func (x *Explorer) writeJournal() error {
+	js := &journalState{
+		Digest: x.digest,
+		Spec:   x.spec,
+		Report: *x.rep,
+	}
+	js.Visited = make([][32]byte, 0, len(x.visited))
+	for h := range x.visited {
+		js.Visited = append(js.Visited, h)
+	}
+	js.Frontier = make([]journalEntry, len(x.stack))
+	for i, en := range x.stack {
+		js.Frontier[i] = journalEntry{Schedule: en.schedule, Used: en.used}
+	}
+	return checkpoint.WriteFileValue(x.opt.Journal, js)
+}
+
+// Resume rebuilds an explorer from a journal written by a previous run
+// with the same spec (enforced via the config digest) and continues it.
+func Resume(path string, opt Options) (*Explorer, error) {
+	js, err := checkpoint.ReadFileValue[journalState](path)
+	if err != nil {
+		return nil, err
+	}
+	x, err := newExplorer(js.Spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	if x.digest != js.Digest {
+		return nil, fmt.Errorf("modelcheck: journal written with config %q, spec builds %q", js.Digest, x.digest)
+	}
+	rep := js.Report
+	x.rep = &rep
+	x.rep.BudgetTruncated = false
+	x.rep.Exhausted = false
+	for _, h := range js.Visited {
+		x.visited[h] = struct{}{}
+	}
+	x.opt.logf("resuming: %d visited states, %d frontier schedules", len(js.Visited), len(js.Frontier))
+	for _, je := range js.Frontier {
+		en, err := x.materialize(je.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("modelcheck: re-materialize frontier schedule: %w", err)
+		}
+		x.stack = append(x.stack, en)
+	}
+	return x, nil
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func appendSchedule(schedule [][]int, inject []int) [][]int {
+	out := make([][]int, len(schedule)+1)
+	copy(out, schedule)
+	out[len(schedule)] = inject
+	return out
+}
+
+func cloneSchedule(s [][]int) [][]int {
+	out := make([][]int, len(s))
+	for i, c := range s {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package modelcheck
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"wormnet/internal/checkpoint"
+)
+
+// boundedDefault returns DefaultSpec with a test-sized state budget.
+func boundedDefault(states int) Spec {
+	s := DefaultSpec()
+	s.MaxStates = states
+	return s
+}
+
+// boundedRing returns RingSpec with a test-sized state budget.
+func boundedRing(states int) Spec {
+	s := RingSpec()
+	s.MaxStates = states
+	return s
+}
+
+// TestDefaultSpecExploration runs the issue's canonical 2-ary 2-cube model
+// under a CI-sized budget: no checker failure of any kind, and — a model
+// property worth pinning — no reachable deadlock, because every 2-ary hop
+// is minimal in both ring directions so TFAR always has an escape channel.
+func TestDefaultSpecExploration(t *testing.T) {
+	x, err := New(boundedDefault(12000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("exploration failed:\n%s", rep.Format())
+	}
+	if rep.States != 12000 {
+		t.Fatalf("States = %d, want the full 12000 budget", rep.States)
+	}
+	if rep.DeadlockStates != 0 {
+		t.Errorf("2-ary 2-cube reached %d deadlock states; both-directions-minimal escape should prevent all", rep.DeadlockStates)
+	}
+	if rep.FalseNegatives != 0 || rep.OracleUnsound != 0 || len(rep.Violations) != 0 {
+		t.Errorf("failures: %d FN, %d unsound, %v", rep.FalseNegatives, rep.OracleUnsound, rep.Violations)
+	}
+}
+
+// TestRingSpecReachesDeadlock is the heart of the lane: the 4-ary ring
+// model reaches genuine cyclic deadlocks, the oracle flags them, and FC3D
+// detects every single one — zero false negatives over every reachable
+// deadlock state in the budget.
+func TestRingSpecReachesDeadlock(t *testing.T) {
+	x, err := New(boundedRing(20000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("exploration failed:\n%s", rep.Format())
+	}
+	if rep.DeadlockStates == 0 {
+		t.Fatalf("ring model reached no deadlock states — the FN probe was never exercised:\n%s", rep.Format())
+	}
+	if rep.Detected != rep.Probes {
+		t.Errorf("detected %d of %d probes", rep.Detected, rep.Probes)
+	}
+	if rep.TruePositives == 0 {
+		t.Errorf("no true-positive recoveries observed during expansion")
+	}
+}
+
+// TestExplorationDeterministic pins that two explorations of the same spec
+// produce identical reports — the foundation for counterexample replay and
+// journal resume.
+func TestExplorationDeterministic(t *testing.T) {
+	run := func() string {
+		x, err := New(boundedRing(5000), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := x.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d", rep.States, rep.Edges, rep.DupEdges,
+			rep.Terminals, rep.DeadlockStates, rep.Detected, rep.TruePositives, rep.FalsePositives)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical explorations diverged: %s vs %s", a, b)
+	}
+}
+
+// TestSyntheticMissSelfTest proves the checker fails when FC3D and the
+// oracle disagree: with the detector signal suppressed in probes, every
+// ground-truth deadlock must surface as a reported false negative with a
+// minimized, replayable counterexample — and the report must say FAILED.
+func TestSyntheticMissSelfTest(t *testing.T) {
+	dir := t.TempDir()
+	x, err := New(boundedRing(4000), Options{SyntheticMiss: true, CounterexampleDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("synthetic miss not reported as failure:\n%s", rep.Format())
+	}
+	if rep.FalseNegatives == 0 {
+		t.Fatalf("synthetic miss produced no false negatives:\n%s", rep.Format())
+	}
+	if len(rep.Counterexamples) != int(rep.FalseNegatives) {
+		t.Errorf("%d false negatives but %d counterexample summaries", rep.FalseNegatives, len(rep.Counterexamples))
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.wncp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no counterexample files dumped")
+	}
+	// Minimization: the dumped schedule must still reproduce a ground-truth
+	// deadlock, and no single injection can be dropped from it.
+	cx, err := ReadCounterexample(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	injections := 0
+	for _, cyc := range cx.Schedule {
+		injections += len(cyc)
+	}
+	if injections == 0 || injections > len(cx.Spec.Messages) {
+		t.Errorf("minimized schedule has %d injections (catalog %d)", injections, len(cx.Spec.Messages))
+	}
+}
+
+// TestJournalResume pins crash-resume: a budget-truncated journaled run,
+// resumed (with the budget raised, as a crash-resume continuation), must
+// finish with exactly the report an uninterrupted run produces.
+func TestJournalResume(t *testing.T) {
+	const small, full = 1500, 6000
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "explore.wncp")
+
+	x, err := New(boundedRing(small), Options{Journal: journal, JournalEvery: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated.BudgetTruncated {
+		t.Fatalf("run was not budget-truncated:\n%s", truncated.Format())
+	}
+
+	// Raise the budget inside the journal (the budgets are exploration
+	// parameters, not part of the config digest) and resume.
+	js, err := checkpoint.ReadFileValue[journalState](journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Spec.MaxStates = full
+	if err := checkpoint.WriteFileValue(journal, js); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(journal, Options{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	y, err := New(boundedRing(full), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := y.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(r *Report) string {
+		return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d", r.States, r.Edges, r.DupEdges,
+			r.Terminals, r.DeadlockStates, r.Detected, r.TruePositives, r.FalsePositives)
+	}
+	if key(resumed) != key(direct) {
+		t.Fatalf("resumed run %s != uninterrupted run %s", key(resumed), key(direct))
+	}
+}
+
+// TestResumeRejectsForeignJournal pins the digest guard: a journal written
+// for one model must not resume under a spec that builds a different
+// engine configuration.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "explore.wncp")
+	x, err := New(boundedRing(500), Options{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Run(); err != nil {
+		t.Fatal(err)
+	}
+	js, err := checkpoint.ReadFileValue[journalState](journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Spec.K = 2
+	js.Spec.N = 2
+	js.Spec.Messages = DefaultSpec().Messages
+	if err := checkpoint.WriteFileValue(journal, js); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(journal, Options{}); err == nil {
+		t.Fatalf("foreign journal resumed without error")
+	}
+}
+
+// TestSpecValidation pins the Spec.Config error surface.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty catalog", func(s *Spec) { s.Messages = nil }},
+		{"duplicate source", func(s *Spec) { s.Messages[1].Src = s.Messages[0].Src }},
+		{"out of range dst", func(s *Spec) { s.Messages[0].Dst = 99 }},
+		{"self addressed", func(s *Spec) { s.Messages[0].Dst = s.Messages[0].Src }},
+		{"zero length", func(s *Spec) { s.Messages[0].Length = 0 }},
+		{"zero cycles", func(s *Spec) { s.MaxCycles = 0 }},
+		{"zero states", func(s *Spec) { s.MaxStates = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := DefaultSpec()
+			tc.mutate(&s)
+			if _, err := s.Config(); err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+		})
+	}
+	if _, err := DefaultSpec().Config(); err != nil {
+		t.Fatalf("DefaultSpec rejected: %v", err)
+	}
+	if _, err := RingSpec().Config(); err != nil {
+		t.Fatalf("RingSpec rejected: %v", err)
+	}
+}

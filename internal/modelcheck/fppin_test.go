@@ -1,0 +1,88 @@
+package modelcheck
+
+import "testing"
+
+// TestFalsePositivePin pins FC3D's exact verdict counts on the ring model
+// at a fixed 8000-state budget — the regression fingerprint of the
+// detector's accuracy. Exploration is deterministic, so these are exact
+// equalities, not bounds; an intentional engine or detector change that
+// shifts them should update the pins (and the EXPERIMENTS.md table) in the
+// same commit.
+//
+// At the paper's default threshold (32 cycles) every recovery is a true
+// positive: FC3D never misfires on a live message in this model. At an
+// aggressively low threshold (8 cycles) recovery fires on transient
+// blocking 41 times against 3 genuine deadlocks — the quantified cost of
+// impatience, and the reason the paper's threshold is conservative. Both
+// rows detect every ground-truth deadlock: lowering the threshold buys
+// nothing here and recovers live worms.
+func TestFalsePositivePin(t *testing.T) {
+	cases := []struct {
+		threshold      int32
+		deadlockStates int
+		truePositives  int64
+		falsePositives int64
+	}{
+		{threshold: 32, deadlockStates: 33, truePositives: 3, falsePositives: 0},
+		{threshold: 8, deadlockStates: 9, truePositives: 3, falsePositives: 41},
+	}
+	for _, tc := range cases {
+		spec := RingSpec()
+		spec.Threshold = tc.threshold
+		spec.MaxStates = 8000
+		x, err := New(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := x.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FalseNegatives != 0 || rep.OracleUnsound != 0 || len(rep.Violations) != 0 {
+			t.Fatalf("threshold %d: checker failure:\n%s", tc.threshold, rep.Format())
+		}
+		if rep.DeadlockStates != tc.deadlockStates || rep.Detected != rep.Probes {
+			t.Errorf("threshold %d: %d deadlock states (%d/%d detected), want %d with all detected",
+				tc.threshold, rep.DeadlockStates, rep.Detected, rep.Probes, tc.deadlockStates)
+		}
+		if rep.TruePositives != tc.truePositives || rep.FalsePositives != tc.falsePositives {
+			t.Errorf("threshold %d: verdicts TP=%d FP=%d, pinned TP=%d FP=%d",
+				tc.threshold, rep.TruePositives, rep.FalsePositives, tc.truePositives, tc.falsePositives)
+		}
+	}
+}
+
+// TestExhaustiveTwoWormModel pins the one fully exhausted state space in
+// the suite: the 2-ary 2-cube with two opposing diagonal worms has exactly
+// 18 921 reachable states within the 40-cycle horizon, every one visited
+// and checked, none deadlocked. Skipped under -short (the CI modelcheck
+// job runs the same exploration through the CLI instead).
+func TestExhaustiveTwoWormModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exhaustion is covered by the CI modelcheck-smoke job")
+	}
+	spec := DefaultSpec()
+	spec.Messages = spec.Messages[:2] // 0->3 and 3->0
+	spec.MaxCycles = 40
+	spec.MaxStates = 25000
+	x, err := New(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("exploration failed:\n%s", rep.Format())
+	}
+	if !rep.Exhausted || rep.BudgetTruncated {
+		t.Fatalf("state space not exhausted: %d states, budget-truncated=%v", rep.States, rep.BudgetTruncated)
+	}
+	if rep.States != 18921 {
+		t.Errorf("exhausted space has %d states, pinned 18921", rep.States)
+	}
+	if rep.DeadlockStates != 0 {
+		t.Errorf("%d deadlock states in the 2-ary 2-cube; both-directions-minimal escape should prevent all", rep.DeadlockStates)
+	}
+}

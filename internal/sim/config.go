@@ -58,6 +58,19 @@ type Config struct {
 	// Rate*Burst.PeakFactor().
 	Burst traffic.BurstProfile
 
+	// Sources, when non-nil, overrides the built-in Poisson/bursty traffic
+	// generators: each node's generator comes from this factory instead
+	// (e.g. a traffic.ScriptSource replaying a recorded schedule). Pattern,
+	// Rate and Burst are ignored for generation when set. SourceName must
+	// then be set too: factories are funcs and carry no identity of their
+	// own, and the name stands in for the factory in ConfigDigest — two
+	// configs with the same SourceName are assumed to produce identical
+	// generators.
+	Sources traffic.SourceFactory
+	// SourceName labels the custom source in manifests and the config
+	// digest; it must uniquely describe the factory's behaviour.
+	SourceName string
+
 	// Injection limitation mechanism. Nil means no limitation.
 	Limiter core.Factory
 	// LimiterName labels the mechanism in results (factories are funcs and
@@ -202,6 +215,12 @@ func (c *Config) validate() error {
 	if c.LimiterName == "" {
 		c.LimiterName = "custom"
 	}
+	if c.Sources != nil && c.SourceName == "" {
+		return fmt.Errorf("sim: custom Sources needs a SourceName for the config digest")
+	}
+	if c.Sources == nil && c.SourceName != "" {
+		return fmt.Errorf("sim: SourceName %q set without custom Sources", c.SourceName)
+	}
 	return nil
 }
 
@@ -232,6 +251,9 @@ func (c Config) Manifest() map[string]any {
 	}
 	if c.Burst.Enabled() {
 		m["burst_on"], m["burst_off"] = c.Burst.OnMean, c.Burst.OffMean
+	}
+	if c.Sources != nil {
+		m["source"] = c.SourceName
 	}
 	if !c.Faults.Empty() {
 		m["fault_events"] = len(c.Faults.Events())

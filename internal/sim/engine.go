@@ -422,10 +422,16 @@ func New(cfg Config) (*Engine, error) {
 		}
 		nd.inj = make([]injChannel, cfg.InjChannels)
 		nd.ej = make([]ejChannel, cfg.EjChannels)
-		if cfg.Burst.Enabled() {
+		switch {
+		case cfg.Sources != nil:
+			nd.src = cfg.Sources(nd.id)
+			if nd.src == nil || nd.src.Node() != nd.id {
+				return nil, fmt.Errorf("sim: Sources factory returned a bad generator for node %d", nd.id)
+			}
+		case cfg.Burst.Enabled():
 			nd.src = traffic.NewBurstySource(nd.id, pattern, cfg.Rate, cfg.MsgLen,
 				cfg.Burst, cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
-		} else {
+		default:
 			nd.src = traffic.NewSource(nd.id, pattern, cfg.Rate, cfg.MsgLen,
 				cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
 		}

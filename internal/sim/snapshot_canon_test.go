@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+// tinyManualConfig is a 2-ary 2-cube with no autonomous traffic: messages
+// enter only via Engine.Inject, which is what the model checker's branching
+// layer (and these tests) need for schedule control.
+func tinyManualConfig() Config {
+	return Config{
+		K: 2, N: 2,
+		VCs: 1, BufDepth: 1,
+		InjChannels: 1, EjChannels: 1,
+		Routing: "tfar",
+		Pattern: "uniform", MsgLen: 4, Rate: 0,
+		DetectionThreshold: 32,
+		RecoveryDelay:      8,
+		MeasureCycles:      1 << 30,
+		Seed:               1,
+	}
+}
+
+// TestCanonicalHashScheduleIndependent is the dedup soundness test: two
+// engines that reach the same logical state through different injection
+// orders (hence different message IDs) must hash identically, and a third
+// engine in a genuinely different state must not.
+func TestCanonicalHashScheduleIndependent(t *testing.T) {
+	run := func(order [][3]int) *Engine {
+		e, err := New(tinyManualConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range order {
+			e.Inject(topology.NodeID(in[0]), topology.NodeID(in[1]), in[2])
+		}
+		for i := 0; i < 6; i++ {
+			e.Step()
+		}
+		return e
+	}
+	// Same two messages, swapped Inject order: IDs 0/1 swap, nothing else.
+	a := run([][3]int{{0, 3, 4}, {3, 0, 4}})
+	b := run([][3]int{{3, 0, 4}, {0, 3, 4}})
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := sa.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := sb.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("swapped injection order changed canonical bytes (len %d vs %d)", len(ba), len(bb))
+	}
+	ha, err := sa.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := sb.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("swapped injection order changed canonical hash")
+	}
+
+	// A different state (one message instead of two) must differ.
+	c := run([][3]int{{0, 3, 4}})
+	sc, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := sc.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("different states collided in canonical hash")
+	}
+}
+
+// TestCanonicalBytesDeterministic: encoding the same snapshot twice, and
+// encoding a snapshot of an untouched engine again, yields identical bytes
+// (no map-iteration or pointer-order nondeterminism in the encoder).
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	e, err := New(tinyManualConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Inject(0, 3, 4)
+	e.Inject(1, 2, 4)
+	e.Inject(3, 0, 4)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	s, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := s.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-encoding the same snapshot changed bytes")
+	}
+	s2, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := s2.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("re-snapshotting an untouched engine changed canonical bytes")
+	}
+}
+
+// TestCanonicalHashRestoreRoundTrip: restore is canonical-identity — the
+// restored engine's snapshot hashes identically to the original's, and
+// stepping both keeps them in lockstep.
+func TestCanonicalHashRestoreRoundTrip(t *testing.T) {
+	cfg := tinyManualConfig()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Inject(0, 3, 4)
+	e.Inject(3, 0, 4)
+	e.Inject(1, 2, 4)
+	for i := 0; i < 7; i++ {
+		e.Step()
+	}
+	s, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreEngine(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := rs.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh != h {
+		t.Fatal("restore changed canonical hash")
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+		r.Step()
+	}
+	s1, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s1.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s2.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("restored engine diverged from original under identical steps")
+	}
+}

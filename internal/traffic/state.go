@@ -21,6 +21,10 @@ type GenState struct {
 	Next      float64
 	On        bool
 	PhaseEnds float64
+	// Script and Pos belong to ScriptSource (Script true): the replay
+	// cursor into its configured event list.
+	Script bool
+	Pos    int64
 }
 
 // Stateful is implemented by generators whose full state can be captured and
@@ -43,8 +47,8 @@ func (s *Source) SaveState() (GenState, error) {
 
 // LoadState implements Stateful.
 func (s *Source) LoadState(st GenState) error {
-	if st.Bursty {
-		return errors.New("traffic: bursty state loaded into steady source")
+	if st.Bursty || st.Script {
+		return errors.New("traffic: foreign generator state loaded into steady source")
 	}
 	if err := s.pcg.UnmarshalBinary(st.PCG); err != nil {
 		return fmt.Errorf("traffic: unmarshal source rng: %w", err)
@@ -75,8 +79,8 @@ func (s *BurstySource) SaveState() (GenState, error) {
 
 // LoadState implements Stateful.
 func (s *BurstySource) LoadState(st GenState) error {
-	if !st.Bursty {
-		return errors.New("traffic: steady state loaded into bursty source")
+	if !st.Bursty || st.Script {
+		return errors.New("traffic: foreign generator state loaded into bursty source")
 	}
 	if err := s.pcg.UnmarshalBinary(st.PCG); err != nil {
 		return fmt.Errorf("traffic: unmarshal bursty rng: %w", err)
