@@ -305,6 +305,35 @@ func BenchmarkEngineCyclesMetrics(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkEngineCyclesSpans measures the hot path with metrics AND
+// message-lifecycle span tracking attached (default sampling, no sink). The
+// delta against BenchmarkEngineCycles is the full forensics overhead; the
+// CI obs-smoke job gates it at 5%. allocs/op must stay 0: span records are
+// free-listed and the live map's size is bounded by the in-flight sampled
+// population, so the steady state allocates nothing.
+func BenchmarkEngineCyclesSpans(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Rate = 0.65
+	cfg.Limiter, cfg.LimiterName = baseline.NewNone(), "none"
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 0, 1<<40, 0
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	e.EnableMetrics(reg, sim.DefaultMetricsSampleEvery)
+	e.EnableSpans(reg, sim.DefaultSpanSampleEvery, nil)
+	for i := 0; i < 2000; i++ {
+		e.Step() // reach saturated steady state before timing
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkEngineCyclesParallel measures the sharded engine (Config.Workers,
 // see internal/sim/parallel.go) at the same near-saturation operating point,
 // one sub-benchmark per worker count. Every worker count produces

@@ -9,8 +9,10 @@
 //
 // The HTTP surface (see internal/campaign): POST /campaigns to submit,
 // GET /campaigns/{id} for live progress, /metrics for the farm's Prometheus
-// counters, /healthz (with build version) for probes. Workers of a
-// different build version are rejected unless -allow-version-skew.
+// counters, /healthz (with build version) for probes, /dash for the live
+// HTML fleet dashboard (/farm and the /…/events SSE streams feed it).
+// Workers of a different build version are rejected unless
+// -allow-version-skew.
 //
 // Examples:
 //
@@ -90,6 +92,7 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "campaignd: serving on http://%s (build %s, lease TTL %v, journal %s)\n",
 		srv.Addr(), obs.BuildVersion(), coord.LeaseTTL(), *dir)
+	fmt.Fprintf(os.Stderr, "campaignd: live dashboard at http://%s/dash (fleet JSON at /farm)\n", srv.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -42,6 +42,7 @@ func serveMode(addr, dir string, spec *campaign.Spec, ttl time.Duration) int {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: serving campaign %s (%s) on http://%s — connect workers with:\n", id, verb, srv.Addr())
 	fmt.Fprintf(os.Stderr, "sweep:   campaign-worker -connect http://%s\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "sweep: live dashboard at http://%s/dash\n", srv.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -15,9 +15,15 @@
 // pprof while the run is in flight; -metrics-out streams periodic metric
 // snapshots (with a run manifest header) to a JSONL file; -trace-out streams
 // every lifecycle event; -flight-out arms a flight recorder that dumps the
-// recent event window when deadlock/drop activity bursts:
+// recent event window when deadlock/drop activity bursts (and, with
+// -flight-sat-threshold, on saturation onset — a limiter deny-rate spike);
+// -spans tracks sampled message-lifecycle spans into blocked-time
+// histograms, and -span-out additionally exports them as Chrome trace-event
+// JSON that Perfetto (https://ui.perfetto.dev) loads directly; -progress
+// prints a stderr heartbeat with the cycle rate, deny rate and ETA:
 //
 //	wormsim -rate 0.6 -http :8080 -metrics-out run.jsonl -flight-out flight.jsonl
+//	wormsim -rate 1.2 -limiter none -progress -spans -span-out trace.json
 //
 // None of these change simulation results — instrumented and plain runs are
 // bit-identical (the sim package's TestMetricsDeterminism pins this).
@@ -104,6 +110,18 @@ func run() int {
 		"metric sampling period in cycles (gauges, per-phase timing, JSONL snapshots)")
 	traceOut := flag.String("trace-out", "", "stream every message lifecycle event (JSONL) to this file")
 	flightOut := flag.String("flight-out", "", "dump the recent event window (JSONL) when deadlock/drop activity bursts")
+	flightSatThreshold := flag.Int("flight-sat-threshold", 0,
+		"also dump the flight recorder when this many limiter denials land within -flight-sat-window cycles (0 = off; needs -flight-out)")
+	flightSatWindow := flag.Int64("flight-sat-window", obs.DefaultFlightSatWindow,
+		"saturation-trigger window in cycles (see -flight-sat-threshold)")
+	spansOn := flag.Bool("spans", false,
+		"track sampled message-lifecycle spans (blocked-time decomposition histograms; results stay bit-identical)")
+	spanEvery := flag.Int64("span-every", sim.DefaultSpanSampleEvery,
+		"span sampling period: track one in every N generated messages")
+	spanOut := flag.String("span-out", "",
+		"write sampled spans as Chrome trace-event JSON (Perfetto-loadable; implies -spans)")
+	progress := flag.Bool("progress", false,
+		"print a periodic progress heartbeat (cycles/s, delivered, deny rate, ETA) to stderr")
 	ckptPath := flag.String("checkpoint", "", "flush periodic engine checkpoints to this file (atomic replace; resume with -resume)")
 	ckptEvery := flag.Int64("checkpoint-every", 100000, "cycles between periodic checkpoints (needs -checkpoint)")
 	resumePath := flag.String("resume", "", "resume bit-identically from this checkpoint file (config flags must match the original run; -workers may differ)")
@@ -164,7 +182,8 @@ func run() int {
 		lastCycle atomic.Int64
 		listeners trace.Multi
 	)
-	if *httpAddr != "" || *metricsOut != "" {
+	wantSpans := *spansOn || *spanOut != ""
+	if *httpAddr != "" || *metricsOut != "" || wantSpans || *progress {
 		reg = metrics.NewRegistry()
 		e.EnableMetrics(reg, *metricsEvery)
 		if snap != nil {
@@ -237,6 +256,9 @@ func run() int {
 		}
 		flight = obs.NewFlightRecorder(w, reg, obs.DefaultFlightCapacity,
 			obs.DefaultFlightWindow, obs.DefaultFlightThreshold)
+		if *flightSatThreshold > 0 {
+			flight.SetSaturationTrigger(*flightSatWindow, *flightSatThreshold)
+		}
 		listeners = append(listeners, flight)
 	}
 	switch len(listeners) {
@@ -245,6 +267,43 @@ func run() int {
 		e.SetListener(listeners[0])
 	default:
 		e.SetListener(listeners)
+	}
+
+	// Span instrumentation: aggregate into the registry, and fan finished
+	// spans out to the trace-event file and/or the flight recorder.
+	var spanJSON *obs.TraceJSONWriter
+	if wantSpans {
+		var sinks trace.MultiSpan
+		if *spanOut != "" {
+			tw, err := obs.CreateTraceJSON(*spanOut)
+			if err != nil {
+				return fail(err)
+			}
+			defer func() {
+				if err := tw.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "span-out:", err)
+				}
+			}()
+			spanJSON = tw
+			sinks = append(sinks, tw)
+		}
+		if flight != nil {
+			flight.RetainSpans(obs.DefaultFlightSpans)
+			sinks = append(sinks, flight)
+		}
+		var sink trace.SpanSink
+		switch len(sinks) {
+		case 0:
+		case 1:
+			sink = sinks[0]
+		default:
+			sink = sinks
+		}
+		e.EnableSpans(reg, *spanEvery, sink)
+	}
+
+	if *progress {
+		defer startProgress(&lastCycle, reg, cfg.TotalCycles(), e.Now())()
 	}
 
 	if *cpuProfile != "" {
@@ -359,8 +418,12 @@ func run() int {
 			e.Aborted(), e.Retried(), e.Dropped())
 	}
 	if flight != nil {
-		fmt.Printf("flight dumps   : %d burst dump(s) written to %s\n",
+		fmt.Printf("flight dumps   : %d dump(s) written to %s\n",
 			flight.Dumps(), *flightOut)
+	}
+	if spanJSON != nil {
+		fmt.Printf("spans          : %d sampled span(s) written to %s\n",
+			spanJSON.Spans(), *spanOut)
 	}
 	fmt.Printf("simulated      : %d cycles in %v (%.0f cycles/s)\n",
 		ran, elapsed.Round(time.Millisecond),
@@ -378,6 +441,53 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// startProgress launches the stderr heartbeat goroutine and returns its stop
+// function. It reads only the atomic cycle mirror (fed by the sample hook)
+// and the registry's atomic counters, so it never races the simulation.
+func startProgress(lastCycle *atomic.Int64, reg *metrics.Registry, total, start int64) func() {
+	// Re-registering returns the engine's own counter handles (and keeps
+	// their original help strings).
+	delivered := reg.NewCounter("sim_messages_delivered_total", "")
+	admitted := reg.NewCounter("sim_injection_admitted_total", "")
+	denied := reg.NewCounter("sim_injection_denied_total", "")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		prevCycle, prevAdm, prevDen := start, admitted.Value(), denied.Value()
+		prevT := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			now := time.Now()
+			cycle := lastCycle.Load()
+			cps := float64(cycle-prevCycle) / now.Sub(prevT).Seconds()
+			adm, den := admitted.Value(), denied.Value()
+			denyPct := 0.0
+			if tries := (adm - prevAdm) + (den - prevDen); tries > 0 {
+				denyPct = float64(den-prevDen) / float64(tries) * 100
+			}
+			eta := "?"
+			if cps > 0 && total > cycle {
+				eta = time.Duration(float64(total-cycle) / cps * float64(time.Second)).Round(time.Second).String()
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = float64(cycle) / float64(total) * 100
+			}
+			fmt.Fprintf(os.Stderr, "progress: cycle %d/%d (%.1f%%)  %.0f cycles/s  delivered %d  deny %.1f%%  eta %s\n",
+				cycle, total, pct, cps, delivered.Value(), denyPct, eta)
+			prevCycle, prevAdm, prevDen, prevT = cycle, adm, den, now
+		}
+	}()
+	return func() { close(stop); <-done }
 }
 
 // limiterByName resolves the CLI limiter flag, including the ALO ablation

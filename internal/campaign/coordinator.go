@@ -109,6 +109,58 @@ type campaignState struct {
 	merged     *stats.Collector  // merged completed-point collectors
 	engMetrics *metrics.Registry // merged completed-point engine metrics
 	seq        int
+
+	// firstGrant anchors the ETA extrapolation: wall time of the first
+	// lease grant this coordinator lifetime. Zero before any grant (and
+	// after a restart, where the rate estimate simply restarts too).
+	firstGrant time.Time
+}
+
+// pointFraction is the completion fraction of one point at a given engine
+// cycle, clamped to [0,1].
+func (st *campaignState) pointFraction(point int, cycle int64) float64 {
+	total := st.points[point].Config.TotalCycles()
+	if total <= 0 || cycle <= 0 {
+		return 0
+	}
+	if cycle >= total {
+		return 1
+	}
+	return float64(cycle) / float64(total)
+}
+
+// progressLocked computes a campaign's fractional completion (terminal
+// points count 1, live leases their last-renewed cycle fraction), elapsed
+// wall time since the first grant, and the rate-extrapolated ETA. Caller
+// holds c.mu.
+func (c *Coordinator) progressLocked(st *campaignState) (frac float64, elapsedMS, etaMS int64) {
+	total := len(st.manifest.Points)
+	if total == 0 {
+		return 0, 0, -1
+	}
+	var done float64
+	for i := range st.manifest.Points {
+		if st.manifest.Points[i].Status.Terminal() {
+			done++
+		} else if l := st.leases[i]; l != nil {
+			done += st.pointFraction(i, l.cycle)
+		}
+	}
+	frac = done / float64(total)
+	if st.firstGrant.IsZero() {
+		return frac, 0, -1
+	}
+	elapsed := c.now().Sub(st.firstGrant)
+	elapsedMS = elapsed.Milliseconds()
+	switch {
+	case st.manifest.Done():
+		etaMS = 0
+	case frac <= 0 || elapsedMS <= 0:
+		etaMS = -1
+	default:
+		etaMS = int64(float64(elapsedMS) * (1 - frac) / frac)
+	}
+	return frac, elapsedMS, etaMS
 }
 
 // farm is the coordinator's own metrics (served on /metrics).
@@ -440,6 +492,9 @@ func (c *Coordinator) grantLocked(st *campaignState, i int, worker string) (*Acq
 	}
 	st.leases[i] = l
 	st.byLease[l.id] = l
+	if st.firstGrant.IsZero() {
+		st.firstGrant = c.now()
+	}
 	c.m.granted.Inc()
 	hasCkpt := st.ckpts[i] != nil
 	if hasCkpt {
@@ -724,9 +779,11 @@ func (c *Coordinator) Status(campaignID string) (*StatusView, error) {
 			Cycle:     l.cycle,
 			Attempt:   l.attempt,
 			ExpiresMS: l.expires.Sub(now).Milliseconds(),
+			Progress:  st.pointFraction(l.point, l.cycle),
 		})
 	}
 	sort.Slice(view.Leases, func(i, j int) bool { return view.Leases[i].Point < view.Leases[j].Point })
+	view.Progress, view.ElapsedMS, view.EtaMS = c.progressLocked(st)
 	if st.merged != nil {
 		r := st.merged.Result()
 		view.MergedResult = &r
@@ -746,6 +803,79 @@ func (c *Coordinator) Status(campaignID string) (*StatusView, error) {
 		view.Metrics = obs.MetricsMap(live)
 	}
 	return view, nil
+}
+
+// Farm builds the fleet-wide telemetry snapshot: one progress row per
+// campaign, one row per active worker lease, and merged message totals.
+// It is cheap enough to stream every second — it touches only lease state
+// and counter samples, never the full merged registries.
+func (c *Coordinator) Farm() *FarmView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases(c.now())
+	view := &FarmView{
+		Draining:  c.draining,
+		Campaigns: make([]CampaignProgress, 0, len(c.order)),
+	}
+	now := c.now()
+	for _, id := range c.order {
+		st := c.campaigns[id]
+		counts := st.manifest.StatusCounts()
+		row := CampaignProgress{
+			ID:        id,
+			Vary:      st.spec.Vary,
+			Points:    len(st.manifest.Points),
+			Completed: counts[StatusCompleted],
+			Failed:    counts[StatusFailed],
+			Running:   len(st.leases),
+			Done:      st.manifest.Done(),
+		}
+		row.Progress, row.ElapsedMS, row.EtaMS = c.progressLocked(st)
+		view.Campaigns = append(view.Campaigns, row)
+
+		for _, l := range st.leases {
+			view.Workers = append(view.Workers, WorkerView{
+				Worker:    l.worker,
+				Campaign:  id,
+				Point:     l.point,
+				Value:     st.points[l.point].Raw,
+				Cycle:     l.cycle,
+				Progress:  st.pointFraction(l.point, l.cycle),
+				Attempt:   l.attempt,
+				ExpiresMS: l.expires.Sub(now).Milliseconds(),
+			})
+		}
+		view.Delivered += counterTotal(st, "sim_messages_delivered_total")
+		view.Admitted += counterTotal(st, "sim_injection_admitted_total")
+		view.Denied += counterTotal(st, "sim_injection_denied_total")
+	}
+	sort.Slice(view.Workers, func(i, j int) bool {
+		a, b := &view.Workers[i], &view.Workers[j]
+		if a.Campaign != b.Campaign {
+			return a.Campaign < b.Campaign
+		}
+		return a.Point < b.Point
+	})
+	return view
+}
+
+// counterTotal sums one counter across a campaign's merged completed-point
+// metrics and the latest heartbeat snapshot of every live lease.
+func counterTotal(st *campaignState, name string) int64 {
+	var total int64
+	for _, s := range st.engMetrics.Snapshot() {
+		if s.Name == name && s.Kind == metrics.KindCounter {
+			total += int64(s.Value)
+		}
+	}
+	for _, l := range st.leases {
+		for _, s := range l.live {
+			if s.Name == name && s.Kind == metrics.KindCounter {
+				total += int64(s.Value)
+			}
+		}
+	}
+	return total
 }
 
 // Manifest returns a copy of a campaign's journal (tests, CLI rendering).

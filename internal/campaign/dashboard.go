@@ -1,0 +1,101 @@
+package campaign
+
+// The live fleet dashboard served on GET /dash. Deliberately dependency
+// free: one self-contained HTML page, vanilla JS, an EventSource on
+// /farm/events. It renders every campaign's progress bar and ETA, the
+// active worker fleet, and the merged deny rate — enough to watch a sweep
+// saturate (or not) in real time without attaching Prometheus or Grafana.
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>wormnet farm</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; background: #0d1117; color: #e6edf3; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .3rem .7rem; border-bottom: 1px solid #30363d; }
+  th { color: #8b949e; font-weight: 600; }
+  .bar { background: #21262d; border-radius: 3px; width: 160px; height: 10px; display: inline-block; vertical-align: middle; }
+  .bar > i { background: #3fb950; border-radius: 3px; height: 100%; display: block; }
+  .muted { color: #8b949e; }
+  .bad { color: #f85149; }
+  #state { float: right; }
+  #state.live { color: #3fb950; } #state.dead { color: #f85149; }
+</style>
+</head>
+<body>
+<h1>wormnet farm <span id="state" class="dead">connecting…</span></h1>
+<div id="totals" class="muted"></div>
+<h2>Campaigns</h2>
+<table><thead><tr>
+  <th>id</th><th>vary</th><th>points</th><th>done</th><th>failed</th><th>running</th>
+  <th>progress</th><th>elapsed</th><th>eta</th>
+</tr></thead><tbody id="campaigns"></tbody></table>
+<h2>Workers</h2>
+<table><thead><tr>
+  <th>worker</th><th>campaign</th><th>point</th><th>value</th><th>cycle</th>
+  <th>progress</th><th>attempt</th><th>lease</th>
+</tr></thead><tbody id="workers"></tbody></table>
+<script>
+"use strict";
+function fmtMS(ms) {
+  if (ms < 0) return "—";
+  if (ms === 0) return "0s";
+  var s = Math.round(ms / 1000);
+  if (s < 60) return s + "s";
+  var m = Math.floor(s / 60);
+  if (m < 60) return m + "m" + (s % 60) + "s";
+  return Math.floor(m / 60) + "h" + (m % 60) + "m";
+}
+function bar(frac) {
+  var pct = Math.max(0, Math.min(100, frac * 100));
+  return '<span class="bar"><i style="width:' + pct.toFixed(1) + '%"></i></span> ' + pct.toFixed(1) + '%';
+}
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, function (c) {
+    return { "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;" }[c];
+  });
+}
+function render(farm) {
+  var denyPct = 0, attempts = farm.admitted + farm.denied;
+  if (attempts > 0) denyPct = 100 * farm.denied / attempts;
+  document.getElementById("totals").textContent =
+    "delivered " + farm.delivered + " · admitted " + farm.admitted +
+    " · denied " + farm.denied + " (" + denyPct.toFixed(1) + "%)" +
+    (farm.draining ? " · DRAINING" : "");
+  var rows = "";
+  (farm.campaigns || []).forEach(function (c) {
+    rows += "<tr><td>" + esc(c.id) + "</td><td>" + esc(c.vary) + "</td><td>" + c.points +
+      "</td><td>" + c.completed + "</td><td" + (c.failed ? ' class="bad"' : "") + ">" + c.failed +
+      "</td><td>" + c.running + "</td><td>" + bar(c.progress) +
+      "</td><td>" + fmtMS(c.elapsed_ms) + "</td><td>" + (c.done ? "done" : fmtMS(c.eta_ms)) +
+      "</td></tr>";
+  });
+  document.getElementById("campaigns").innerHTML =
+    rows || '<tr><td colspan="9" class="muted">no campaigns</td></tr>';
+  rows = "";
+  (farm.workers || []).forEach(function (w) {
+    rows += "<tr><td>" + esc(w.worker) + "</td><td>" + esc(w.campaign) + "</td><td>" + w.point +
+      "</td><td>" + esc(w.value) + "</td><td>" + w.cycle + "</td><td>" + bar(w.progress) +
+      "</td><td>" + w.attempt + "</td><td>" + fmtMS(w.expires_ms) + "</td></tr>";
+  });
+  document.getElementById("workers").innerHTML =
+    rows || '<tr><td colspan="8" class="muted">idle</td></tr>';
+}
+var state = document.getElementById("state");
+var es = new EventSource("/farm/events");
+es.onmessage = function (ev) {
+  state.textContent = "live";
+  state.className = "live";
+  render(JSON.parse(ev.data));
+};
+es.onerror = function () {
+  state.textContent = "disconnected";
+  state.className = "dead";
+};
+</script>
+</body>
+</html>
+`

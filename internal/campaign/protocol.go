@@ -108,6 +108,9 @@ type LeaseView struct {
 	Cycle     int64  `json:"cycle"`
 	Attempt   int    `json:"attempt"`
 	ExpiresMS int64  `json:"expires_ms"` // time until expiry (may be negative)
+	// Progress is the fraction of the point's total cycles the worker had
+	// reached at its last renew, in [0,1]. 0 until the first heartbeat.
+	Progress float64 `json:"progress"`
 }
 
 // CampaignSummary is one row of the campaign list.
@@ -127,6 +130,16 @@ type StatusView struct {
 	Counts map[Status]int `json:"counts"`
 	Points []PointRecord  `json:"points"`
 	Leases []LeaseView    `json:"leases,omitempty"`
+	// Progress is fractional campaign completion in [0,1]: terminal points
+	// count 1 each, live leases count their last-renewed cycle fraction.
+	Progress float64 `json:"progress"`
+	// ElapsedMS is wall time since the campaign's first lease grant this
+	// coordinator lifetime (0 before any grant).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// EtaMS extrapolates time to completion from the progress rate since
+	// the first grant: elapsed * (1-progress)/progress. -1 when unknown
+	// (no grant yet or no measurable progress), 0 once done.
+	EtaMS int64 `json:"eta_ms"`
 	// MergedResult aggregates the completed points' collectors
 	// (stats.Collector.Merge): pooled latency statistics, summed counters,
 	// per-run-averaged rates. Nil until a completed point shipped its
@@ -135,4 +148,44 @@ type StatusView struct {
 	// Metrics is the merged engine-metrics view: completed points'
 	// registries plus the latest heartbeat snapshot of every live lease.
 	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// FarmView is the fleet-wide telemetry snapshot (GET /farm, streamed on
+// GET /farm/events): every campaign's progress and every active worker.
+type FarmView struct {
+	Draining  bool               `json:"draining"`
+	Campaigns []CampaignProgress `json:"campaigns"`
+	Workers   []WorkerView       `json:"workers"`
+	// Delivered/Admitted/Denied are fleet-wide message totals merged from
+	// every campaign's engine metrics (completed points plus live leases).
+	Delivered int64 `json:"delivered"`
+	Admitted  int64 `json:"admitted"`
+	Denied    int64 `json:"denied"`
+}
+
+// CampaignProgress is one campaign's row in the fleet view.
+type CampaignProgress struct {
+	ID        string  `json:"id"`
+	Vary      string  `json:"vary"`
+	Points    int     `json:"points"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	Running   int     `json:"running"`
+	Progress  float64 `json:"progress"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	EtaMS     int64   `json:"eta_ms"` // -1 unknown, 0 done
+	Done      bool    `json:"done"`
+}
+
+// WorkerView is one active lease seen fleet-wide: which worker holds which
+// point of which campaign, and how far along it is.
+type WorkerView struct {
+	Worker    string  `json:"worker"`
+	Campaign  string  `json:"campaign"`
+	Point     int     `json:"point"`
+	Value     string  `json:"value"`
+	Cycle     int64   `json:"cycle"`
+	Progress  float64 `json:"progress"`
+	Attempt   int     `json:"attempt"`
+	ExpiresMS int64   `json:"expires_ms"`
 }

@@ -13,6 +13,10 @@ package campaign
 //	POST /campaigns/{id}/leases/{lease}/complete    exactly-once commit
 //	POST /campaigns/{id}/leases/{lease}/fail        report a failed attempt
 //	GET  /campaigns/{id}/points/{point}/checkpoint  download migrated WNCP bytes
+//	GET  /campaigns/{id}/events               live StatusView stream (SSE)
+//	GET  /farm                                fleet telemetry snapshot (JSON)
+//	GET  /farm/events                         live FarmView stream (SSE)
+//	GET  /dash                                dependency-free HTML dashboard
 //	GET  /metrics /healthz /debug/pprof/*
 //
 // Graceful drain follows the obs.Monitor protocol: Shutdown flips /healthz
@@ -26,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"wormnet/internal/obs"
@@ -40,6 +45,11 @@ type Server struct {
 	coord   *Coordinator
 	monitor *obs.Monitor
 	mux     *http.ServeMux
+
+	// done unblocks long-lived SSE streams on Shutdown/Close so a drain
+	// with live dashboards does not hang until its timeout.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // NewServer builds the HTTP face of a coordinator. The monitor handles
@@ -49,7 +59,7 @@ type Server struct {
 func NewServer(coord *Coordinator) *Server {
 	monitor := obs.NewMonitor(coord.Registry(), obs.NewManifest("campaignd", 0, nil), nil)
 	monitor.SetBuildInfo(coord.Version())
-	s := &Server{coord: coord, monitor: monitor, mux: http.NewServeMux()}
+	s := &Server{coord: coord, monitor: monitor, mux: http.NewServeMux(), done: make(chan struct{})}
 
 	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /campaigns", s.handleList)
@@ -61,6 +71,10 @@ func NewServer(coord *Coordinator) *Server {
 	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/complete", s.handleComplete)
 	s.mux.HandleFunc("POST /campaigns/{id}/leases/{lease}/fail", s.handleFail)
 	s.mux.HandleFunc("GET /campaigns/{id}/points/{point}/checkpoint", s.handleDownloadCheckpoint)
+	s.mux.HandleFunc("GET /campaigns/{id}/events", s.handleCampaignEvents)
+	s.mux.HandleFunc("GET /farm", s.handleFarm)
+	s.mux.HandleFunc("GET /farm/events", s.handleFarmEvents)
+	s.mux.HandleFunc("GET /dash", s.handleDash)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("/", monitor.Handler())
 	return s
@@ -86,11 +100,15 @@ func (s *Server) Addr() string { return s.monitor.Addr() }
 // give in-flight requests up to timeout, then close.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	s.coord.BeginDrain()
+	s.doneOnce.Do(func() { close(s.done) })
 	return s.monitor.Shutdown(timeout)
 }
 
 // Close stops serving immediately.
-func (s *Server) Close() error { return s.monitor.Close() }
+func (s *Server) Close() error {
+	s.doneOnce.Do(func() { close(s.done) })
+	return s.monitor.Close()
+}
 
 // httpError maps coordinator errors onto status codes. Workers treat 410 as
 // "lease lost, abandon the point" and 409 as "refused, do not retry".
@@ -239,4 +257,77 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.coord.UpdateGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, s.coord.Registry()) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleFarm(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Farm())
+}
+
+func (s *Server) handleFarmEvents(w http.ResponseWriter, r *http.Request) {
+	s.serveSSE(w, r, func() (any, error) { return s.coord.Farm(), nil })
+}
+
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.coord.Status(id); err != nil {
+		httpError(w, err) // reject unknown campaigns before committing to a stream
+		return
+	}
+	s.serveSSE(w, r, func() (any, error) { return s.coord.Status(id) })
+}
+
+// sseInterval picks the stream period: ?interval_ms= within [100ms, 30s],
+// default 1s.
+func sseInterval(r *http.Request) time.Duration {
+	d := time.Second
+	if raw := r.URL.Query().Get("interval_ms"); raw != "" {
+		if ms, err := strconv.Atoi(raw); err == nil {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return min(max(d, 100*time.Millisecond), 30*time.Second)
+}
+
+// serveSSE streams snapshots from view as server-sent events until the
+// client disconnects or the server shuts down. The first event is sent
+// immediately so dashboards render without waiting a full period.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, view func() (any, error)) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "campaign: streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	tick := time.NewTicker(sseInterval(r))
+	defer tick.Stop()
+	for {
+		v, err := view()
+		if err != nil {
+			return // campaign vanished mid-stream; client reconnects or gives up
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, dashboardHTML) //nolint:errcheck // client went away
 }

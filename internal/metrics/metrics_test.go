@@ -133,6 +133,55 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeEdgeCases covers the degenerate merge shapes the campaign
+// aggregator can hit: an empty source (no-op), an empty receiver (pure
+// adoption), nil registries on either side, and a single-bucket histogram
+// (one bound, two counters: the bucket and the implicit +Inf).
+func TestMergeEdgeCases(t *testing.T) {
+	// Empty source into a populated receiver: nothing changes.
+	a := NewRegistry()
+	a.NewCounter("n", "").Add(3)
+	a.NewHistogram("h", "", []float64{10}).Observe(5)
+	a.Merge(NewRegistry())
+	if got := a.NewCounter("n", "").Value(); got != 3 {
+		t.Fatalf("merge of empty source changed counter: %d", got)
+	}
+	if s := snap(t, a, "h"); s.N != 1 || s.Sum != 5 {
+		t.Fatalf("merge of empty source changed histogram: %+v", s)
+	}
+
+	// Populated source into an empty receiver: everything is adopted.
+	b := NewRegistry()
+	b.Merge(a)
+	if got := b.NewCounter("n", "").Value(); got != 3 {
+		t.Fatalf("empty receiver adopted counter = %d, want 3", got)
+	}
+	if s := snap(t, b, "h"); s.N != 1 || s.Sum != 5 || len(s.Bound) != 1 {
+		t.Fatalf("empty receiver adopted histogram wrong: %+v", s)
+	}
+
+	// Nil on either side is a no-op, not a panic.
+	var nilReg *Registry
+	nilReg.Merge(a)
+	a.Merge(nilReg)
+	if got := a.NewCounter("n", "").Value(); got != 3 {
+		t.Fatalf("nil merge changed counter: %d", got)
+	}
+
+	// Single-bucket histograms merge bucket-by-bucket including +Inf.
+	x, y := NewRegistry(), NewRegistry()
+	hx := x.NewHistogram("s", "", []float64{1})
+	hy := y.NewHistogram("s", "", []float64{1})
+	hx.Observe(0.5) // bucket 0
+	hy.Observe(2)   // +Inf bucket
+	hy.Observe(1)   // bucket 0 (inclusive upper bound)
+	x.Merge(y)
+	s := snap(t, x, "s")
+	if s.N != 3 || s.Count[0] != 2 || s.Count[1] != 1 || s.Sum != 3.5 {
+		t.Fatalf("single-bucket merge wrong: %+v", s)
+	}
+}
+
 func TestMergeBoundsMismatchPanics(t *testing.T) {
 	a, b := NewRegistry(), NewRegistry()
 	a.NewHistogram("h", "", []float64{1})

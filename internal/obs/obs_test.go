@@ -256,6 +256,156 @@ func TestFlightRecorder(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderSaturationTrigger(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	fr := NewFlightRecorder(w, nil, 64, 100, 3)
+	fr.SetSaturationTrigger(50, 4)
+	fr.RetainSpans(2)
+
+	// Feed finished spans; only the last two survive the ring.
+	for i := int64(0); i < 5; i++ {
+		fr.SpanDone(&trace.SpanRecord{ID: i, Gen: i * 10, Admit: i*10 + 1, Deliver: i*10 + 5,
+			Hops: []trace.SpanHop{{Node: 3, Arrive: i*10 + 1, Alloc: i*10 + 2}}})
+	}
+
+	// Throttle events too far apart: no dump.
+	for c := int64(0); c < 400; c += 100 {
+		fr.Emit(trace.Event{Cycle: c, Kind: trace.KindThrottled})
+	}
+	if fr.Dumps() != 0 {
+		t.Fatalf("sparse throttles fired a dump: %d", fr.Dumps())
+	}
+	// 4 throttles within 50 cycles: saturation onset.
+	for c := int64(1000); c < 1040; c += 10 {
+		fr.Emit(trace.Event{Cycle: c, Kind: trace.KindThrottled})
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("saturation spike should dump once, got %d", fr.Dumps())
+	}
+	// Burst trigger still works independently and shares the cooldown.
+	fr.Emit(trace.Event{Cycle: 1050, Kind: trace.KindDropped})
+	fr.Emit(trace.Event{Cycle: 1051, Kind: trace.KindDropped})
+	fr.Emit(trace.Event{Cycle: 1052, Kind: trace.KindDropped})
+	if fr.Dumps() != 1 {
+		t.Fatalf("cooldown should suppress the burst dump, got %d", fr.Dumps())
+	}
+
+	w.Close()
+	var recs []flightRecord
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec flightRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 flight record, got %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Reason != "saturation" || rec.Cycle != 1030 || rec.Window != 50 || rec.Bursts != 4 {
+		t.Errorf("bad saturation record: %+v", rec)
+	}
+	if len(rec.Spans) != 2 || rec.Spans[0].ID != 3 || rec.Spans[1].ID != 4 {
+		t.Fatalf("want retained spans [3 4], got %+v", rec.Spans)
+	}
+	if rec.Spans[1].Deliver != 45 || len(rec.Spans[1].Hops) != 1 || rec.Spans[1].Hops[0].Node != 3 {
+		t.Errorf("bad span payload: %+v", rec.Spans[1])
+	}
+}
+
+func TestFlightRecorderSaturationDisabledByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	fr := NewFlightRecorder(NewJSONLWriter(&buf), nil, 64, 100, 1)
+	for c := int64(0); c < 100; c++ {
+		fr.Emit(trace.Event{Cycle: c, Kind: trace.KindThrottled})
+	}
+	if fr.Dumps() != 0 {
+		t.Fatalf("throttle events must not dump when the trigger is off, got %d", fr.Dumps())
+	}
+}
+
+func TestTraceJSONWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceJSONWriter(&buf)
+	// A delivered span with a queue wait, two hops and a drain.
+	w.SpanDone(&trace.SpanRecord{
+		ID: 7, Src: 1, Dst: 4, Len: 16, Gen: 100, Admit: 110, Inject: 112, Deliver: 160,
+		Denies: 3, DeniesRuleA: 2, DeniesRuleB: 1,
+		Hops: []trace.SpanHop{
+			{Node: 1, Arrive: 110, Alloc: 112},
+			{Node: 2, Arrive: 113, Alloc: 120},
+		},
+	})
+	// A dropped span: no Deliver, one hop never granted.
+	w.SpanDone(&trace.SpanRecord{
+		ID: 9, Src: 2, Dst: 5, Len: 16, Gen: 200, Admit: 210, Inject: -1, Deliver: -1,
+		Hops: []trace.SpanHop{{Node: 2, Arrive: 210, Alloc: -1}},
+	})
+	if w.Spans() != 2 {
+		t.Fatalf("Spans() = %d, want 2", w.Spans())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  *int           `json:"pid"`
+			Tid  *int64         `json:"tid"`
+			Name string         `json:"name"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Errorf("event %q missing pid/tid", ev.Name)
+		}
+		if ev.Ph == "X" {
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("X event %q missing ts/dur or negative dur: %+v", ev.Name, ev)
+			}
+		}
+	}
+	if byName["thread_name"] != 2 || byName["life"] != 2 || byName["queue-wait"] != 2 {
+		t.Errorf("unexpected event census: %v", byName)
+	}
+	// Two granted hops on the first span, the ungranted one omitted.
+	if byName["hop n1"] != 1 || byName["hop n2"] != 1 {
+		t.Errorf("hop slices missing: %v", byName)
+	}
+	if byName["drain"] != 1 {
+		t.Errorf("want exactly one drain slice: %v", byName)
+	}
+}
+
+func TestTraceJSONWriterStickyError(t *testing.T) {
+	w := NewTraceJSONWriter(&errWriter{n: 8})
+	for i := int64(0); i < 100000; i++ {
+		w.SpanDone(&trace.SpanRecord{ID: i, Gen: 0, Deliver: 1})
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("want sticky write error at Close")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() should report the sticky error")
+	}
+}
+
 func TestManifest(t *testing.T) {
 	m := NewManifest("sweep", 99, map[string]any{"rate": 0.3})
 	if m.Record != "manifest" || m.Tool != "sweep" || m.Seed != 99 || m.Go == "" {

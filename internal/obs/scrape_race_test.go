@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wormnet/internal/metrics"
+	"wormnet/internal/sim"
+)
+
+// TestConcurrentScrapeWhileRunning is the export layer's race gate: several
+// goroutines hammer /metrics and /snapshot while the sharded parallel engine
+// (workers >= 2, spans and metrics on) mutates the registry from its own
+// goroutines. Run under -race (the CI race job does), this pins that the
+// scrape path shares no unsynchronized state with the hot path.
+func TestConcurrentScrapeWhileRunning(t *testing.T) {
+	cfg := sim.QuickConfig()
+	cfg.Rate = 1.2
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 200, 3000, 200
+	cfg.Workers = 2
+	e, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	reg := metrics.NewRegistry()
+	e.EnableMetrics(reg, 16)
+	e.EnableSpans(reg, 4, nil)
+	var lastCycle atomic.Int64
+	e.SetSampleHook(func(cycle int64) { lastCycle.Store(cycle) })
+
+	mon := NewMonitor(reg, NewManifest("test", cfg.Seed, cfg.Manifest()), lastCycle.Load)
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Run()
+	}()
+
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/snapshot", "/metrics", "/snapshot", "/healthz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("%s read: %v", path, err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	<-done
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after scraped run: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"wormnet/internal/trace"
+)
+
+// TraceJSONWriter streams finished message-lifecycle spans as Chrome
+// trace-event JSON ({"traceEvents":[...]}), the format Perfetto and
+// chrome://tracing load directly. Each sampled message becomes one track
+// (pid 0, tid = message ID) holding nested complete ("X") slices: the whole
+// lifetime, the source-queue wait, every per-hop channel-acquire block, and
+// the final drain — so a saturated run opens as a track view in which the
+// congestion tree is visible as stacked blocked-time slices. One simulation
+// cycle maps to one microsecond (the trace format's time unit).
+//
+// Like JSONLWriter, errors are sticky: the first write error is kept and
+// every later call is a no-op, so the engine can feed spans unchecked and
+// the caller inspects Close once. Safe for concurrent use, though the
+// engine emits spans from a single goroutine.
+type TraceJSONWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	c     io.Closer // closed by Close when the writer owns the stream
+	err   error
+	first bool // next event is the array's first (no leading comma)
+	spans int64
+}
+
+// NewTraceJSONWriter wraps w in a trace-event stream and writes the header.
+// The caller keeps ownership of w; Close flushes but does not close it.
+func NewTraceJSONWriter(w io.Writer) *TraceJSONWriter {
+	t := &TraceJSONWriter{bw: bufio.NewWriterSize(w, 1<<16), first: true}
+	_, t.err = t.bw.WriteString(`{"traceEvents":[`)
+	return t
+}
+
+// CreateTraceJSON creates (truncating) the file at path and returns a
+// writer that owns it: Close writes the footer and closes the file.
+func CreateTraceJSON(path string) (*TraceJSONWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTraceJSONWriter(f)
+	t.c = f
+	return t, nil
+}
+
+// event appends one trace event object (body is the JSON after the opening
+// brace, without the trailing brace), handling the array comma.
+func (t *TraceJSONWriter) event(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	if t.first {
+		t.first = false
+	} else {
+		if _, t.err = t.bw.WriteString(","); t.err != nil {
+			return
+		}
+	}
+	_, t.err = fmt.Fprintf(t.bw, format, args...)
+}
+
+// SpanDone implements trace.SpanSink: append the span's track. Undelivered
+// spans (drops) still emit their lifetime and any granted hops, with the
+// drop cycle unknown — their open-ended phases are simply omitted.
+func (t *TraceJSONWriter) SpanDone(s *trace.SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.spans++
+	// Track name ("M" metadata): one row per sampled message.
+	t.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"msg %d  %d->%d"}}`,
+		s.ID, s.ID, int64(s.Src), int64(s.Dst))
+	// Lifetime slice: encloses every other slice of the track, so viewers
+	// nest them. Carries the span's scalar attribution as args.
+	end := s.Deliver
+	if end < 0 { // dropped or cut off: close the slice at the last known cycle
+		end = s.Gen
+		for _, h := range s.Hops {
+			if h.Arrive > end {
+				end = h.Arrive
+			}
+			if h.Alloc > end {
+				end = h.Alloc
+			}
+		}
+	}
+	delivered := 0
+	if s.Deliver >= 0 {
+		delivered = 1
+	}
+	t.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"life","cat":"span","args":{"src":%d,"dst":%d,"len":%d,"delivered":%d,"denies":%d,"denies_rule_a":%d,"denies_rule_b":%d,"recoveries":%d,"retries":%d,"hops":%d}}`,
+		s.ID, s.Gen, end-s.Gen, int64(s.Src), int64(s.Dst), s.Len, delivered,
+		s.Denies, s.DeniesRuleA, s.DeniesRuleB, s.Recoveries, s.Retries, len(s.Hops))
+	// Source-queue wait: generation to injection-channel claim.
+	if s.Admit >= 0 {
+		t.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"queue-wait","cat":"span","args":{"denies":%d}}`,
+			s.ID, s.Gen, s.Admit-s.Gen, s.Denies)
+	}
+	// Per-hop channel-acquire block time.
+	for _, h := range s.Hops {
+		if h.Alloc < 0 {
+			continue
+		}
+		t.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"hop n%d","cat":"span","args":{"node":%d}}`,
+			s.ID, h.Arrive, h.Alloc-h.Arrive, int64(h.Node), int64(h.Node))
+	}
+	// Drain: last channel grant to tail delivery.
+	if d := s.DrainCycles(); d >= 0 {
+		t.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"drain","cat":"span","args":{}}`,
+			s.ID, s.Deliver-d, d)
+	}
+}
+
+// Spans returns the number of spans written so far.
+func (t *TraceJSONWriter) Spans() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// Err returns the writer's sticky error, if any.
+func (t *TraceJSONWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close writes the footer, flushes and, when the writer owns the underlying
+// file, closes it. It returns the first error the writer encountered.
+func (t *TraceJSONWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		_, t.err = t.bw.WriteString("]}\n")
+	}
+	if ferr := t.bw.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	return t.err
+}

@@ -124,6 +124,9 @@ func (e *Engine) phaseInject() {
 				ic.len = ic.left
 				ic.dst = ic.msg.Dst
 				nd.busyInj++
+				if e.spans != nil {
+					e.spanClaim(ic.msg, nd.id)
+				}
 				continue
 			}
 			if nd.queue.Empty() {
@@ -133,6 +136,9 @@ func (e *Engine) phaseInject() {
 			if !nd.limiter.Allow(nd.view, m.Dst) {
 				if e.met != nil {
 					e.noteDeny(nd, m.Dst)
+				}
+				if e.spans != nil {
+					e.spanDeny(nd, m)
 				}
 				e.emit(trace.KindThrottled, m, nd.id)
 				break // FIFO: do not bypass a throttled queue head
@@ -148,6 +154,9 @@ func (e *Engine) phaseInject() {
 			ic.dst = m.Dst
 			nd.busyInj++
 			m.State = message.StateInjecting
+			if e.spans != nil {
+				e.spanClaim(m, nd.id)
+			}
 		}
 	}
 }
@@ -211,6 +220,9 @@ func (e *Engine) allocRange(lo, hi int) {
 				case ok:
 					ic.route = route
 					nd.freshInj |= 1 << uint(c)
+					if e.spans != nil {
+						e.spanAlloc(ic.msg)
+					}
 				case unroutable:
 					e.kill(ic.msg, nd.id)
 				}
@@ -261,6 +273,9 @@ func (e *Engine) allocateVC(nd *node, a int) {
 			nd.swDesc[a] = uint16(route.outPort)<<8 | uint16(route.outVC)
 		}
 		nd.blocked.Progress(a)
+		if e.spans != nil {
+			e.spanAlloc(m)
+		}
 		return
 	}
 	if unroutable {
@@ -592,6 +607,9 @@ func (e *Engine) phaseMove() {
 				m.InjectTime = now
 				e.col.OnInjected(int(nd.id), now)
 				e.emit(trace.KindInjected, m, nd.id)
+				if e.spans != nil {
+					e.spanInject(m)
+				}
 			}
 			if flit.Tail {
 				m.FlitsSent = int(ic.len)
@@ -621,6 +639,9 @@ func (e *Engine) phaseMove() {
 			m.Path = m.Path[:0]
 			e.col.OnDelivered(now, m.GenTime, m.InjectTime, m.Length, m.Measured)
 			e.emit(trace.KindDelivered, m, nd.id)
+			if e.spans != nil {
+				e.spanDeliver(m)
+			}
 			e.releaseMessage(m)
 			continue
 		}
@@ -640,6 +661,9 @@ func (e *Engine) phaseMove() {
 			// caches only need (re-)writing when a new head moves in.
 			dvc.owner = m
 			dvc.dst = m.Dst
+			if e.spans != nil {
+				e.spanHopArrive(m, nd.nbr[mv.outPort].id)
+			}
 		}
 		dvc.buf.Push(flit)
 		if dvc.buf.Full() {

@@ -282,6 +282,10 @@ type Engine struct {
 	metReg   *metrics.Registry
 	onSample func(cycle int64)
 
+	// spans, when non-nil, is the message-lifecycle span tracker (spans.go).
+	// Like met, disabled span instrumentation is one nil check per site.
+	spans *engineSpans
+
 	// delivered counts all-time delivered messages (not just in-window).
 	delivered int64
 	// generated counts all-time generated messages.
@@ -517,6 +521,9 @@ func (e *Engine) newMessage(src, dst topology.NodeID, length int) *message.Messa
 	}
 	e.nextID++
 	e.generated++
+	if e.spans != nil {
+		e.spanGenerate(m)
+	}
 	return m
 }
 
@@ -621,6 +628,9 @@ func (e *Engine) Inject(src, dst topology.NodeID, length int) *message.Message {
 	m.Measured = e.col.OnGenerated(e.now)
 	e.nodes[src].queue.Push(m)
 	e.generated++
+	if e.spans != nil {
+		e.spanGenerate(m)
+	}
 	return m
 }
 

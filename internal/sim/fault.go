@@ -217,6 +217,9 @@ func (e *Engine) kill(m *message.Message, at topology.NodeID) {
 // policy's capped exponential backoff.
 func (e *Engine) scheduleRetry(m *message.Message) {
 	m.ResetForRetry(m.Src)
+	if e.spans != nil {
+		e.spanTeardown(m)
+	}
 	delay := e.cfg.Retry.Delay(m.Retries - 1)
 	src := &e.nodes[m.Src]
 	src.retry = append(src.retry, pendingRetry{msg: m, readyAt: e.now + delay})
@@ -233,6 +236,9 @@ func (e *Engine) drop(m *message.Message, at topology.NodeID, reason message.Dro
 	e.dropped++
 	e.col.OnDropped(e.now)
 	e.emit(trace.KindDropped, m, at)
+	if e.spans != nil {
+		e.spanDiscard(m)
+	}
 	e.releaseMessage(m)
 }
 

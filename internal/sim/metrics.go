@@ -75,6 +75,15 @@ type engineMetrics struct {
 	phaseSwitch   *metrics.Histogram
 	phaseMove     *metrics.Histogram
 	cycleTime     *metrics.Histogram // whole cycle (the parallel path times this)
+
+	// Parallel-engine sync profile, sampled cycles only. Barrier waits and
+	// shard busy time come from the worker-pool path (the inline single-P
+	// schedule has no waits to measure); the ring series cover both paths.
+	barrierWait    [4]*metrics.Histogram // per-shard wait at B1..B4
+	shardBusy      *metrics.Histogram    // per-shard cycle time minus barrier waits
+	shardImbalance *metrics.Gauge        // (max-min)/max shard busy on the sampled cycle
+	ringHW         *metrics.Gauge        // push-ring fill high watermark, sampled cycle
+	ringPushes     *metrics.Counter      // cross-shard ring pushes (all-time, mirrored)
 }
 
 // newEngineMetrics registers the engine's metric inventory in reg.
@@ -82,7 +91,7 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 	c := func(name, help string) *metrics.Counter { return reg.NewCounter(name, help) }
 	g := func(name, help string) *metrics.Gauge { return reg.NewGauge(name, help) }
 	h := func(name, help string, b []float64) *metrics.Histogram { return reg.NewHistogram(name, help, b) }
-	return &engineMetrics{
+	m := &engineMetrics{
 		generated: c("sim_messages_generated_total", "messages created by traffic sources (all-time)"),
 		delivered: c("sim_messages_delivered_total", "messages fully consumed at their destination (all-time)"),
 		recovered: c("sim_deadlock_recoveries_total", "presumed-deadlocked messages handed to software recovery (all-time)"),
@@ -119,6 +128,17 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 		phaseMove:     h("sim_phase_move_ns", "flit-movement-phase wall time (sampled cycles)", phaseTimingBounds),
 		cycleTime:     h("sim_cycle_ns", "whole-cycle wall time (sampled cycles)", phaseTimingBounds),
 	}
+	m.barrierWait = [4]*metrics.Histogram{
+		h("sim_barrier_wait_b1_ns", "per-shard wait at barrier B1 (generation commit; sampled cycles)", phaseTimingBounds),
+		h("sim_barrier_wait_b2_ns", "per-shard wait at barrier B2 (injection commit + alloc cut; sampled cycles)", phaseTimingBounds),
+		h("sim_barrier_wait_b3_ns", "per-shard wait at barrier B3 (switch to move; sampled cycles)", phaseTimingBounds),
+		h("sim_barrier_wait_b4_ns", "per-shard wait at barrier B4 (move commit; sampled cycles)", phaseTimingBounds),
+	}
+	m.shardBusy = h("sim_shard_busy_ns", "per-shard cycle time minus barrier waits (sampled cycles)", phaseTimingBounds)
+	m.shardImbalance = g("sim_shard_imbalance_ratio", "(max-min)/max shard busy time on the sampled cycle")
+	m.ringHW = g("sim_push_ring_high_watermark", "largest push-ring batch published on the sampled cycle")
+	m.ringPushes = c("sim_ring_pushes_total", "cross-shard flit pushes routed through SPSC rings (all-time)")
+	return m
 }
 
 // EnableMetrics attaches a metrics registry to the engine: event counters

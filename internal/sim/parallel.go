@@ -150,6 +150,15 @@ type parShard struct {
 	// len(nodes) when none can (see injectRange).
 	allocCut int32
 
+	// Sync-profile scratch, shard-private: busyNS is the last sampled
+	// cycle's elapsed time minus barrier waits (written before the B4
+	// arrival, read by the coordinator after it), ringMax the sampled
+	// cycle's push-ring batch high watermark, ringPushes the running
+	// cross-shard push total (accumulated whenever metrics are on).
+	busyNS     int64
+	ringMax    int32
+	ringPushes int64
+
 	_ [64]byte // pad: adjacent shards' hot fields on separate cache lines
 }
 
@@ -231,6 +240,12 @@ type parRuntime struct {
 	// reduces the cost to the deferral buffers and rings alone). The
 	// schedule, commit points and therefore results are identical.
 	inline bool
+
+	// sampled mirrors the coordinator's metricsSampled decision for the
+	// current cycle: latched in stepParallel before the workers wake (the
+	// channel send orders the write), it tells every shard whether to run
+	// the sync-profile timers this cycle.
+	sampled bool
 
 	// allocCut, written by the last arriver at the post-injection barrier
 	// and read by every shard after it, is the global minimum of the
@@ -405,6 +420,9 @@ func (e *Engine) stepParallel() {
 		e.applyDueFaults()
 	}
 	p := e.par
+	// Latch the sampling decision for the shards before any worker wakes:
+	// the channel send (or the inline call) orders the store.
+	p.sampled = sampled
 	if p.inline {
 		e.cycleInline(p)
 	} else {
@@ -426,10 +444,50 @@ func (e *Engine) stepParallel() {
 			// so parallel runs record whole-cycle wall time only.
 			e.met.cycleTime.Observe(float64(time.Since(t0).Nanoseconds()))
 			e.met.flitsSampled.SetInt(flits)
+			e.sampleSyncProfile(p)
 			e.sampleMetrics()
 		}
 	}
 	e.now++
+}
+
+// sampleSyncProfile folds the shards' sync-profile scratch into the
+// registry after a sampled parallel cycle: per-shard busy time and the
+// busy-imbalance gauge (worker-pool path only — the inline schedule has no
+// concurrent shards to balance), the push-ring batch high watermark, and
+// the mirrored cross-shard push total. Runs on the coordinator after the
+// final barrier, so every shard's writes are visible.
+func (e *Engine) sampleSyncProfile(p *parRuntime) {
+	m := e.met
+	var pushes int64
+	var hw int32
+	for i := range p.shards {
+		sh := &p.shards[i]
+		pushes += sh.ringPushes
+		if sh.ringMax > hw {
+			hw = sh.ringMax
+		}
+		sh.ringMax = 0
+	}
+	m.ringHW.SetInt(int64(hw))
+	m.ringPushes.Set(pushes)
+	if p.inline {
+		return
+	}
+	minB, maxB := int64(-1), int64(0)
+	for i := range p.shards {
+		b := p.shards[i].busyNS
+		m.shardBusy.Observe(float64(b))
+		if minB < 0 || b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if maxB > 0 {
+		m.shardImbalance.Set(float64(maxB-minB) / float64(maxB))
+	}
 }
 
 // cycleShard runs one shard's slice of a cycle: four fused sections, one
@@ -441,6 +499,16 @@ func (e *Engine) cycleShard(p *parRuntime, id int) {
 	sh := &p.shards[id]
 	gen := sh.localGen
 	n := len(e.nodes)
+	// Sync profile (sampled cycles with metrics on): time each barrier wait
+	// and derive the shard's busy time — elapsed to the B4 arrival minus the
+	// waits. The timers read the clock only on the waiter branch, so the
+	// last arriver (whose "wait" is the commit work itself) records nothing.
+	timed := p.sampled && e.met != nil
+	var start time.Time
+	var waitNS int64
+	if timed {
+		start = time.Now()
+	}
 
 	// Section 1 — fault-retry promotion (fault runs; drops deferred) and
 	// traffic-generation polling (per-node RNG streams; creation deferred).
@@ -458,7 +526,7 @@ func (e *Engine) cycleShard(p *parRuntime, id int) {
 		e.commitGenerate(p)
 		p.bar.release(gen)
 	} else {
-		p.bar.wait(gen)
+		waitNS += e.timedWait(p, gen, timed, 0)
 	}
 
 	// Section 2 — injection (pure own-node work; drops and throttle traces
@@ -483,7 +551,7 @@ func (e *Engine) cycleShard(p *parRuntime, id int) {
 		p.allocCut = cut
 		p.bar.release(gen)
 	} else {
-		p.bar.wait(gen)
+		waitNS += e.timedWait(p, gen, timed, 1)
 	}
 
 	// Section 3 — allocation and switch allocation. Allocation of disjoint
@@ -517,7 +585,7 @@ func (e *Engine) cycleShard(p *parRuntime, id int) {
 	if p.bar.arrive() {
 		p.bar.release(gen)
 	} else {
-		p.bar.wait(gen)
+		waitNS += e.timedWait(p, gen, timed, 2)
 	}
 
 	// Section 4 — movement, fused: pop own moves (cross-shard pushes into
@@ -530,14 +598,35 @@ func (e *Engine) cycleShard(p *parRuntime, id int) {
 	// B4: commit the deferred injection-head and delivery events in shard
 	// (= serial move) order.
 	gen++
+	if timed {
+		// Written before the B4 arrival, so the atomic arrival counter (and
+		// the generation release behind it) orders this store before the
+		// coordinator's post-cycle read.
+		sh.busyNS = time.Since(start).Nanoseconds() - waitNS
+	}
 	if p.bar.arrive() {
 		e.commitEvents(p)
 		p.bar.release(gen)
 	} else {
-		p.bar.wait(gen)
+		e.timedWait(p, gen, timed, 3)
 	}
 
 	sh.localGen = gen
+}
+
+// timedWait waits out barrier generation gen; when timing is on it also
+// records the wait into the sync-profile histogram of barrier b and returns
+// the nanoseconds waited (0 untimed).
+func (e *Engine) timedWait(p *parRuntime, gen uint32, timed bool, b int) int64 {
+	if !timed {
+		p.bar.wait(gen)
+		return 0
+	}
+	t := time.Now()
+	p.bar.wait(gen)
+	w := time.Since(t).Nanoseconds()
+	e.met.barrierWait[b].Observe(float64(w))
+	return w
 }
 
 // cycleInline is the single-P form of cycleShard: the same four fused
@@ -781,6 +870,9 @@ func (e *Engine) injectNode(nd *node, sh *parShard) {
 			ic.len = ic.left
 			ic.dst = ic.msg.Dst
 			nd.busyInj++
+			if e.spans != nil {
+				e.spanClaim(ic.msg, nd.id)
+			}
 			continue
 		}
 		if nd.queue.Empty() {
@@ -792,6 +884,12 @@ func (e *Engine) injectNode(nd *node, sh *parShard) {
 			// atomics, so the totals are worker-order-independent.
 			if e.met != nil {
 				e.noteDeny(nd, m.Dst)
+			}
+			// Span deny counts are inline too: the record is exclusive to
+			// this shard for the whole injection section (the message sits
+			// in an own-node source queue).
+			if e.spans != nil {
+				e.spanDeny(nd, m)
 			}
 			if e.listener != nil {
 				sh.events = append(sh.events, deferredEvent{
@@ -811,6 +909,9 @@ func (e *Engine) injectNode(nd *node, sh *parShard) {
 		ic.dst = m.Dst
 		nd.busyInj++
 		m.State = message.StateInjecting
+		if e.spans != nil {
+			e.spanClaim(m, nd.id)
+		}
 	}
 }
 
@@ -905,6 +1006,9 @@ func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard, id int) {
 				sh.events = append(sh.events, deferredEvent{
 					kind: evInjected, node: nd.id, m: m,
 				})
+				if e.spans != nil {
+					e.spanInject(m)
+				}
 			}
 			if flit.Tail {
 				m.FlitsSent = int(ic.len)
@@ -960,6 +1064,9 @@ func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard, id int) {
 		if flit.Head {
 			dvc.owner = m
 			dvc.dst = m.Dst
+			if e.spans != nil {
+				e.spanHopArrive(m, nb.id)
+			}
 		}
 		dvc.buf.Push(flit)
 		if dvc.buf.Full() {
@@ -969,10 +1076,18 @@ func (e *Engine) moveSourceRange(p *parRuntime, sh *parShard, id int) {
 	// Publish every outbound ring — including empty ones, so consumers
 	// never wait on a quiet producer. One release-store per ring per cycle.
 	stamp := (uint64(uint32(now)) + 1) << 32
+	met := e.met != nil
 	for _, d := range sh.outDsts {
 		r := &p.rings[id*nShards+int(d)]
-		r.pub.Store(stamp | uint64(uint32(sh.ringN[d])))
+		cnt := sh.ringN[d]
+		r.pub.Store(stamp | uint64(uint32(cnt)))
 		sh.ringN[d] = 0
+		if met {
+			sh.ringPushes += int64(cnt)
+			if p.sampled && cnt > sh.ringMax {
+				sh.ringMax = cnt
+			}
+		}
 	}
 }
 
@@ -1027,6 +1142,13 @@ func (e *Engine) applyPushes(bucket []outFlit) {
 		if rec.flit.Head {
 			dvc.owner = rec.flit.Msg
 			dvc.dst = rec.flit.Msg.Dst
+			if e.spans != nil {
+				// The hop-append is exclusive: this consumer owns the
+				// receiving node, the head arrives at most once per cycle,
+				// and the producer's same-cycle record writes happened
+				// before the ring publish this drain synchronized with.
+				e.spanHopArrive(rec.flit.Msg, rec.nbr.id)
+			}
 		}
 		dvc.buf.Push(rec.flit)
 		if dvc.buf.Full() {
@@ -1055,6 +1177,9 @@ func (e *Engine) commitEvents(p *parRuntime) {
 				e.delivered++
 				e.col.OnDelivered(e.now, ev.m.GenTime, ev.m.InjectTime, ev.m.Length, ev.m.Measured)
 				e.emit(trace.KindDelivered, ev.m, ev.node)
+				if e.spans != nil {
+					e.spanDeliver(ev.m)
+				}
 				e.releaseMessage(ev.m)
 			}
 			ev.m = nil

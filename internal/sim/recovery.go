@@ -21,6 +21,9 @@ func (e *Engine) recover(m *message.Message, at *node) {
 	e.teardown(m)
 
 	m.ResetForReinjection(at.id)
+	if e.spans != nil {
+		e.spanTeardown(m)
+	}
 	at.recovery = append(at.recovery, pendingRecovery{
 		msg:     m,
 		readyAt: e.now + e.cfg.RecoveryDelay,

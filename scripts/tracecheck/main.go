@@ -1,0 +1,109 @@
+// Command tracecheck validates a Chrome trace-event JSON file (the span
+// export written by wormsim -span-out) against the subset of the format the
+// simulator emits, so CI can prove a saturated-run trace actually loads in
+// Perfetto-compatible viewers:
+//
+//   - the document is {"traceEvents": [...]}
+//   - every event has a phase ("X" or "M"), a pid and a tid
+//   - "X" complete events carry a name, a numeric ts and a non-negative dur
+//   - "M" metadata events are thread_name records with an args.name
+//
+// Usage:
+//
+//	tracecheck [-min-events N] <trace.json>
+//
+// With -min-events, the file must contain at least N "X" slices — the smoke
+// test's proof that sampling actually produced spans.
+//
+// Exit codes: 0 valid; 1 invalid (details on stderr); 2 usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  *int64          `json:"pid"`
+	Tid  *int64          `json:"tid"`
+	Name string          `json:"name"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	minEvents := flag.Int("min-events", 0, "require at least this many X slices")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-events N] <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: not valid trace-event JSON: %v\n", err)
+		os.Exit(1)
+	}
+	if doc.TraceEvents == nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: missing traceEvents array")
+		os.Exit(1)
+	}
+
+	bad := 0
+	fail := func(i int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracecheck: event %d: %s\n", i, fmt.Sprintf(format, args...))
+		bad++
+	}
+	slices := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			fail(i, "missing pid/tid (%+v)", ev)
+			continue
+		}
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Name == "" {
+				fail(i, "X slice without a name")
+			}
+			if ev.Ts == nil || ev.Dur == nil {
+				fail(i, "X slice %q missing ts/dur", ev.Name)
+			} else if *ev.Dur < 0 {
+				fail(i, "X slice %q has negative dur %g", ev.Name, *ev.Dur)
+			}
+		case "M":
+			if ev.Name != "thread_name" {
+				fail(i, "unexpected metadata record %q", ev.Name)
+				continue
+			}
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == "" {
+				fail(i, "thread_name metadata without args.name")
+			}
+		default:
+			fail(i, "unexpected phase %q", ev.Ph)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "tracecheck: %d invalid events\n", bad)
+		os.Exit(1)
+	}
+	if slices < *minEvents {
+		fmt.Fprintf(os.Stderr, "tracecheck: %d X slices, want at least %d\n", slices, *minEvents)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %d events ok (%d slices)\n", len(doc.TraceEvents), slices)
+}
