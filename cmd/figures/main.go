@@ -6,6 +6,7 @@
 //	figures                 # every figure at full scale (8-ary 3-cube)
 //	figures -fig 5          # only Figure 5
 //	figures -fig faults     # degradation under link failures (not in -fig all)
+//	figures -fig adversarial# limiter containment vs rogue nodes + link flaps (not in -fig all)
 //	figures -quick          # reduced 4-ary 2-cube scale
 //	figures -csv out.csv    # additionally dump CSV rows for plotting
 //	figures -jsonl out.jsonl# additionally stream structured per-point records
@@ -34,7 +35,7 @@ func main() {
 }
 
 func run() (code int) {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,10, deadlocks, faults, adversarial, or all")
 	quick := flag.Bool("quick", false, "run the reduced-scale configuration")
 	csvPath := flag.String("csv", "", "also append CSV rows to this file")
 	jsonlPath := flag.String("jsonl", "", "also stream a manifest plus one record per measured point (JSONL) to this file")
@@ -158,6 +159,9 @@ func run() (code int) {
 							"pct_rule_b": p.Probe.PercentB(),
 							"pct_either": p.Probe.PercentEither(),
 						}
+					}
+					if p.Classes != nil {
+						rec["classes"] = p.Classes
 					}
 					if err := jsonl.Write(rec); err != nil {
 						fmt.Fprintln(os.Stderr, "jsonl:", err)

@@ -11,6 +11,20 @@
 //
 //	wormsim -rate 0.3 -limiter alo -faults 0.05 -fault-seed 7
 //
+// Every fault *and repair* is applied online: the engine bumps a routing
+// epoch and recomputes its fault-aware routing state without draining.
+// -fault-transient makes failures heal, and -fault-flaps turns each healing
+// component into a flap storm (down, up, down again every
+// -fault-flap-period cycles). -adversarial turns a fraction of nodes rogue:
+// they bypass the injection limiter entirely and mount duty-cycled hotspot
+// storms (-rogue-rate, -storm-period/-storm-on, -hotspot); results are then
+// split into well-behaved and rogue traffic classes. -replay re-drives a
+// run's exact generation schedule from a -trace-out JSONL file:
+//
+//	wormsim -rate 0.3 -faults 0.05 -fault-transient 1 -fault-repair 300 -fault-flaps 3 -fault-flap-period 900
+//	wormsim -rate 0.65 -limiter alo -adversarial 0.1 -rogue-rate 2 -storm-period 500 -storm-on 200 -hotspot 5
+//	wormsim -rate 0.4 -trace-out run.jsonl && wormsim -replay run.jsonl
+//
 // Live observability: -http serves Prometheus metrics, a JSON snapshot and
 // pprof while the run is in flight; -metrics-out streams periodic metric
 // snapshots (with a run manifest header) to a JSONL file; -trace-out streams
@@ -61,6 +75,7 @@ import (
 	"wormnet/internal/supervisor"
 	"wormnet/internal/topology"
 	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
 )
 
 func main() {
@@ -99,6 +114,20 @@ func run() int {
 	flag.Int64Var(&prof.Stagger, "fault-stagger", 0, "spread failures over this many cycles")
 	flag.Float64Var(&prof.TransientFraction, "fault-transient", 0, "fraction of failures that heal [0,1]")
 	flag.Int64Var(&prof.RepairAfter, "fault-repair", 0, "outage length of transient failures (cycles)")
+	flag.IntVar(&prof.FlapCount, "fault-flaps", 0,
+		"extra down/up cycles per healing component (a link-flap storm; needs -fault-transient)")
+	flag.Int64Var(&prof.FlapPeriod, "fault-flap-period", 0,
+		"cycle distance between successive failures of a flapping component (must exceed -fault-repair)")
+	adv := sim.AdversaryProfile{}
+	flag.Float64Var(&adv.RogueFraction, "adversarial", 0,
+		"fraction of nodes that turn rogue and bypass the injection limiter [0,1]")
+	flag.Float64Var(&adv.RogueRate, "rogue-rate", 2.0, "offered load of each rogue node (flits/node/cycle)")
+	flag.Int64Var(&adv.StormPeriod, "storm-period", 0, "rogue hotspot-storm duty-cycle period in cycles (0 = storm always on)")
+	flag.Int64Var(&adv.StormOn, "storm-on", 0, "leading cycles of each storm period spent targeting the hotspot")
+	hotspot := flag.Int("hotspot", 0, "node the rogue storms concentrate on")
+	flag.Uint64Var(&adv.Seed, "adversary-seed", 1, "rogue placement seed")
+	replayPath := flag.String("replay", "",
+		"replay the generation schedule from this JSONL trace (as written by -trace-out) instead of synthetic sources")
 	retries := flag.Int("retry-limit", fault.DefaultRetryPolicy().MaxRetries,
 		"re-injection attempts before a fault-killed message is dropped")
 	verbose := flag.Bool("v", false, "print per-node fairness summary")
@@ -145,6 +174,25 @@ func run() int {
 		cfg.Faults = sched
 		cfg.Retry = fault.DefaultRetryPolicy()
 		cfg.Retry.MaxRetries = *retries
+	}
+
+	if adv.RogueFraction > 0 {
+		adv.Hotspot = topology.NodeID(*hotspot)
+		cfg.Adversary = adv
+	}
+
+	if *replayPath != "" {
+		rf, err := os.Open(*replayPath)
+		if err != nil {
+			return fail(err)
+		}
+		scripts, err := obs.ReadReplay(rf)
+		rf.Close()
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Sources = traffic.ReplayFactory(scripts)
+		cfg.SourceName = "replay:" + *replayPath
 	}
 
 	f, err := limiterByName(limiterName)
@@ -410,10 +458,18 @@ func run() int {
 	sq, rq := e.QueueLengths()
 	fmt.Printf("backlog        : %d queued, %d awaiting recovery, %d in flight\n",
 		sq, rq, e.InFlight())
+	if classes := e.Collector().ClassResults(); classes != nil {
+		fmt.Printf("rogue nodes    : %v (offered %.2f flits/node/cycle each)\n",
+			e.Rogues(), adv.RogueRate)
+		for _, c := range classes {
+			fmt.Printf("class %-8s : %d nodes, accepted %.4f flits/node/cycle, latency %.1f, delivered %d\n",
+				c.Class, c.Nodes, c.Accepted, c.AvgLatency, c.Delivered)
+		}
+	}
 	if faulty {
 		l := e.Liveness()
-		fmt.Printf("faults         : %d links, %d routers down at end\n",
-			l.DownLinks(), l.DownRouters())
+		fmt.Printf("faults         : %d links, %d routers down at end; %d routing epoch(s)\n",
+			l.DownLinks(), l.DownRouters(), e.Epoch())
 		fmt.Printf("fault recovery : %d aborted, %d retried, %d dropped (whole run)\n",
 			e.Aborted(), e.Retried(), e.Dropped())
 	}

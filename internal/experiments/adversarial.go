@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wormnet/internal/fault"
+	"wormnet/internal/sim"
+	"wormnet/internal/topology"
+)
+
+// AdversaryFractions is the rogue-node grid of the adversarial experiment:
+// from the well-behaved network up to 20% of nodes ignoring the limiter.
+func AdversaryFractions() []float64 {
+	return []float64{0, 0.05, 0.10, 0.20}
+}
+
+// Adversarial measures injection-limiter containment under hostile
+// conditions: a fraction of nodes turn rogue — they bypass the limiter
+// entirely and mount duty-cycled hotspot storms — while 5% of the links
+// flap (fail, heal, re-fail) throughout the measurement window. The offered
+// load sits beyond saturation (the scale's FairRate), where an unprotected
+// network collapses on its own and the rogues pile on.
+//
+// Each series is one injection mechanism swept over the rogue fraction
+// (carried in Offered, like the faults experiment carries its failed-link
+// fraction); the 0% point is the fault-free, adversary-free baseline the
+// containment ratio compares against. Points carry the per-class split, so
+// the figure plots what the *well-behaved* nodes still get — the paper's
+// question, transplanted to a hostile network: does the limiter keep
+// protecting the nodes that obey it?
+func Adversarial() Experiment {
+	return Experiment{
+		ID:    "adversarial",
+		Title: "Limiter containment under rogue injectors and link flaps (uniform, 16-flit)",
+		run: func(s Scale, exec Executor) Report {
+			base := s.baseConfig()
+			base.Pattern, base.MsgLen = "uniform", 16
+			topo := topology.New(s.K, s.N)
+			fractions := AdversaryFractions()
+			rep := Report{ID: "adversarial", Title: "Good-class traffic vs rogue fraction"}
+			for _, m := range mechanisms() {
+				cfgs := make([]sim.Config, len(fractions))
+				for i, frac := range fractions {
+					cfg := base.WithLimiter(m.name, m.f).WithRate(s.FairRate)
+					if frac > 0 {
+						cfg.Adversary = sim.AdversaryProfile{
+							RogueFraction: frac,
+							RogueRate:     2 * s.FairRate,
+							StormPeriod:   s.Measure / 8,
+							StormOn:       s.Measure / 20,
+							Hotspot:       topology.NodeID(topo.Nodes() / 2),
+							Seed:          s.Seed,
+						}
+						sched, err := fault.Plan(topo, fault.Profile{
+							LinkFraction:      0.05,
+							At:                s.Warmup,
+							Stagger:           s.Measure / 4,
+							TransientFraction: 1.0,
+							RepairAfter:       s.Measure / 8,
+							FlapCount:         2,
+							FlapPeriod:        s.Measure / 4,
+							Seed:              s.Seed,
+						})
+						if err != nil {
+							panic(fmt.Sprintf("experiments: bad flap profile: %v", err))
+						}
+						cfg = cfg.WithFaults(sched)
+					}
+					cfgs[i] = cfg
+				}
+				engines := runAll(cfgs, exec)
+				ser := Series{Name: m.name}
+				for i, e := range engines {
+					ser.Points = append(ser.Points, Point{
+						Offered: fractions[i],
+						Result:  e.Collector().Result(),
+						Classes: e.Collector().ClassResults(),
+					})
+				}
+				rep.Series = append(rep.Series, ser)
+			}
+			return rep
+		},
+	}
+}
+
+// Containment returns the worst-case good-class retention of an adversarial
+// series: the minimum, over its attacked points, of good-class accepted
+// traffic relative to the clean 0%-rogue baseline point. 1 means the
+// well-behaved nodes never lost anything; 0 means they were starved out.
+func Containment(ser Series) float64 {
+	var baseline float64
+	for _, p := range ser.Points {
+		if p.Offered == 0 {
+			baseline = p.Result.Accepted
+		}
+	}
+	if baseline <= 0 {
+		return 0
+	}
+	worst := 1.0
+	for _, p := range ser.Points {
+		if p.Offered == 0 {
+			continue
+		}
+		if r := p.ClassAccepted("good") / baseline; r < worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -99,6 +99,20 @@ type Point struct {
 	Probe *core.ProbeStats
 	// Deviations carries per-node injection deviations for fig4 points.
 	Deviations []float64
+	// Classes carries the per-traffic-class split (good vs rogue) for
+	// adversarial points; nil elsewhere.
+	Classes []stats.ClassResult
+}
+
+// ClassAccepted returns the accepted traffic of the named class at this
+// point, or the overall accepted figure when no class split exists.
+func (p Point) ClassAccepted(name string) float64 {
+	for _, c := range p.Classes {
+		if c.Class == name {
+			return c.Accepted
+		}
+	}
+	return p.Result.Accepted
 }
 
 // Series is a named curve: one injection mechanism swept over offered load.
@@ -218,7 +232,7 @@ func All() []Experiment {
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, error) {
-	for _, ex := range append(All(), DeadlockRates(), Faults()) {
+	for _, ex := range append(All(), DeadlockRates(), Faults(), Adversarial()) {
 		if ex.ID == id {
 			return ex, nil
 		}

@@ -45,6 +45,60 @@ func TestAllAndByID(t *testing.T) {
 	if _, err := ByID("faults"); err != nil {
 		t.Errorf("faults experiment missing: %v", err)
 	}
+	if _, err := ByID("adversarial"); err != nil {
+		t.Errorf("adversarial experiment missing: %v", err)
+	}
+}
+
+func TestAdversarialExperiment(t *testing.T) {
+	rep := Adversarial().Run(tinyScale(), nil)
+	if len(rep.Series) != 4 {
+		t.Fatalf("adversarial series: %d want 4 mechanisms", len(rep.Series))
+	}
+	fracs := AdversaryFractions()
+	for _, s := range rep.Series {
+		if len(s.Points) != len(fracs) {
+			t.Fatalf("series %s points: %d want %d", s.Name, len(s.Points), len(fracs))
+		}
+		for i, p := range s.Points {
+			if p.Offered != fracs[i] {
+				t.Fatalf("series %s point %d carries %v want fraction %v",
+					s.Name, i, p.Offered, fracs[i])
+			}
+			if fracs[i] == 0 {
+				if p.Classes != nil {
+					t.Errorf("series %s: clean baseline has class split", s.Name)
+				}
+				continue
+			}
+			if len(p.Classes) != 2 {
+				t.Fatalf("series %s at %.0f%% rogues: %d classes, want good+rogue",
+					s.Name, fracs[i]*100, len(p.Classes))
+			}
+			if p.Classes[0].Class != "good" || p.Classes[1].Class != "rogue" {
+				t.Fatalf("series %s class names: %q, %q",
+					s.Name, p.Classes[0].Class, p.Classes[1].Class)
+			}
+			if p.ClassAccepted("good") <= 0 {
+				t.Errorf("series %s at %.0f%% rogues: good class starved to zero",
+					s.Name, fracs[i]*100)
+			}
+		}
+		if c := Containment(s); c <= 0 || c > 2 {
+			t.Errorf("series %s containment %.3f out of range", s.Name, c)
+		}
+	}
+	// The limiter must contain the attack better than the unthrottled run
+	// does... at minimum it must not starve the good class.
+	out := rep.Render()
+	for _, want := range []string{"rogue%", "good-acc", "rogue-acc", "containment="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adversarial renderer misses %q", want)
+		}
+	}
+	if !strings.Contains(rep.CSV(), ",goodaccepted,rogueaccepted") {
+		t.Error("CSV header misses class columns")
+	}
 }
 
 func TestFaultsExperiment(t *testing.T) {

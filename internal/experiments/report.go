@@ -17,6 +17,8 @@ func (r Report) Render() string {
 		r.renderFig4(&b)
 	case "faults":
 		r.renderFaults(&b)
+	case "adversarial":
+		r.renderAdversarial(&b)
 	default:
 		r.renderLatency(&b)
 	}
@@ -88,6 +90,34 @@ func (r Report) renderFaults(b *strings.Builder) {
 	}
 }
 
+// renderAdversarial prints the containment table of the adversarial
+// experiment: one row per rogue fraction (carried in Offered) per mechanism,
+// splitting accepted traffic into the well-behaved and rogue classes, with
+// the series' worst-case good-class retention as the summary line.
+func (r Report) renderAdversarial(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %7s %10s %10s %10s %10s %9s\n",
+		"mechanism", "rogue%", "accepted", "good-acc", "rogue-acc", "latency", "deadlk%")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			res := p.Result
+			goodAcc, rogueAcc := "-", "-"
+			for _, c := range p.Classes {
+				switch c.Class {
+				case "good":
+					goodAcc = fmt.Sprintf("%.4f", c.Accepted)
+				case "rogue":
+					rogueAcc = fmt.Sprintf("%.4f", c.Accepted)
+				}
+			}
+			fmt.Fprintf(b, "%-10s %7.1f %10.4f %10s %10s %10.1f %9.3f\n",
+				s.Name, p.Offered*100, res.Accepted, goodAcc, rogueAcc,
+				res.AvgLatency, res.DeadlockPct)
+		}
+		fmt.Fprintf(b, "%-10s containment=%.3f (worst good-class retention vs clean baseline)\n\n",
+			s.Name, Containment(s))
+	}
+}
+
 // percentile reads the q-quantile of an ascending-sorted slice.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -98,17 +128,28 @@ func percentile(sorted []float64, q float64) float64 {
 }
 
 // CSV renders the report's points as comma-separated rows for external
-// plotting: figure, series, offered, accepted, latency, stddev, deadlock%.
+// plotting: figure, series, offered, accepted, latency, stddev, deadlock%,
+// fault counters, and the per-class accepted split (empty outside the
+// adversarial experiment).
 func (r Report) CSV() string {
 	var b strings.Builder
-	b.WriteString("figure,series,offered,accepted,latency,stddev,netlatency,deadlockpct,aborted,retried,dropped\n")
+	b.WriteString("figure,series,offered,accepted,latency,stddev,netlatency,deadlockpct,aborted,retried,dropped,goodaccepted,rogueaccepted\n")
 	for _, s := range r.Series {
 		for _, p := range s.Points {
 			res := p.Result
-			fmt.Fprintf(&b, "%s,%s,%.4f,%.5f,%.2f,%.2f,%.2f,%.4f,%d,%d,%d\n",
+			goodAcc, rogueAcc := "", ""
+			for _, c := range p.Classes {
+				switch c.Class {
+				case "good":
+					goodAcc = fmt.Sprintf("%.5f", c.Accepted)
+				case "rogue":
+					rogueAcc = fmt.Sprintf("%.5f", c.Accepted)
+				}
+			}
+			fmt.Fprintf(&b, "%s,%s,%.4f,%.5f,%.2f,%.2f,%.2f,%.4f,%d,%d,%d,%s,%s\n",
 				r.ID, s.Name, p.Offered, res.Accepted, res.AvgLatency,
 				res.StdLatency, res.AvgNetLatency, res.DeadlockPct,
-				res.Aborted, res.Retried, res.Dropped)
+				res.Aborted, res.Retried, res.Dropped, goodAcc, rogueAcc)
 		}
 	}
 	return b.String()

@@ -169,6 +169,15 @@ type Profile struct {
 	TransientFraction float64
 	// RepairAfter is the outage length of transient failures, in cycles.
 	RepairAfter int64
+	// FlapCount makes transient failures flap: each healing component goes
+	// down again FlapCount more times after its first repair, every
+	// FlapPeriod cycles, healing after RepairAfter each time. Zero (the
+	// default) keeps the single Down/Up pair.
+	FlapCount int
+	// FlapPeriod is the cycle distance between successive Down events of a
+	// flapping component; it must exceed RepairAfter so the component is up
+	// again before it re-fails.
+	FlapPeriod int64
 	// Seed drives the planner's (deterministic) randomness.
 	Seed uint64
 }
@@ -186,6 +195,12 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fault: negative At or Stagger")
 	case p.TransientFraction > 0 && p.RepairAfter < 1:
 		return fmt.Errorf("fault: transient faults need RepairAfter >= 1")
+	case p.FlapCount < 0:
+		return fmt.Errorf("fault: negative flap count %d", p.FlapCount)
+	case p.FlapCount > 0 && p.TransientFraction <= 0:
+		return fmt.Errorf("fault: flapping needs TransientFraction > 0 (only healing failures can re-fail)")
+	case p.FlapCount > 0 && p.FlapPeriod <= p.RepairAfter:
+		return fmt.Errorf("fault: flap period %d must exceed RepairAfter %d", p.FlapPeriod, p.RepairAfter)
 	}
 	return nil
 }
@@ -194,7 +209,10 @@ func (p Profile) Validate() error {
 // sample of round(LinkFraction * links) distinct channels and
 // round(RouterFraction * nodes) distinct routers, failed at (staggered)
 // cycles, a TransientFraction of them healing after RepairAfter cycles.
-// The same profile and torus always yield the same schedule.
+// With FlapCount > 0, each healing component re-fails FlapCount more times
+// at FlapPeriod intervals (healing after RepairAfter each time), producing a
+// link-flap storm. The same profile and torus always yield the same
+// schedule.
 func Plan(t *topology.Torus, p Profile) (*Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -214,6 +232,11 @@ func Plan(t *topology.Torus, p Profile) (*Schedule, error) {
 		s.FailLink(down, node, port)
 		if p.TransientFraction > 0 && rng.float64() < p.TransientFraction {
 			s.RestoreLink(down+p.RepairAfter, node, port)
+			for f := 1; f <= p.FlapCount; f++ {
+				at := down + int64(f)*p.FlapPeriod
+				s.FailLink(at, node, port)
+				s.RestoreLink(at+p.RepairAfter, node, port)
+			}
 		}
 	}
 
@@ -227,6 +250,11 @@ func Plan(t *topology.Torus, p Profile) (*Schedule, error) {
 		s.FailRouter(down, node)
 		if p.TransientFraction > 0 && rng.float64() < p.TransientFraction {
 			s.RestoreRouter(down+p.RepairAfter, node)
+			for f := 1; f <= p.FlapCount; f++ {
+				at := down + int64(f)*p.FlapPeriod
+				s.FailRouter(at, node)
+				s.RestoreRouter(at+p.RepairAfter, node)
+			}
 		}
 	}
 	return s, nil

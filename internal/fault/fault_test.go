@@ -176,3 +176,118 @@ func TestKindAndEventStrings(t *testing.T) {
 		t.Error("event String empty")
 	}
 }
+
+// TestRetryPolicyDelayOverflow drives Delay into the shift-overflow regime:
+// with a cap too large to stop the doubling early, the accumulated delay
+// overflows int64 sign (base 16 does so at attempt 59, reaching 2^63) and
+// then shifts through zero. The d <= 0 guard must clamp every such attempt
+// to the cap instead of returning a negative or zero backoff.
+func TestRetryPolicyDelayOverflow(t *testing.T) {
+	const maxCap = int64(^uint64(0) >> 1)
+	p := RetryPolicy{MaxRetries: 100, BackoffBase: 16, BackoffCap: maxCap}
+	for attempt := 59; attempt <= 200; attempt++ {
+		if got := p.Delay(attempt); got != maxCap {
+			t.Fatalf("Delay(%d) = %d want cap %d", attempt, got, maxCap)
+		}
+	}
+	// Below the overflow horizon the plain doubling is still exact.
+	if got := p.Delay(10); got != 16<<10 {
+		t.Errorf("Delay(10) = %d want %d", p.Delay(10), int64(16<<10))
+	}
+	// Base 1 overflows one shift later (2^63 at attempt 63); the zero state
+	// after a further shift must also clamp, never return 0.
+	p1 := RetryPolicy{MaxRetries: 100, BackoffBase: 1, BackoffCap: maxCap}
+	for attempt := 63; attempt <= 130; attempt++ {
+		if got := p1.Delay(attempt); got <= 0 || got != maxCap {
+			t.Fatalf("base-1 Delay(%d) = %d want cap %d", attempt, got, maxCap)
+		}
+	}
+}
+
+// TestRetryPolicyValidateBoundaries pins the edges of the Validate ranges:
+// zero retries (drop on first kill) and base == cap are both legal.
+func TestRetryPolicyValidateBoundaries(t *testing.T) {
+	good := []RetryPolicy{
+		{MaxRetries: 0, BackoffBase: 1, BackoffCap: 1},
+		{MaxRetries: 1, BackoffBase: 64, BackoffCap: 64},
+		{MaxRetries: 1 << 20, BackoffBase: 1, BackoffCap: 1<<63 - 1},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good policy %d rejected: %v", i, err)
+		}
+	}
+	// base == cap: Delay must return the base for every attempt.
+	p := RetryPolicy{MaxRetries: 4, BackoffBase: 64, BackoffCap: 64}
+	for _, attempt := range []int{0, 1, 5, 100} {
+		if got := p.Delay(attempt); got != 64 {
+			t.Errorf("Delay(%d) = %d want 64", attempt, got)
+		}
+	}
+	// MaxRetries 0 drops immediately.
+	if !(RetryPolicy{MaxRetries: 0, BackoffBase: 1, BackoffCap: 1}).Exhausted(0) {
+		t.Error("MaxRetries 0 must be exhausted at attempt 0")
+	}
+}
+
+// TestPlanFlaps checks the flap extension of the planner: every healing
+// component re-fails FlapCount more times, FlapPeriod apart, each outage
+// healing after RepairAfter cycles.
+func TestPlanFlaps(t *testing.T) {
+	tp := topology.New(4, 2)
+	p := Profile{LinkFraction: 0.05, At: 100, TransientFraction: 1,
+		RepairAfter: 50, FlapCount: 3, FlapPeriod: 200, Seed: 9}
+	s, err := Plan(tp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tp); err != nil {
+		t.Fatalf("flap schedule invalid: %v", err)
+	}
+	// 64 links * 0.05 -> 3 components; each contributes 1 + FlapCount downs
+	// and as many ups.
+	type comp struct {
+		node topology.NodeID
+		port topology.Port
+	}
+	downs := map[comp][]int64{}
+	ups := map[comp][]int64{}
+	for _, ev := range s.Events() {
+		c := comp{ev.Node, ev.Port}
+		switch ev.Kind {
+		case LinkDown:
+			downs[c] = append(downs[c], ev.Cycle)
+		case LinkUp:
+			ups[c] = append(ups[c], ev.Cycle)
+		}
+	}
+	if len(downs) != 3 {
+		t.Fatalf("got %d flapping components, want 3", len(downs))
+	}
+	for c, d := range downs {
+		u := ups[c]
+		if len(d) != 4 || len(u) != 4 {
+			t.Fatalf("component %v: %d downs / %d ups, want 4 / 4", c, len(d), len(u))
+		}
+		for i := range d {
+			if i > 0 && d[i]-d[i-1] != p.FlapPeriod {
+				t.Errorf("component %v: downs %d apart, want %d", c, d[i]-d[i-1], p.FlapPeriod)
+			}
+			if u[i] != d[i]+p.RepairAfter {
+				t.Errorf("component %v: up at %d, want %d", c, u[i], d[i]+p.RepairAfter)
+			}
+		}
+	}
+	// Flap validation boundaries: flaps need transience and a period longer
+	// than the outage.
+	bad := []Profile{
+		{LinkFraction: 0.1, FlapCount: -1},
+		{LinkFraction: 0.1, FlapCount: 2, FlapPeriod: 100},
+		{LinkFraction: 0.1, TransientFraction: 1, RepairAfter: 50, FlapCount: 2, FlapPeriod: 50},
+	}
+	for i, bp := range bad {
+		if err := bp.Validate(); err == nil {
+			t.Errorf("bad flap profile %d accepted", i)
+		}
+	}
+}

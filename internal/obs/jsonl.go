@@ -131,7 +131,9 @@ func (l *MetricsLogger) Snapshot(cycle int64) {
 	l.w.Write(snapshotRecord{Record: "snapshot", Cycle: cycle, Metrics: MetricsMap(l.reg)})
 }
 
-// eventRecord is one trace event in a JSONL stream.
+// eventRecord is one trace event in a JSONL stream. Len (flits; omitted
+// when zero) makes recorded generation events a complete injection
+// schedule — see ReadReplay.
 type eventRecord struct {
 	Record string `json:"t"` // "event"
 	Cycle  int64  `json:"cycle"`
@@ -140,6 +142,7 @@ type eventRecord struct {
 	Src    int64  `json:"src"`
 	Dst    int64  `json:"dst"`
 	Node   int64  `json:"node"`
+	Len    int32  `json:"len,omitempty"`
 }
 
 // newEventRecord converts a trace event.
@@ -152,6 +155,7 @@ func newEventRecord(ev trace.Event) eventRecord {
 		Src:    int64(ev.Src),
 		Dst:    int64(ev.Dst),
 		Node:   int64(ev.Node),
+		Len:    ev.Len,
 	}
 }
 

@@ -1,0 +1,58 @@
+package obs
+
+// Trace-driven replay input: parse a JSONL event stream (the -trace-out
+// format written by TraceSink) back into per-node injection schedules. The
+// generation events alone determine the offered workload — cycle, source,
+// destination, length — so a recorded run can be re-driven through
+// traffic.ReplayFactory under a different limiter, routing engine or fault
+// schedule, holding the workload fixed while one mechanism varies.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// ReadReplay scans a JSONL stream and collects every "generated" event into
+// per-node traffic scripts, in stream order (TraceSink writes in simulation
+// order, so the scripts come out cycle-sorted). Non-event records and other
+// event kinds are skipped; malformed JSON lines and generation records
+// without a positive length are errors — silently dropping them would
+// desynchronise the replay from the run that produced the trace.
+func ReadReplay(r io.Reader) (map[topology.NodeID][]traffic.Event, error) {
+	out := make(map[topology.NodeID][]traffic.Event)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec eventRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: replay line %d: %w", line, err)
+		}
+		if rec.Record != "event" || rec.Kind != "generated" {
+			continue
+		}
+		if rec.Len < 1 {
+			return nil, fmt.Errorf("obs: replay line %d: generated event without length (old trace format?)", line)
+		}
+		src := topology.NodeID(rec.Src)
+		out[src] = append(out[src], traffic.Event{
+			Cycle:  rec.Cycle,
+			Dst:    topology.NodeID(rec.Dst),
+			Length: int(rec.Len),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: replay scan: %w", err)
+	}
+	return out, nil
+}

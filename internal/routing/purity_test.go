@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"testing"
+
+	"wormnet/internal/topology"
+)
+
+// TestCandidatesPurity pins the reconfiguration contract stated on
+// Algorithm: Candidates is a pure function of (cur, dst, liveness). The
+// simulation engine rebuilds its candidate table from Candidates at every
+// routing-epoch flip, so (a) repeated calls must agree exactly, and (b)
+// failing a set of components and then repairing them all must restore
+// every candidate set to its fault-free value — for every engine, every
+// (cur, dst) pair, at each stage of the Down→Up round trip.
+func TestCandidatesPurity(t *testing.T) {
+	topo := topology.New(4, 2)
+	up0 := topology.PortFor(0, topology.Plus)
+	dn1 := topology.PortFor(1, topology.Minus)
+
+	engines := map[string]Algorithm{
+		"tfar":  NewTFAR(topo, 3),
+		"dor":   NewDOR(topo, 3),
+		"duato": NewDuato(topo, 3),
+	}
+	for name, alg := range engines {
+		t.Run(name, func(t *testing.T) {
+			live := topology.NewLiveness(topo)
+			alg.(FaultAware).SetLiveness(live)
+
+			snapshot := func() map[[2]topology.NodeID][]Candidate {
+				m := make(map[[2]topology.NodeID][]Candidate)
+				for cur := 0; cur < topo.Nodes(); cur++ {
+					for dst := 0; dst < topo.Nodes(); dst++ {
+						c, d := topology.NodeID(cur), topology.NodeID(dst)
+						m[[2]topology.NodeID{c, d}] = alg.Candidates(c, d, nil)
+					}
+				}
+				return m
+			}
+			equal := func(a, b map[[2]topology.NodeID][]Candidate) bool {
+				for k, av := range a {
+					bv := b[k]
+					if len(av) != len(bv) {
+						return false
+					}
+					for i := range av {
+						if av[i] != bv[i] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+
+			healthy := snapshot()
+			if !equal(healthy, snapshot()) {
+				t.Fatal("healthy: repeated calls disagree; Candidates is stateful")
+			}
+
+			live.SetLink(1, up0, false)
+			live.SetLink(6, dn1, false)
+			live.SetRouter(11, false)
+			degraded := snapshot()
+			if !equal(degraded, snapshot()) {
+				t.Fatal("degraded: repeated calls disagree; Candidates is stateful")
+			}
+			if equal(healthy, degraded) {
+				t.Fatal("faults changed nothing; test premise broken")
+			}
+
+			// Heal in a different order than the failures were applied.
+			live.SetRouter(11, true)
+			live.SetLink(6, dn1, true)
+			live.SetLink(1, up0, true)
+			if !live.AllAlive() {
+				t.Fatal("mask not fully healed")
+			}
+			if !equal(healthy, snapshot()) {
+				t.Fatal("healed candidate sets differ from fault-free ones; repair is not exact")
+			}
+		})
+	}
+}

@@ -23,6 +23,15 @@ type Candidate struct {
 // output virtual channels it may use. Implementations hold no per-message
 // state; after construction (and optional SetLiveness wiring) they are safe
 // for concurrent use.
+//
+// Reconfiguration contract: Candidates must be a pure, deterministic
+// function of (cur, dst, current liveness mask) — no hidden per-call state,
+// no dependence on call order or history. The simulation engine relies on
+// this for online fault/repair reconfiguration: at every routing-epoch flip
+// it rebuilds its packed candidate table by re-running Candidates under the
+// new mask, and a repaired component must restore exactly the candidate
+// sets it had before failing. Impurity here would silently break both the
+// epoch invariants and serial↔parallel bit-equality.
 type Algorithm interface {
 	// Candidates appends the admissible output virtual channels to out and
 	// returns the extended slice. The result is empty iff cur == dst.

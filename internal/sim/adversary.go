@@ -1,0 +1,105 @@
+package sim
+
+// Adversarial workload overlay: a configured fraction of nodes go rogue —
+// they generate traffic through traffic.RogueSource (duty-cycled hotspot
+// storms) and, crucially, bypass the injection limiter entirely. The paper's
+// mechanism only ever throttles the node applying it, so the question this
+// overlay answers is containment: how much of the *well-behaved* population's
+// throughput and latency survives when part of the network refuses to
+// cooperate? The collector's per-class split (stats.ClassResult) measures
+// exactly that; the overlay itself is deterministic — rogue placement comes
+// from a seeded shuffle, rogue traffic from the same per-node PCG streams as
+// regular sources — so adversarial runs stay bit-identical across worker
+// counts like every other configuration.
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wormnet/internal/topology"
+)
+
+// Traffic class indices the engine assigns when an adversary is configured.
+const (
+	ClassGood  = 0 // nodes that obey the injection limiter
+	ClassRogue = 1 // nodes that bypass it
+)
+
+// AdversaryProfile configures the adversarial overlay. The zero value
+// disables it.
+type AdversaryProfile struct {
+	// RogueFraction is the fraction of nodes that go rogue (0 disables the
+	// overlay; a positive fraction always corrupts at least one node).
+	RogueFraction float64
+	// RogueRate is each rogue's offered load in flits/node/cycle, applied
+	// without limiter consent. Required when the overlay is enabled.
+	RogueRate float64
+	// StormPeriod/StormOn duty-cycle the rogues' hotspot storms: during the
+	// first StormOn cycles of every StormPeriod-cycle period, all rogue
+	// traffic targets Hotspot; outside it rogues blend in as uniform
+	// traffic. StormPeriod 0 keeps the storm permanently on.
+	StormPeriod int64
+	StormOn     int64
+	// Hotspot is the storm's victim node.
+	Hotspot topology.NodeID
+	// Seed drives rogue placement (a seeded shuffle), independently of the
+	// run seed so experiments can vary placement while holding the
+	// well-behaved workload fixed.
+	Seed uint64
+}
+
+// Enabled reports whether the overlay is active.
+func (a AdversaryProfile) Enabled() bool { return a.RogueFraction > 0 }
+
+// Validate checks the profile against the network it will run on.
+func (a AdversaryProfile) Validate(t *topology.Torus) error {
+	if !a.Enabled() {
+		return nil
+	}
+	switch {
+	case a.RogueFraction < 0 || a.RogueFraction > 1:
+		return fmt.Errorf("sim: rogue fraction %v out of [0,1]", a.RogueFraction)
+	case a.RogueRate <= 0:
+		return fmt.Errorf("sim: adversary needs a positive rogue rate, got %v", a.RogueRate)
+	case a.StormPeriod < 0 || a.StormOn < 0:
+		return fmt.Errorf("sim: negative storm duty cycle %d/%d", a.StormOn, a.StormPeriod)
+	case a.StormPeriod > 0 && a.StormOn > a.StormPeriod:
+		return fmt.Errorf("sim: storm on-time %d exceeds period %d", a.StormOn, a.StormPeriod)
+	case !t.Valid(a.Hotspot):
+		return fmt.Errorf("sim: hotspot node %d outside the network", a.Hotspot)
+	}
+	return nil
+}
+
+// pickRogues returns the per-node rogue mask: a seeded shuffle of the node
+// IDs, taking the first round(fraction*nodes) — at least one, so any
+// positive fraction actually fields an adversary.
+func (a AdversaryProfile) pickRogues(nodes int) []bool {
+	k := int(math.Round(a.RogueFraction * float64(nodes)))
+	if k < 1 {
+		k = 1
+	}
+	if k > nodes {
+		k = nodes
+	}
+	rng := rand.New(rand.NewPCG(a.Seed, 0x9E3779B97F4A7C15))
+	perm := rng.Perm(nodes)
+	mask := make([]bool, nodes)
+	for _, n := range perm[:k] {
+		mask[n] = true
+	}
+	return mask
+}
+
+// Rogues returns the IDs of the rogue nodes, ascending; nil when no
+// adversary is configured.
+func (e *Engine) Rogues() []topology.NodeID {
+	var out []topology.NodeID
+	for i := range e.nodes {
+		if e.nodes[i].rogue {
+			out = append(out, e.nodes[i].id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"wormnet/internal/fault"
+	"wormnet/internal/obs"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
+)
+
+// quickAdversary returns a QuickConfig with a 10%-rogue overlay storming
+// node 5.
+func quickAdversary(rogueRate float64) Config {
+	cfg := QuickConfig()
+	cfg.Adversary = AdversaryProfile{
+		RogueFraction: 0.10,
+		RogueRate:     rogueRate,
+		StormPeriod:   500,
+		StormOn:       200,
+		Hotspot:       5,
+		Seed:          9,
+	}
+	return cfg
+}
+
+func TestAdversaryValidate(t *testing.T) {
+	topo := topology.New(4, 2)
+	ok := AdversaryProfile{RogueFraction: 0.1, RogueRate: 1, Hotspot: 3}
+	if err := ok.Validate(topo); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (AdversaryProfile{}).Validate(topo); err != nil {
+		t.Errorf("disabled profile rejected: %v", err)
+	}
+	for name, p := range map[string]AdversaryProfile{
+		"fraction>1":  {RogueFraction: 1.5, RogueRate: 1},
+		"no-rate":     {RogueFraction: 0.1},
+		"bad-duty":    {RogueFraction: 0.1, RogueRate: 1, StormPeriod: 100, StormOn: 200},
+		"bad-hotspot": {RogueFraction: 0.1, RogueRate: 1, Hotspot: 99},
+		"neg-period":  {RogueFraction: 0.1, RogueRate: 1, StormPeriod: -1},
+	} {
+		if err := p.Validate(topo); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Adversary and custom Sources are mutually exclusive.
+	cfg := quickAdversary(1)
+	cfg.Sources = func(n topology.NodeID) traffic.Generator {
+		s, _ := traffic.NewScriptSource(n, nil)
+		return s
+	}
+	cfg.SourceName = "empty"
+	if _, err := New(cfg); err == nil {
+		t.Error("Adversary + Sources accepted")
+	}
+}
+
+// TestRogueBypassesLimiter pins the attack semantics: rogue nodes are never
+// throttled — the limiter gate is skipped outright — while well-behaved
+// nodes under the same pressure are. It also pins seeded rogue placement.
+func TestRogueBypassesLimiter(t *testing.T) {
+	cfg := quickAdversary(2.0) // heavy rogue pressure
+	cfg.Rate = 1.0             // good nodes near saturation: ALO must throttle
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 3000, 500
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rogues := e.Rogues()
+	// 16 nodes at 10%: round(1.6) = 2 rogues.
+	if len(rogues) != 2 {
+		t.Fatalf("rogue count %d, want 2", len(rogues))
+	}
+	rogueSet := map[topology.NodeID]bool{}
+	for _, n := range rogues {
+		rogueSet[n] = true
+	}
+	tap := &eventTap{}
+	e.SetListener(tap)
+	e.Run()
+	var goodThrottles, rogueThrottles, rogueGen int
+	for _, ev := range tap.events {
+		switch ev.Kind {
+		case trace.KindThrottled:
+			if rogueSet[ev.Node] {
+				rogueThrottles++
+			} else {
+				goodThrottles++
+			}
+		case trace.KindGenerated:
+			if rogueSet[ev.Src] {
+				rogueGen++
+			}
+		}
+	}
+	if rogueThrottles != 0 {
+		t.Errorf("%d throttle events at rogue nodes; rogues must bypass the limiter", rogueThrottles)
+	}
+	if rogueGen == 0 {
+		t.Error("rogues generated nothing; scenario is vacuous")
+	}
+	if goodThrottles == 0 {
+		t.Error("no good node was ever throttled; scenario is vacuous")
+	}
+	// Same profile, same placement.
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	r2 := e2.Rogues()
+	for i := range rogues {
+		if r2[i] != rogues[i] {
+			t.Errorf("rogue placement not deterministic: %v vs %v", rogues, r2)
+			break
+		}
+	}
+}
+
+// TestAdversaryContainment is the ISSUE's acceptance criterion: with 5% of
+// links flapping and 10% of nodes rogue at saturation, the ALO limiter must
+// keep the well-behaved class's delivered throughput within 25% of the
+// fault-free, adversary-free baseline.
+func TestAdversaryContainment(t *testing.T) {
+	base := QuickConfig() // ALO limiter, uniform
+	base.Rate = 1.0       // past saturation: the limiter holds the plateau
+	base.Seed = 1
+
+	baseline := func() float64 {
+		e, err := New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		return e.Run().Accepted
+	}()
+	if baseline <= 0 {
+		t.Fatal("baseline run delivered nothing")
+	}
+
+	attacked := base
+	attacked.Adversary = AdversaryProfile{
+		RogueFraction: 0.10,
+		RogueRate:     2.0,
+		StormPeriod:   500,
+		StormOn:       200,
+		Hotspot:       5,
+		Seed:          9,
+	}
+	sched, err := fault.Plan(topology.New(base.K, base.N), fault.Profile{
+		LinkFraction:      0.05,
+		At:                2500,
+		Stagger:           500,
+		TransientFraction: 1.0,
+		RepairAfter:       300,
+		FlapCount:         3,
+		FlapPeriod:        800,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked.Faults = sched
+
+	e, err := New(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Run()
+	classes := e.Collector().ClassResults()
+	if len(classes) != 2 {
+		t.Fatalf("expected good/rogue class results, got %d", len(classes))
+	}
+	good := classes[ClassGood]
+	if good.Class != "good" || good.Delivered == 0 {
+		t.Fatalf("good class malformed: %+v", good)
+	}
+	if min := 0.75 * baseline; good.Accepted < min {
+		t.Errorf("good-class accepted %.4f below 75%% of fault-free baseline %.4f (floor %.4f)",
+			good.Accepted, baseline, min)
+	}
+	t.Logf("baseline %.4f, good-class under attack %.4f (%.0f%%), rogue-class %.4f",
+		baseline, good.Accepted, 100*good.Accepted/baseline, classes[ClassRogue].Accepted)
+}
+
+// TestReplayRoundTrip closes the trace-driven loop: record a run's JSONL
+// trace, parse it back with obs.ReadReplay, re-drive a fresh engine through
+// traffic.ReplayFactory, and require the replay to reproduce the original
+// event stream bit for bit.
+func TestReplayRoundTrip(t *testing.T) {
+	up := topology.PortFor(0, topology.Plus)
+	cfg := QuickConfig()
+	cfg.Rate = 0.7
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 500, 2500, 500
+	cfg.Faults = (&fault.Schedule{}).FailLink(1200, 1, up).RestoreLink(2400, 1, up)
+
+	// Original run, streamed through the real JSONL encoder.
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	tap := &eventTap{}
+	e.SetListener(trace.Multi{obs.NewTraceSink(w), tap})
+	origRes := e.Run()
+	e.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	scripts, err := obs.ReadReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("trace produced no replay scripts")
+	}
+
+	replay := cfg
+	replay.Sources = traffic.ReplayFactory(scripts)
+	replay.SourceName = "replay-test"
+	replay.Rate = 0 // ignored under Sources; make that explicit
+	e2, err := New(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tap2 := &eventTap{}
+	e2.SetListener(tap2)
+	replayRes := e2.Run()
+
+	if replayRes != origRes {
+		t.Errorf("replay result diverged:\n got  %+v\n want %+v", replayRes, origRes)
+	}
+	if len(tap2.events) != len(tap.events) {
+		t.Fatalf("replay emitted %d events, original %d", len(tap2.events), len(tap.events))
+	}
+	for i := range tap.events {
+		if tap.events[i] != tap2.events[i] {
+			t.Fatalf("event %d diverged:\n got  %+v\n want %+v", i, tap2.events[i], tap.events[i])
+		}
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// digest; it must uniquely describe the factory's behaviour.
 	SourceName string
 
+	// Adversary is the adversarial workload overlay: a seeded fraction of
+	// rogue nodes offering duty-cycled hotspot storms that bypass the
+	// injection limiter (see AdversaryProfile). The zero value disables it.
+	// Mutually exclusive with Sources — the overlay decides per-node
+	// generators itself. When enabled, the collector splits its accounting
+	// into "good" and "rogue" classes (stats.ClassResult).
+	Adversary AdversaryProfile
+
 	// Injection limitation mechanism. Nil means no limitation.
 	Limiter core.Factory
 	// LimiterName labels the mechanism in results (factories are funcs and
@@ -215,6 +223,14 @@ func (c *Config) validate() error {
 	if c.LimiterName == "" {
 		c.LimiterName = "custom"
 	}
+	if c.Adversary.Enabled() {
+		if c.Sources != nil {
+			return fmt.Errorf("sim: Adversary and custom Sources are mutually exclusive")
+		}
+		if err := c.Adversary.Validate(topology.New(c.K, c.N)); err != nil {
+			return err
+		}
+	}
 	if c.Sources != nil && c.SourceName == "" {
 		return fmt.Errorf("sim: custom Sources needs a SourceName for the config digest")
 	}
@@ -257,6 +273,14 @@ func (c Config) Manifest() map[string]any {
 	}
 	if !c.Faults.Empty() {
 		m["fault_events"] = len(c.Faults.Events())
+	}
+	if c.Adversary.Enabled() {
+		m["adv_rogue_fraction"] = c.Adversary.RogueFraction
+		m["adv_rogue_rate"] = c.Adversary.RogueRate
+		m["adv_storm_period"] = c.Adversary.StormPeriod
+		m["adv_storm_on"] = c.Adversary.StormOn
+		m["adv_hotspot"] = int(c.Adversary.Hotspot)
+		m["adv_seed"] = c.Adversary.Seed
 	}
 	return m
 }

@@ -66,7 +66,7 @@ func (e *Engine) phaseGenerate() {
 		nd.nextGen = nd.src.NextAt()
 		for _, g := range e.genScratch {
 			m := e.newMessage(nd.id, g.Dst, g.Length)
-			m.Measured = e.col.OnGenerated(e.now)
+			m.Measured = e.col.OnGenerated(e.now, int(nd.id))
 			nd.queue.Push(m)
 			e.emit(trace.KindGenerated, m, nd.id)
 		}
@@ -133,7 +133,9 @@ func (e *Engine) phaseInject() {
 				continue
 			}
 			m := nd.queue.Front()
-			if !nd.limiter.Allow(nd.view, m.Dst) {
+			// Rogue nodes (Config.Adversary) never consult the limiter:
+			// bypassing it is the whole attack.
+			if !nd.rogue && !nd.limiter.Allow(nd.view, m.Dst) {
 				if e.met != nil {
 					e.noteDeny(nd, m.Dst)
 				}
@@ -325,25 +327,20 @@ func (e *Engine) allocate(nd *node, m *message.Message, dst topology.NodeID) (ro
 		for c := range nd.ej {
 			if nd.ej[c].msg == nil {
 				nd.ej[c].msg = m
-				return routeInfo{valid: true, eject: true, ejCh: int8(c)}, true, false, false
+				return routeInfo{valid: true, eject: true, ejCh: int8(c), epoch: uint16(e.epoch)}, true, false, false
 			}
 		}
 		return routeInfo{}, false, false, false
 	}
-	// Candidate lookup. On static-routing runs the deduplicated table serves
-	// every lookup: the set id array is the only sizeable state it touches,
-	// and a blocked header retrying the same destination re-reads the same
-	// entry every cycle, so retries stay cache-hot.
-	var cands []portCand
-	if e.cand != nil {
-		cands = e.cand.get(nd.id, dst)
-	} else {
-		// Fault runs: liveness changes candidate sets mid-run, so nothing is
-		// cached, and faults can leave a header with no candidates at all.
-		cands = e.candidates(nd, dst)
-		if len(cands) == 0 {
-			return routeInfo{}, false, false, true
-		}
+	// Candidate lookup: the deduplicated table serves every lookup — the set
+	// id array is the only sizeable state it touches, and a blocked header
+	// retrying the same destination re-reads the same entry every cycle, so
+	// retries stay cache-hot. Fault-capable runs rebuild the table at every
+	// routing epoch flip, so the entry always reflects the current liveness
+	// mask; faults can leave a header with no candidates at all.
+	cands := e.cand.get(nd.id, dst)
+	if len(cands) == 0 {
+		return routeInfo{}, false, false, true
 	}
 
 	bestPort := topology.Port(-1)
@@ -407,7 +404,7 @@ func (e *Engine) allocate(nd *node, m *message.Message, dst topology.NodeID) (ro
 	m.Path = append(m.Path, pathLoc{
 		Node: nd.nbr[bestPort].id, Port: topology.Opposite(bestPort), VC: bestVC,
 	})
-	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC}, true, true, false
+	return routeInfo{valid: true, outPort: bestPort, outVC: bestVC, epoch: uint16(e.epoch)}, true, true, false
 }
 
 // phaseSwitch performs separable switch allocation per node — at most one
@@ -637,7 +634,7 @@ func (e *Engine) phaseMove() {
 			m.DeliverTime = now
 			e.delivered++
 			m.Path = m.Path[:0]
-			e.col.OnDelivered(now, m.GenTime, m.InjectTime, m.Length, m.Measured)
+			e.col.OnDelivered(now, m.GenTime, m.InjectTime, m.Length, m.Measured, int(m.Src))
 			e.emit(trace.KindDelivered, m, nd.id)
 			if e.spans != nil {
 				e.spanDeliver(m)

@@ -19,13 +19,20 @@ import (
 // routeInfo is the forwarding decision attached to an input virtual channel
 // or injection channel while a message traverses it. Allocation cycle is not
 // recorded here: the node's fresh masks mark routes assigned in the current
-// cycle (movement starts the next one), keeping the struct at five bytes.
+// cycle (movement starts the next one). epoch stamps the routing epoch the
+// decision belongs to: routes are allocated at the engine's current epoch,
+// and every liveness reconfiguration revalidates surviving routes to the new
+// epoch (see reconfigure), so a valid route's stamp always equals the
+// engine's epoch — the epoch-consistency invariant. The stamp is the low 16
+// bits of Engine.epoch; the revalidation sweep keeps equality exact across
+// wrap.
 type routeInfo struct {
 	valid   bool
 	eject   bool
 	outPort topology.Port // valid when !eject
 	outVC   int8          // valid when !eject
 	ejCh    int8          // valid when eject
+	epoch   uint16
 }
 
 // inVC is one input virtual channel: its flit buffer. Input VCs are stored
@@ -112,6 +119,9 @@ type node struct {
 	// nextGen caches src.NextAt(): the generation phase skips the node
 	// while now is before it, without touching the source.
 	nextGen int64
+	// rogue marks an adversarial node (Config.Adversary): its injections
+	// bypass the limiter gate entirely.
+	rogue bool
 
 	limiter core.Limiter
 	// limObs caches the limiter's CycleObserver assertion (nil when the
@@ -173,9 +183,7 @@ type node struct {
 	// node's input agents.
 	outArb []router.RoundRobin
 
-	// scratch buffers reused across cycles (fault-mode routing calls).
-	scratchCands []routing.Candidate
-	scratchPC    []portCand
+	// scratchPorts is a buffer reused by the limiter's channel view.
 	scratchPorts []topology.Port
 }
 
@@ -269,6 +277,17 @@ type Engine struct {
 	faultIdx    int
 	// killScratch reuses the kill-collection slice of fault application.
 	killScratch []*message.Message
+	// epoch counts routing reconfigurations: it starts at 0 and increments
+	// once per applied liveness-changing fault or repair event. Every epoch
+	// flip rebuilds the candidate table under the new mask and revalidates
+	// surviving routes (reconfigure), so healed capacity re-enters routing
+	// decisions online, without draining the network.
+	epoch uint64
+	// onReconfig, when non-nil, runs after each reconfiguration (serially,
+	// before the cycle's phases — deterministic at any worker count). Tests
+	// hang transition-safety checks here: epoch invariants and the
+	// wait-graph oracle at every flip.
+	onReconfig func(epoch uint64)
 
 	// listener, when non-nil, receives message lifecycle events.
 	listener trace.Listener
@@ -359,16 +378,32 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("sim: routing %q is not fault-aware", cfg.Routing)
 		}
 		fa.SetLiveness(e.live)
-	} else {
-		// The routing function is a pure function of (current, destination)
-		// for the whole run: precompute every candidate set once and turn
-		// the per-header routing call into a packed table lookup.
-		e.cand = buildCandTable(alg, topo.Nodes())
 	}
+	// The routing function is a pure function of (current, destination)
+	// between liveness changes: precompute every candidate set once and turn
+	// the per-header routing call into a packed table lookup. Fault-capable
+	// runs rebuild the table at every epoch flip (reconfigure), so the table
+	// always reflects the current mask — including healed channels, which
+	// re-enter candidate sets the cycle their repair commits.
+	e.cand = buildCandTable(alg, topo.Nodes())
 
 	nNodes := topo.Nodes()
 	nVC := e.numPhys * cfg.VCs
 	e.nodes = make([]node, nNodes)
+	// Adversarial overlay: fix rogue placement up front (seeded shuffle) and
+	// split the collector's accounting by class, so results separate the
+	// well-behaved population from the attackers.
+	var rogueMask []bool
+	if cfg.Adversary.Enabled() {
+		rogueMask = cfg.Adversary.pickRogues(nNodes)
+		classOf := make([]uint8, nNodes)
+		for n, r := range rogueMask {
+			if r {
+				classOf[n] = ClassRogue
+			}
+		}
+		e.col.EnableClasses([]string{"good", "rogue"}, classOf)
+	}
 	numOut := e.numPhys + cfg.EjChannels
 
 	nAgents := e.agentCount()
@@ -427,6 +462,12 @@ func New(cfg Config) (*Engine, error) {
 		nd.inj = make([]injChannel, cfg.InjChannels)
 		nd.ej = make([]ejChannel, cfg.EjChannels)
 		switch {
+		case rogueMask != nil && rogueMask[i]:
+			nd.rogue = true
+			nd.src = traffic.NewRogueSource(nd.id, nNodes, cfg.Adversary.Hotspot,
+				cfg.Adversary.RogueRate, cfg.MsgLen,
+				cfg.Adversary.StormPeriod, cfg.Adversary.StormOn,
+				cfg.Seed, splitSeed(cfg.Seed, uint64(i)))
 		case cfg.Sources != nil:
 			nd.src = cfg.Sources(nd.id)
 			if nd.src == nil || nd.src.Node() != nd.id {
@@ -494,16 +535,12 @@ func splitSeed(seed, node uint64) uint64 {
 }
 
 // candidates returns the admissible output virtual channels of a header at
-// nd addressed to dst, as per-port masks: a packed table lookup on
-// fault-free runs, a routing call (packed into the node's scratch slice)
-// otherwise.
+// nd addressed to dst, as per-port masks: always a packed table lookup. The
+// table is exact for the current routing epoch — fault-capable runs rebuild
+// it at every liveness change (reconfigure), so the lookup equals a fresh
+// routing call under the current mask.
 func (e *Engine) candidates(nd *node, dst topology.NodeID) []portCand {
-	if e.cand != nil {
-		return e.cand.get(nd.id, dst)
-	}
-	nd.scratchCands = e.alg.Candidates(nd.id, dst, nd.scratchCands[:0])
-	nd.scratchPC = packCands(nd.scratchCands, nd.scratchPC[:0])
-	return nd.scratchPC
+	return e.cand.get(nd.id, dst)
 }
 
 // newMessage builds a message for traffic generation, recycling a pooled
@@ -602,6 +639,7 @@ func (e *Engine) emit(kind trace.Kind, m *message.Message, at topology.NodeID) {
 		Src:   m.Src,
 		Dst:   m.Dst,
 		Node:  at,
+		Len:   int32(m.Length),
 	})
 }
 
@@ -625,7 +663,7 @@ func (e *Engine) Inject(src, dst topology.NodeID, length int) *message.Message {
 	}
 	m := message.New(e.nextID, src, dst, length, e.now)
 	e.nextID++
-	m.Measured = e.col.OnGenerated(e.now)
+	m.Measured = e.col.OnGenerated(e.now, int(src))
 	e.nodes[src].queue.Push(m)
 	e.generated++
 	if e.spans != nil {

@@ -43,38 +43,53 @@ func (e *Engine) phaseFaults() {
 }
 
 // applyDueFaults executes the scheduled fault events that have come due.
+// Each state-changing event bumps the routing epoch; when the batch changed
+// anything, the engine reconfigures once before the cycle's phases: the
+// candidate table is rebuilt under the new mask and surviving routes are
+// revalidated to the new epoch. On the parallel path this runs serially in
+// stepParallel before the shards wake, so epoch flips are bit-identical at
+// any worker count.
 func (e *Engine) applyDueFaults() {
+	before := e.epoch
 	for e.faultIdx < len(e.faultEvents) && e.faultEvents[e.faultIdx].Cycle <= e.now {
 		e.applyFault(e.faultEvents[e.faultIdx])
 		e.faultIdx++
+	}
+	if e.epoch != before {
+		e.reconfigure()
 	}
 }
 
 // applyFault executes one schedule event against the liveness mask and
 // tears down whatever the failure severed. Events that do not change state
-// (failing a failed component, repairing a healthy one) are ignored.
+// (failing a failed component, repairing a healthy one) are ignored; every
+// effective event — repairs included — advances the routing epoch.
 func (e *Engine) applyFault(ev fault.Event) {
 	switch ev.Kind {
 	case fault.LinkDown:
 		if !e.live.SetLink(ev.Node, ev.Port, false) {
 			return
 		}
+		e.epoch++
 		e.col.OnFault(e.now)
 		e.emitFault(trace.KindFault, ev.Node)
 		e.killOnLink(ev.Node, ev.Port)
 	case fault.LinkUp:
 		if e.live.SetLink(ev.Node, ev.Port, true) {
+			e.epoch++
 			e.emitFault(trace.KindRepair, ev.Node)
 		}
 	case fault.RouterDown:
 		if !e.live.SetRouter(ev.Node, false) {
 			return
 		}
+		e.epoch++
 		e.col.OnFault(e.now)
 		e.emitFault(trace.KindFault, ev.Node)
 		e.killOnRouter(ev.Node)
 	case fault.RouterUp:
 		if e.live.SetRouter(ev.Node, true) {
+			e.epoch++
 			e.emitFault(trace.KindRepair, ev.Node)
 		}
 	}

@@ -212,6 +212,12 @@ func (e *Engine) CheckInvariants() error {
 			}
 		}
 	}
+	// Epoch consistency: every valid route carries the current routing
+	// epoch's stamp and claims live capacity (trivially epoch 0 on
+	// fault-free runs).
+	if err := e.checkRouteEpochs(); err != nil {
+		return err
+	}
 	if e.live != nil {
 		return e.checkFaultInvariants(inFlight)
 	}

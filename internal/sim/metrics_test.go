@@ -51,7 +51,7 @@ func TestMetricsDeterminism(t *testing.T) {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			baseRes, _, baseEvents, baseCounters := runTraced(t, cfg, 1)
 			for _, workers := range []int{1, 4} {
 				res, events, counters, _ := runObserved(t, cfg, workers)
 				if res != baseRes {

@@ -768,7 +768,7 @@ func (e *Engine) commitGenerate(p *parRuntime) {
 		for _, g := range sh.gen {
 			nd := &e.nodes[g.node]
 			m := e.newMessage(nd.id, g.dst, int(g.length))
-			m.Measured = e.col.OnGenerated(e.now)
+			m.Measured = e.col.OnGenerated(e.now, int(nd.id))
 			nd.queue.Push(m)
 			e.emit(trace.KindGenerated, m, nd.id)
 		}
@@ -879,7 +879,8 @@ func (e *Engine) injectNode(nd *node, sh *parShard) {
 			continue
 		}
 		m := nd.queue.Front()
-		if !nd.limiter.Allow(nd.view, m.Dst) {
+		// Rogue bypass, mirroring the serial injection gate exactly.
+		if !nd.rogue && !nd.limiter.Allow(nd.view, m.Dst) {
 			// Deny metrics update inline: the counters are commutative
 			// atomics, so the totals are worker-order-independent.
 			if e.met != nil {
@@ -1175,7 +1176,7 @@ func (e *Engine) commitEvents(p *parRuntime) {
 				e.emit(trace.KindInjected, ev.m, ev.node)
 			case evDelivered:
 				e.delivered++
-				e.col.OnDelivered(e.now, ev.m.GenTime, ev.m.InjectTime, ev.m.Length, ev.m.Measured)
+				e.col.OnDelivered(e.now, ev.m.GenTime, ev.m.InjectTime, ev.m.Length, ev.m.Measured, int(ev.m.Src))
 				e.emit(trace.KindDelivered, ev.m, ev.node)
 				if e.spans != nil {
 					e.spanDeliver(ev.m)

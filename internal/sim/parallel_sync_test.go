@@ -114,8 +114,8 @@ func TestParallelGoroutinePath(t *testing.T) {
 	}
 	probe.Close()
 
-	baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
-	res, events, counters := runTraced(t, cfg, 4)
+	baseRes, _, baseEvents, baseCounters := runTraced(t, cfg, 1)
+	res, _, events, counters := runTraced(t, cfg, 4)
 	if res != baseRes || counters != baseCounters || len(events) != len(baseEvents) {
 		t.Fatalf("goroutine path diverged: %+v vs %+v (%d vs %d events)",
 			res, baseRes, len(events), len(baseEvents))

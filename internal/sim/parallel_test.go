@@ -20,8 +20,9 @@ type eventTap struct {
 func (l *eventTap) Emit(ev trace.Event) { l.events = append(l.events, ev) }
 
 // runTraced runs cfg to completion at the given worker count and returns the
-// summary, the full event stream, and the engine's all-time counters.
-func runTraced(t *testing.T, cfg Config, workers int) (stats.Result, []trace.Event, [6]int64) {
+// summary, the per-class results (nil unless an adversary is configured),
+// the full event stream, and the engine's all-time counters.
+func runTraced(t *testing.T, cfg Config, workers int) (stats.Result, []stats.ClassResult, []trace.Event, [6]int64) {
 	t.Helper()
 	cfg.Workers = workers
 	e, err := New(cfg)
@@ -39,7 +40,7 @@ func runTraced(t *testing.T, cfg Config, workers int) (stats.Result, []trace.Eve
 		e.Generated(), e.Delivered(), e.Recovered(),
 		e.Aborted(), e.Retried(), e.Dropped(),
 	}
-	return r, tap.events, counters
+	return r, e.Collector().ClassResults(), tap.events, counters
 }
 
 // equivalenceConfigs returns the seeded scenarios the serial↔parallel
@@ -85,11 +86,52 @@ func equivalenceConfigs() map[string]Config {
 	sched.FailRouter(2600, 9).RestoreRouter(5200, 9)
 	storm.Faults = sched
 
+	// Flapping faults: planner-generated down→repair→re-down cycles, so the
+	// suite pins the online reconfiguration path (epoch flips on every
+	// transition, healed capacity re-admitted, then yanked again) across
+	// worker counts.
+	flap := QuickConfig()
+	flap.Rate = 0.8
+	flapSched, err := fault.Plan(topology.New(flap.K, flap.N), fault.Profile{
+		LinkFraction:      0.05,
+		RouterFraction:    0.05,
+		At:                1500,
+		Stagger:           400,
+		TransientFraction: 1.0,
+		RepairAfter:       350,
+		FlapCount:         2,
+		FlapPeriod:        900,
+		Seed:              11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	flap.Faults = flapSched
+
+	// Adversarial: rogue nodes bypassing the ALO limiter with duty-cycled
+	// hotspot storms, on top of a link-flap schedule — the per-class
+	// accounting and the rogue bypass must be bit-identical too.
+	adv := QuickConfig()
+	adv.Rate = 0.6
+	adv.Adversary = AdversaryProfile{
+		RogueFraction: 0.15,
+		RogueRate:     1.5,
+		StormPeriod:   600,
+		StormOn:       250,
+		Hotspot:       5,
+		Seed:          3,
+	}
+	adv.Faults = (&fault.Schedule{}).
+		FailLink(2000, 3, up).RestoreLink(2600, 3, up).
+		FailLink(3400, 3, up).RestoreLink(4000, 3, up)
+
 	return map[string]Config{
 		"saturated-recovery": saturated,
 		"bursty-alo":         bursty,
 		"faults-retry":       faulty,
 		"faults-storm":       storm,
+		"faults-flap":        flap,
+		"adversarial":        adv,
 	}
 }
 
@@ -106,14 +148,24 @@ func TestGoldenParallelEquivalence(t *testing.T) {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			baseRes, baseClasses, baseEvents, baseCounters := runTraced(t, cfg, 1)
 			if len(baseEvents) == 0 {
 				t.Fatal("serial run emitted no events; scenario is vacuous")
 			}
 			for _, workers := range []int{2, 3, 4, 7} {
-				res, events, counters := runTraced(t, cfg, workers)
+				res, classes, events, counters := runTraced(t, cfg, workers)
 				if res != baseRes {
 					t.Errorf("workers=%d: result diverged:\n got  %+v\n want %+v", workers, res, baseRes)
+				}
+				if len(classes) != len(baseClasses) {
+					t.Errorf("workers=%d: %d class results, serial has %d", workers, len(classes), len(baseClasses))
+				} else {
+					for i := range classes {
+						if classes[i] != baseClasses[i] {
+							t.Errorf("workers=%d: class %d diverged:\n got  %+v\n want %+v",
+								workers, i, classes[i], baseClasses[i])
+						}
+					}
 				}
 				if counters != baseCounters {
 					t.Errorf("workers=%d: counters diverged: got %v want %v", workers, counters, baseCounters)
@@ -175,8 +227,8 @@ func TestParallelWorkerClamp(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.Rate = 0.6
 	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 200, 1000, 200
-	base, _, _ := runTraced(t, cfg, 1)
-	over, _, _ := runTraced(t, cfg, 1000) // 16 nodes: clamps to 16 shards
+	base, _, _, _ := runTraced(t, cfg, 1)
+	over, _, _, _ := runTraced(t, cfg, 1000) // 16 nodes: clamps to 16 shards
 	if over != base {
 		t.Errorf("overclamped run diverged:\n got  %+v\n want %+v", over, base)
 	}

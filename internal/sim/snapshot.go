@@ -70,6 +70,7 @@ type SnapRoute struct {
 	OutPort int8
 	OutVC   int8
 	EjCh    int8
+	Epoch   uint16
 }
 
 // SnapFlit is one buffered flit: a message reference plus its position.
@@ -172,8 +173,11 @@ type Snapshot struct {
 	SourcesStopped bool
 
 	// Fault machinery position; the liveness slices are nil when fault
-	// injection is off.
+	// injection is off. Epoch is the routing epoch (liveness-changing events
+	// applied so far; 0 on fault-free runs and on snapshots from engines
+	// predating epoched routing).
 	FaultIdx  int
+	Epoch     uint64
 	LinksUp   []bool
 	RoutersUp []bool
 
@@ -220,11 +224,11 @@ func ConfigDigest(cfg Config) (string, error) {
 }
 
 func snapRoute(r routeInfo) SnapRoute {
-	return SnapRoute{Valid: r.valid, Eject: r.eject, OutPort: int8(r.outPort), OutVC: r.outVC, EjCh: r.ejCh}
+	return SnapRoute{Valid: r.valid, Eject: r.eject, OutPort: int8(r.outPort), OutVC: r.outVC, EjCh: r.ejCh, Epoch: r.epoch}
 }
 
 func loadRoute(s SnapRoute) routeInfo {
-	return routeInfo{valid: s.Valid, eject: s.Eject, outPort: topology.Port(s.OutPort), outVC: s.OutVC, ejCh: s.EjCh}
+	return routeInfo{valid: s.Valid, eject: s.Eject, outPort: topology.Port(s.OutPort), outVC: s.OutVC, ejCh: s.EjCh, epoch: s.Epoch}
 }
 
 // Snapshot captures the engine's complete state. It must be called between
@@ -247,6 +251,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		Dropped:        e.dropped,
 		SourcesStopped: e.sourcesStopped,
 		FaultIdx:       e.faultIdx,
+		Epoch:          e.epoch,
 		Stats:          e.col.State(),
 	}
 	if e.live != nil {
@@ -473,6 +478,11 @@ func (e *Engine) load(snap *Snapshot) error {
 			return fmt.Errorf("%w: fault index %d of %d events", ErrSnapshotInvalid, snap.FaultIdx, len(e.faultEvents))
 		}
 		e.faultIdx = snap.FaultIdx
+		e.epoch = snap.Epoch
+		// The candidate table built at construction assumed an all-alive
+		// mask; rebuild it under the restored liveness so routing decisions
+		// continue exactly where the snapshotted engine left off.
+		e.cand = buildCandTable(e.alg, e.topo.Nodes())
 	} else if len(snap.LinksUp) != 0 || len(snap.RoutersUp) != 0 {
 		return fmt.Errorf("%w: snapshot carries liveness state but faults are off", ErrSnapshotInvalid)
 	}

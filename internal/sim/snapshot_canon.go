@@ -30,11 +30,15 @@ package sim
 // The encoding is a flat deterministic byte stream (fixed-width
 // little-endian scalars, length-prefixed slices) — no maps, no gob.
 //
-// Caveat: the one place the engine orders by raw message ID is the
-// fault-kill batch sort (fault.go), so the ID remap is only
-// behaviour-preserving on fault-free configs. The explorer never enables
-// faults; a fault-aware explorer would have to fold the raw relative ID
-// order into the encoding.
+// The one place the engine orders by raw message ID is the fault-kill
+// batch sort (fault.go), so on fault-capable configs the dense remap alone
+// would merge states whose kill order differs. Fault-capable snapshots
+// (liveness masks present) therefore also encode the permutation of
+// canonical indices in ascending raw-ID order: states with the same worms
+// but different relative creation order hash apart, making fault and repair
+// actions soundly hashable — fault-schedule branching in the explorer needs
+// no further care. Fault-free snapshots omit the permutation and keep the
+// full cross-schedule dedup.
 
 import (
 	"crypto/sha256"
@@ -131,10 +135,11 @@ func (s *Snapshot) CanonicalBytes() ([]byte, error) {
 	}
 
 	w := &canonWriter{b: make([]byte, 0, 1024)}
-	w.str("wncanon1") // format tag, bump on layout change
+	w.str("wncanon2") // format tag, bump on layout change
 	w.i64(s.Now)
 	w.boolean(s.SourcesStopped)
 	w.i32(int32(s.FaultIdx))
+	w.u64(s.Epoch)
 	w.i32(int32(len(s.LinksUp)))
 	for _, up := range s.LinksUp {
 		w.boolean(up)
@@ -180,10 +185,23 @@ func (s *Snapshot) CanonicalBytes() ([]byte, error) {
 		}
 	}
 
+	// Fault-capable configs: the kill batch sort orders by raw message ID,
+	// so the relative creation order of the in-flight messages is
+	// behavioural state. Encode it as the canonical indices in ascending
+	// raw-ID order (s.Messages is already raw-ID-sorted). Fault-free
+	// configs skip this, keeping the full cross-schedule dedup.
+	if len(s.LinksUp) > 0 || len(s.RoutersUp) > 0 {
+		w.i32(int32(len(s.Messages)))
+		for i := range s.Messages {
+			w.i32(canon[s.Messages[i].ID])
+		}
+	}
+
 	route := func(r SnapRoute) {
 		w.boolean(r.Valid)
 		w.boolean(r.Eject)
 		w.b = append(w.b, byte(r.OutPort), byte(r.OutVC), byte(r.EjCh))
+		w.b = append(w.b, byte(r.Epoch), byte(r.Epoch>>8))
 	}
 	w.i32(int32(len(s.Nodes)))
 	for i := range s.Nodes {

@@ -95,7 +95,7 @@ func TestSnapshotResumeEquivalence(t *testing.T) {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			baseRes, _, baseEvents, baseCounters := runTraced(t, cfg, 1)
 			if len(baseEvents) == 0 {
 				t.Fatal("golden run emitted no events; scenario is vacuous")
 			}
@@ -135,7 +135,7 @@ func TestSnapshotResumeEquivalence(t *testing.T) {
 // golden run exactly.
 func TestSnapshotDoesNotPerturb(t *testing.T) {
 	cfg := equivalenceConfigs()["saturated-recovery"]
-	baseRes, baseEvents, _ := runTraced(t, cfg, 1)
+	baseRes, _, baseEvents, _ := runTraced(t, cfg, 1)
 
 	cfg.Workers = 1
 	e, err := New(cfg)
@@ -323,7 +323,7 @@ func deterministicSamples(in []metrics.Sample) []metrics.Sample {
 // finishes bit-identical to the uninterrupted run.
 func TestSnapshotRestoresDrainedChannelOwner(t *testing.T) {
 	cfg := equivalenceConfigs()["saturated-recovery"]
-	goldRes, goldEvents, goldCtr := runTraced(t, cfg, 1)
+	goldRes, _, goldEvents, goldCtr := runTraced(t, cfg, 1)
 
 	cfg.Workers = 1
 	e, err := New(cfg)

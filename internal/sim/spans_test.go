@@ -56,7 +56,7 @@ func TestSpanDeterminism(t *testing.T) {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			baseRes, baseEvents, baseCounters := runTraced(t, cfg, 1)
+			baseRes, _, baseEvents, baseCounters := runTraced(t, cfg, 1)
 			var baseSpans []*trace.SpanRecord
 			for _, workers := range []int{1, 4} {
 				res, events, counters, _, spans := runSpanned(t, cfg, workers)

@@ -48,6 +48,12 @@ type Collector struct {
 	// deliveredSeries, when enabled, tracks flits delivered per interval
 	// over the whole run (not just the window).
 	deliveredSeries *TimeSeries
+
+	// Per-class accounting (see class.go); all nil when disabled.
+	classNames []string
+	classOf    []uint8
+	classNodes []int
+	classes    []classAcc
 }
 
 // NewCollector returns a collector for a run over nodes nodes that measures
@@ -90,6 +96,7 @@ func (c *Collector) Merge(other *Collector) {
 	c.retriedMsgs += other.retriedMsgs
 	c.droppedMsgs += other.droppedMsgs
 	c.fairness.Merge(other.fairness)
+	c.mergeClasses(other)
 	c.runs += other.runs
 	if c.deliveredSeries != nil && other.deliveredSeries != nil {
 		c.deliveredSeries.Merge(other.deliveredSeries)
@@ -105,13 +112,16 @@ func (c *Collector) InWindow(t int64) bool { return t >= c.winStart && t < c.win
 // Window returns the measurement window [start, end).
 func (c *Collector) Window() (start, end int64) { return c.winStart, c.winEnd }
 
-// OnGenerated records the generation of a message at cycle t and reports
-// whether the message is measured (generated inside the window).
-func (c *Collector) OnGenerated(t int64) bool {
+// OnGenerated records the generation of a message by node src at cycle t
+// and reports whether the message is measured (generated inside the window).
+func (c *Collector) OnGenerated(t int64, src int) bool {
 	if !c.InWindow(t) {
 		return false
 	}
 	c.generatedMsgs++
+	if c.classes != nil {
+		c.classes[c.classOf[src]].generated++
+	}
 	return true
 }
 
@@ -122,23 +132,38 @@ func (c *Collector) OnInjected(node int, t int64) {
 	}
 	c.injectedMsgs++
 	c.fairness.Inc(node)
+	if c.classes != nil {
+		c.classes[c.classOf[node]].injected++
+	}
 }
 
-// OnDelivered records the delivery of a message at cycle t. measured tells
-// whether the message was generated inside the window; genTime and injTime
-// are its generation and first-injection cycles.
-func (c *Collector) OnDelivered(t, genTime, injTime int64, flits int, measured bool) {
-	if c.InWindow(t) {
+// OnDelivered records the delivery of a message from node src at cycle t.
+// measured tells whether the message was generated inside the window;
+// genTime and injTime are its generation and first-injection cycles.
+func (c *Collector) OnDelivered(t, genTime, injTime int64, flits int, measured bool, src int) {
+	inWin := c.InWindow(t)
+	if inWin {
 		c.deliveredMsgs++
 		c.deliveredFlits += int64(flits)
 	}
 	if c.deliveredSeries != nil {
 		c.deliveredSeries.Add(t, float64(flits))
 	}
+	var acc *classAcc
+	if c.classes != nil {
+		acc = &c.classes[c.classOf[src]]
+		if inWin {
+			acc.delivered++
+			acc.deliveredFlits += int64(flits)
+		}
+	}
 	if measured {
 		lat := float64(t - genTime)
 		c.Latency.Add(lat)
 		c.Hist.Add(lat)
+		if acc != nil {
+			acc.latency.Add(lat)
+		}
 		if injTime >= 0 {
 			c.NetLatency.Add(float64(t - injTime))
 		}

@@ -124,9 +124,9 @@ func feedCollector(c *Collector, phase int64) {
 	for i := int64(0); i < 40; i++ {
 		t := 100 + (i*13+phase*7)%300 // inside the [100, 400) window
 		gen := t - 20 - phase
-		measured := c.OnGenerated(t)
+		measured := c.OnGenerated(t, int(i+phase)%4)
 		c.OnInjected(int(i+phase)%4, t)
-		c.OnDelivered(t, gen, gen+5, 4, measured)
+		c.OnDelivered(t, gen, gen+5, 4, measured, int(i+phase)%4)
 		if i%9 == phase%9 {
 			c.OnDeadlock(t)
 		}

@@ -96,6 +96,24 @@ func (ts *TimeSeries) Restore(s TimeSeriesState) error {
 	return nil
 }
 
+// ClassAccState is the serializable state of one traffic class accumulator.
+type ClassAccState struct {
+	Generated      int64
+	Injected       int64
+	Delivered      int64
+	DeliveredFlits int64
+	Latency        WelfordState
+}
+
+// ClassesState is the serializable state of a collector's per-class
+// accounting: the class configuration (labels and per-node map) plus the
+// accumulators.
+type ClassesState struct {
+	Names   []string
+	ClassOf []uint8
+	Accs    []ClassAccState
+}
+
 // CollectorState is the serializable state of a Collector, including its
 // geometry so a restore can verify it lands in a matching collector.
 type CollectorState struct {
@@ -122,6 +140,9 @@ type CollectorState struct {
 
 	// DeliveredSeries is nil when the collector recorded no delivery series.
 	DeliveredSeries *TimeSeriesState
+
+	// Classes is nil when the collector has no per-class accounting.
+	Classes *ClassesState
 }
 
 // State exports the collector.
@@ -148,6 +169,24 @@ func (c *Collector) State() CollectorState {
 	if c.deliveredSeries != nil {
 		ts := c.deliveredSeries.State()
 		s.DeliveredSeries = &ts
+	}
+	if c.classes != nil {
+		cs := ClassesState{
+			Names:   append([]string(nil), c.classNames...),
+			ClassOf: append([]uint8(nil), c.classOf...),
+			Accs:    make([]ClassAccState, len(c.classes)),
+		}
+		for i := range c.classes {
+			a := &c.classes[i]
+			cs.Accs[i] = ClassAccState{
+				Generated:      a.generated,
+				Injected:       a.injected,
+				Delivered:      a.delivered,
+				DeliveredFlits: a.deliveredFlits,
+				Latency:        a.latency.State(),
+			}
+		}
+		s.Classes = &cs
 	}
 	return s
 }
@@ -187,6 +226,38 @@ func (c *Collector) Restore(s CollectorState) error {
 		if err := c.deliveredSeries.Restore(*s.DeliveredSeries); err != nil {
 			return err
 		}
+	}
+	if s.Classes != nil {
+		if c.classes == nil {
+			// The restore target was built without class accounting (restore
+			// order does not depend on re-enabling it first): adopt the
+			// snapshot's configuration.
+			c.EnableClasses(s.Classes.Names, s.Classes.ClassOf)
+		} else if len(c.classNames) != len(s.Classes.Names) {
+			return fmt.Errorf("stats: class count mismatch (%d vs %d)", len(c.classNames), len(s.Classes.Names))
+		}
+		for i, name := range s.Classes.Names {
+			if c.classNames[i] != name {
+				return fmt.Errorf("stats: class %d named %q, snapshot has %q", i, c.classNames[i], name)
+			}
+		}
+		for n := range c.classOf {
+			if c.classOf[n] != s.Classes.ClassOf[n] {
+				return fmt.Errorf("stats: node %d in class %d, snapshot has %d", n, c.classOf[n], s.Classes.ClassOf[n])
+			}
+		}
+		if len(s.Classes.Accs) != len(c.classes) {
+			return fmt.Errorf("stats: class accumulator count mismatch (%d vs %d)", len(c.classes), len(s.Classes.Accs))
+		}
+		for i, a := range s.Classes.Accs {
+			c.classes[i].generated = a.Generated
+			c.classes[i].injected = a.Injected
+			c.classes[i].delivered = a.Delivered
+			c.classes[i].deliveredFlits = a.DeliveredFlits
+			c.classes[i].latency.Restore(a.Latency)
+		}
+	} else if c.classes != nil {
+		return fmt.Errorf("stats: collector has class accounting but snapshot does not")
 	}
 	return nil
 }

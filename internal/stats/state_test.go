@@ -12,9 +12,9 @@ func populatedCollector() *Collector {
 	c.EnableDeliverySeries(50, 20)
 	for i := int64(0); i < 40; i++ {
 		t := i * 25 // straddles the window on both sides
-		c.OnGenerated(t)
+		c.OnGenerated(t, int(i%8))
 		c.OnInjected(int(i%8), t)
-		c.OnDelivered(t+60, t, t+5, 16, c.InWindow(t))
+		c.OnDelivered(t+60, t, t+5, 16, c.InWindow(t), int(i%8))
 		if i%7 == 0 {
 			c.OnDeadlock(t)
 		}
@@ -50,8 +50,8 @@ func TestCollectorStateRoundTrip(t *testing.T) {
 
 	// Both sides keep counting identically after the restore point.
 	for _, c := range []*Collector{orig, fresh} {
-		c.OnGenerated(500)
-		c.OnDelivered(550, 500, 505, 16, true)
+		c.OnGenerated(500, 3)
+		c.OnDelivered(550, 500, 505, 16, true, 3)
 	}
 	if got, want := fresh.Result(), orig.Result(); got != want {
 		t.Fatalf("post-restore accounting diverged:\n got  %+v\n want %+v", got, want)

@@ -212,13 +212,13 @@ func TestCollectorWindowing(t *testing.T) {
 	if s, e := c.Window(); s != 100 || e != 200 {
 		t.Fatal("window")
 	}
-	if c.OnGenerated(50) {
+	if c.OnGenerated(50, 0) {
 		t.Error("pre-window generation measured")
 	}
-	if !c.OnGenerated(150) {
+	if !c.OnGenerated(150, 0) {
 		t.Error("in-window generation not measured")
 	}
-	if c.OnGenerated(200) {
+	if c.OnGenerated(200, 0) {
 		t.Error("post-window generation measured")
 	}
 	c.OnInjected(1, 50)  // ignored
@@ -236,10 +236,10 @@ func TestCollectorMetrics(t *testing.T) {
 	// Deliver 10 messages of 16 flits inside the window, latency 40 each.
 	for i := 0; i < 10; i++ {
 		c.OnInjected(i%2, 10)
-		c.OnDelivered(50, 10, 20, 16, true)
+		c.OnDelivered(50, 10, 20, 16, true, 0)
 	}
 	// One delivery outside the window: not counted in traffic.
-	c.OnDelivered(150, 10, 20, 16, false)
+	c.OnDelivered(150, 10, 20, 16, false, 0)
 	if got, want := c.AcceptedTraffic(), 10.0*16/2/100; !almost(got, want, 1e-12) {
 		t.Errorf("Accepted=%v want %v", got, want)
 	}
@@ -289,7 +289,7 @@ func TestCollectorMeasuredOutsideDelivery(t *testing.T) {
 	// A measured message delivered after the window still contributes to
 	// latency but not to accepted traffic.
 	c := NewCollector(1, 0, 100)
-	c.OnDelivered(500, 50, 60, 16, true)
+	c.OnDelivered(500, 50, 60, 16, true, 0)
 	if c.Latency.Count() != 1 || c.Delivered() != 0 {
 		t.Errorf("latency n=%d delivered=%d", c.Latency.Count(), c.Delivered())
 	}

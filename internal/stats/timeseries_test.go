@@ -55,9 +55,9 @@ func TestCollectorDeliverySeries(t *testing.T) {
 	if ts != c.DeliverySeries() {
 		t.Fatal("accessor mismatch")
 	}
-	c.OnDelivered(50, 0, 10, 16, true)
-	c.OnDelivered(150, 0, 10, 16, true)
-	c.OnDelivered(155, 0, 10, 16, true)
+	c.OnDelivered(50, 0, 10, 16, true, 0)
+	c.OnDelivered(150, 0, 10, 16, true, 0)
+	c.OnDelivered(155, 0, 10, 16, true, 0)
 	if ts.Bucket(0) != 16 || ts.Bucket(1) != 32 {
 		t.Errorf("series buckets: %v", ts.Values())
 	}

@@ -83,7 +83,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one message lifecycle occurrence.
+// Event is one message lifecycle occurrence. Len carries the message length
+// in flits (0 for component-level fault/repair events): together with Cycle,
+// Src and Dst it makes a recorded stream of KindGenerated events a complete
+// injection schedule, replayable through traffic.ReplayFactory.
 type Event struct {
 	Cycle int64
 	Kind  Kind
@@ -91,6 +94,7 @@ type Event struct {
 	Src   topology.NodeID
 	Dst   topology.NodeID
 	Node  topology.NodeID // where the event happened
+	Len   int32           // message length in flits (0 when not applicable)
 }
 
 // String formats the event as a single log line.

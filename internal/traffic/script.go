@@ -108,6 +108,24 @@ func (s *ScriptSource) LoadState(st GenState) error {
 	return nil
 }
 
+// ReplayFactory builds a SourceFactory replaying per-node event lists —
+// the trace-driven workload path: record a run's generation events (e.g.
+// obs.ReadReplay over a -trace-out JSONL stream), then re-drive any engine
+// configuration with the identical offered schedule. Nodes absent from the
+// map get an empty script (permanently silent). Invalid events (a factory
+// has no error channel) panic when the node's generator is built; traces
+// recorded by the engine are valid by construction, so this only fires on
+// hand-edited input.
+func ReplayFactory(events map[topology.NodeID][]Event) SourceFactory {
+	return func(node topology.NodeID) Generator {
+		s, err := NewScriptSource(node, events[node])
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
 const maxInt64 = int64(^uint64(0) >> 1)
 
 // Compile-time interface checks.

@@ -25,6 +25,8 @@ type GenState struct {
 	// cursor into its configured event list.
 	Script bool
 	Pos    int64
+	// Rogue marks RogueSource state (rogue.go); it reuses PCG and Next.
+	Rogue bool
 }
 
 // Stateful is implemented by generators whose full state can be captured and
@@ -47,7 +49,7 @@ func (s *Source) SaveState() (GenState, error) {
 
 // LoadState implements Stateful.
 func (s *Source) LoadState(st GenState) error {
-	if st.Bursty || st.Script {
+	if st.Bursty || st.Script || st.Rogue {
 		return errors.New("traffic: foreign generator state loaded into steady source")
 	}
 	if err := s.pcg.UnmarshalBinary(st.PCG); err != nil {
@@ -79,7 +81,7 @@ func (s *BurstySource) SaveState() (GenState, error) {
 
 // LoadState implements Stateful.
 func (s *BurstySource) LoadState(st GenState) error {
-	if !st.Bursty || st.Script {
+	if !st.Bursty || st.Script || st.Rogue {
 		return errors.New("traffic: foreign generator state loaded into bursty source")
 	}
 	if err := s.pcg.UnmarshalBinary(st.PCG); err != nil {
